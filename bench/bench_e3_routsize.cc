@@ -1,0 +1,79 @@
+// E3 — scalability in |R_out|: preprocessing (cover + CGM) and end-to-end
+// time as the output table grows. The sweep fixes the database and query
+// shape (L06: orders x lineitem x part, whose output is large) and feeds
+// prefixes of R_out of increasing size to the *superset* variant, plus the
+// full R_out to the exact variant.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/builder.h"
+#include "engine/executor.h"
+#include "qre/fastqre.h"
+
+using namespace fastqre;
+
+int main() {
+  const double scale = bench::BenchScale(0.002);
+  Database db = BuildTpch({.scale_factor = scale, .seed = 42}).ValueOrDie();
+
+  QueryBuilder b(&db);
+  InstanceId o = b.Instance("orders");
+  InstanceId l = b.Instance("lineitem");
+  InstanceId p = b.Instance("part");
+  b.Join(l, "l_orderkey", o, "o_orderkey");
+  b.Join(l, "l_partkey", p, "p_partkey");
+  b.Project(o, "o_orderkey");
+  b.Project(p, "p_name");
+  b.Project(l, "l_quantity");
+  PJQuery q = b.Build().ValueOrDie();
+  Table full = ExecuteToTable(db, q, "rout").ValueOrDie();
+
+  std::printf("TPC-H scale=%.4g, query L06, full |R_out|=%zu\n\n", scale,
+              full.num_rows());
+
+  TablePrinter table(
+      "E3: QRE time vs |R_out| (prefixes of L06's output)",
+      {"|R_out|", "variant", "total", "cover", "CGMs", "candidates"});
+
+  auto prefix = [&](size_t n) {
+    Table t("prefix", db.dictionary());
+    for (size_t c = 0; c < full.num_columns(); ++c) {
+      FASTQRE_CHECK_OK(
+          t.AddColumn(full.column(c).name(), full.column(c).type()));
+    }
+    for (RowId r = 0; r < n && r < full.num_rows(); ++r) {
+      t.AppendRowIds(full.RowIds(r));
+    }
+    return t;
+  };
+
+  for (double frac : {0.01, 0.1, 0.5, 1.0}) {
+    size_t n = std::max<size_t>(1, static_cast<size_t>(full.num_rows() * frac));
+    Table rout = prefix(n);
+    // Prefixes are only guaranteed solvable in the superset variant; the
+    // full table also solves exactly.
+    for (bool exact : {false, true}) {
+      if (!exact || frac == 1.0) {
+        QreOptions opts;
+        opts.variant = exact ? QreVariant::kExact : QreVariant::kSuperset;
+        opts.time_budget_seconds = 60.0;
+        FastQre engine(&db, opts);
+        Timer t;
+        QreAnswer a = engine.Reverse(rout).ValueOrDie();
+        table.AddRow({FormatCount(n), exact ? "exact" : "superset",
+                      bench::ResultCell(a.found, !a.found, t.ElapsedSeconds()),
+                      FormatDuration(a.stats.cover_seconds),
+                      FormatDuration(a.stats.cgm_seconds),
+                      FormatCount(a.stats.candidates_generated)});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: preprocessing grows near-linearly in |R_out|\n"
+      "(cover and CGM checks are per-distinct-tuple index probes) and stays\n"
+      "a small fraction of total time.\n");
+  return 0;
+}

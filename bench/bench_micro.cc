@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths:
+// dictionary interning, distinct-set construction, hash-index build/probe,
+// pipelined join execution, column cover, CGM discovery, walk discovery.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/builder.h"
+#include "engine/executor.h"
+#include "qre/cgm.h"
+#include "qre/column_cover.h"
+#include "qre/mapping.h"
+#include "qre/walks.h"
+
+namespace fastqre {
+namespace {
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Value> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.emplace_back(static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  for (auto _ : state) {
+    Dictionary dict;
+    for (const Value& v : values) benchmark::DoNotOptimize(dict.Intern(v));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_ColumnDistinctSet(benchmark::State& state) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  (void)t.AddColumn("a", ValueType::kInt64);
+  Rng rng(2);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)t.AppendRow({Value(static_cast<int64_t>(rng.Uniform(1000)))});
+  }
+  for (auto _ : state) {
+    // Copy the column to defeat the cache.
+    Column c = t.column(0);
+    benchmark::DoNotOptimize(c.NumDistinct());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ColumnDistinctSet)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  Database db = BuildTpch({.scale_factor = 0.01, .seed = 1}).ValueOrDie();
+  const Table& lineitem = db.table(*db.FindTable("lineitem"));
+  for (auto _ : state) {
+    HashIndex index(lineitem, {0});
+    benchmark::DoNotOptimize(index.num_keys());
+  }
+  state.SetItemsProcessed(state.iterations() * lineitem.num_rows());
+}
+BENCHMARK(BM_HashIndexBuild);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  Database db = BuildTpch({.scale_factor = 0.01, .seed = 1}).ValueOrDie();
+  const Table& lineitem = db.table(*db.FindTable("lineitem"));
+  HashIndex index(lineitem, {0});
+  std::vector<ValueId> keys;
+  for (RowId r = 0; r < lineitem.num_rows(); r += 7) {
+    keys.push_back(lineitem.column(0).at(r));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup1(keys[i++ % keys.size()]).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexProbe);
+
+void BM_JoinExecution(benchmark::State& state) {
+  Database db = BuildTpch({.scale_factor = 0.005, .seed = 1}).ValueOrDie();
+  QueryBuilder b(&db);
+  InstanceId o = b.Instance("orders");
+  InstanceId l = b.Instance("lineitem");
+  InstanceId p = b.Instance("part");
+  b.Join(l, "l_orderkey", o, "o_orderkey");
+  b.Join(l, "l_partkey", p, "p_partkey");
+  b.Project(o, "o_orderkey");
+  b.Project(p, "p_name");
+  PJQuery q = b.Build().ValueOrDie();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto cursor = QueryCursor::Create(db, q).ValueOrDie();
+    std::vector<ValueId> row;
+    while (cursor->Next(&row)) ++rows;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_JoinExecution);
+
+void BM_PointProbe(benchmark::State& state) {
+  // The workhorse of validation: a fully-bound membership probe.
+  Database db = BuildTpch({.scale_factor = 0.005, .seed = 1}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout = ExecuteToTable(db, q1, "rout").ValueOrDie();
+  size_t r = 0;
+  for (auto _ : state) {
+    PJQuery probe = q1;
+    const auto& projections = probe.projections();
+    for (size_t j = 0; j < projections.size(); ++j) {
+      probe.AddSelection(projections[j].instance, projections[j].column,
+                         rout.column(j).at(r % rout.num_rows()));
+    }
+    ++r;
+    auto cursor = QueryCursor::Create(db, probe).ValueOrDie();
+    std::vector<ValueId> row;
+    benchmark::DoNotOptimize(cursor->Next(&row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointProbe);
+
+void BM_ColumnCover(benchmark::State& state) {
+  Database db = BuildTpch({.scale_factor = 0.005, .seed = 1}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout = ExecuteToTable(db, q1, "rout").ValueOrDie();
+  QreOptions opts;
+  opts.use_pattern_pruning = state.range(0) != 0;
+  for (auto _ : state) {
+    QreStats stats;
+    benchmark::DoNotOptimize(ComputeColumnCover(db, rout, opts, &stats));
+  }
+}
+BENCHMARK(BM_ColumnCover)->Arg(0)->Arg(1);
+
+void BM_CgmDiscovery(benchmark::State& state) {
+  Database db = BuildTpch({.scale_factor = 0.005, .seed = 1}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout = ExecuteToTable(db, q1, "rout").ValueOrDie();
+  QreOptions opts;
+  QreStats cover_stats;
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &cover_stats);
+  for (auto _ : state) {
+    QreStats stats;
+    benchmark::DoNotOptimize(DiscoverCgms(db, rout, cover, opts, &stats));
+  }
+}
+BENCHMARK(BM_CgmDiscovery);
+
+void BM_WalkDiscovery(benchmark::State& state) {
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 1}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout = ExecuteToTable(db, q1, "rout").ValueOrDie();
+  QreOptions opts;
+  opts.max_walk_length = static_cast<int>(state.range(0));
+  QreStats stats;
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &stats);
+  CgmSet cgms = DiscoverCgms(db, rout, cover, opts, &stats);
+  MappingEnumerator e(&db, &rout, &cover, &cgms, &opts);
+  ColumnMapping mapping;
+  if (!e.Next(&mapping)) state.SkipWithError("no mapping");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverWalks(db, mapping, opts));
+  }
+}
+BENCHMARK(BM_WalkDiscovery)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace fastqre
+
+BENCHMARK_MAIN();

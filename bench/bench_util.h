@@ -1,0 +1,41 @@
+// Shared helpers for the paper-style benchmark harnesses (bench_e1..e9).
+//
+// Each binary prints one or more aligned tables to stdout and exits 0. All
+// accept environment overrides so the default `for b in build/bench/*; do
+// $b; done` stays fast while allowing larger runs:
+//   FASTQRE_BENCH_SCALE   TPC-H scale factor (default per-bench)
+//   FASTQRE_BENCH_BUDGET  per-query time budget in seconds for slow methods
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace fastqre::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  double out = fallback;
+  (void)ParseDouble(v, &out);
+  return out;
+}
+
+inline double BenchScale(double fallback) {
+  return EnvDouble("FASTQRE_BENCH_SCALE", fallback);
+}
+
+inline double BenchBudget(double fallback) {
+  return EnvDouble("FASTQRE_BENCH_BUDGET", fallback);
+}
+
+/// Formats a method's result cell: time, ">budget" on timeout, or "FAIL".
+inline std::string ResultCell(bool found, bool timed_out, double seconds) {
+  if (found) return FormatDuration(seconds);
+  return timed_out ? (">" + FormatDuration(seconds)) : "FAIL";
+}
+
+}  // namespace fastqre::bench

@@ -1,0 +1,102 @@
+// Data-lineage discovery on the paper's running example (Section 2).
+//
+// Walks through the full FastQRE pipeline on TPC-H for both Query 1 and
+// Query 2 of Figure 2, printing the intermediate artifacts the paper
+// discusses: column covers, maximal CGMs (Figure 8), the top-ranked column
+// mapping, discovered walks, and the recovered SQL — then cross-checks that
+// Query 2's answer is found even though its R_out lacks the availqty column.
+#include <cstdio>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/executor.h"
+#include "qre/cgm.h"
+#include "qre/column_cover.h"
+#include "qre/fastqre.h"
+#include "qre/mapping.h"
+#include "qre/walks.h"
+
+using namespace fastqre;
+
+namespace {
+
+void ShowPipeline(const Database& db, const Table& rout) {
+  QreOptions opts;
+  QreStats stats;
+
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &stats);
+  std::printf("Column covers:\n");
+  for (ColumnId c = 0; c < rout.num_columns(); ++c) {
+    std::printf("  S_%s = {", rout.column(c).name().c_str());
+    for (size_t i = 0; i < cover.covers[c].size(); ++i) {
+      const auto& e = cover.covers[c][i];
+      std::printf("%s%s.%s", i ? ", " : "", db.table(e.table).name().c_str(),
+                  db.table(e.table).column(e.column).name().c_str());
+    }
+    std::printf("}\n");
+  }
+
+  CgmSet cgms = DiscoverCgms(db, rout, cover, opts, &stats);
+  std::printf("\nMaximal CGMs (%zu):\n", cgms.cgms.size());
+  for (const Cgm& g : cgms.cgms) {
+    std::printf("  %s\n", g.ToString(db, rout).c_str());
+  }
+
+  MappingEnumerator mappings(&db, &rout, &cover, &cgms, &opts);
+  ColumnMapping m;
+  if (mappings.Next(&m)) {
+    std::printf("\nTop-ranked column mapping (%zu instances):\n  %s\n",
+                m.NumInstances(), m.ToString(db, rout).c_str());
+    auto walks = DiscoverWalks(db, m, opts);
+    std::printf("\nDiscovered %zu walks (L=%d); first few:\n", walks.size(),
+                opts.max_walk_length);
+    for (size_t i = 0; i < walks.size() && i < 6; ++i) {
+      std::printf("  %s\n", walks[i].ToString(db).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 42}).ValueOrDie();
+  std::printf("TPC-H with %zu rows total.\n\n", db.TotalRows());
+
+  // ---- Query 1 (Figure 2) --------------------------------------------------
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout1 =
+      ExecuteToTable(db, q1, "rout1", {"A", "B", "C", "D", "E"}).ValueOrDie();
+  std::printf("=== Paper Query 1: |R_out| = %zu (Table 1 of the paper) ===\n\n",
+              rout1.num_rows());
+  ShowPipeline(db, rout1);
+
+  FastQre engine(&db);
+  QreAnswer a1 = engine.Reverse(rout1).ValueOrDie();
+  std::printf("\nRecovered in %.3fs (%llu candidates, %llu full checks):\n  %s\n",
+              a1.stats.total_seconds,
+              static_cast<unsigned long long>(a1.stats.candidates_generated),
+              static_cast<unsigned long long>(a1.stats.full_validations),
+              a1.found ? a1.sql.c_str() : a1.failure_reason.c_str());
+
+  // ---- Query 2 -------------------------------------------------------------
+  PJQuery q2 = BuildPaperQuery2(db).ValueOrDie();
+  Table rout2 =
+      ExecuteToTable(db, q2, "rout2", {"A", "B", "D", "E"}).ValueOrDie();
+  std::printf("\n=== Paper Query 2: |R_out| = %zu ===\n", rout2.num_rows());
+  QreAnswer a2 = engine.Reverse(rout2).ValueOrDie();
+  std::printf("Recovered in %.3fs:\n  %s\n", a2.stats.total_seconds,
+              a2.found ? a2.sql.c_str() : a2.failure_reason.c_str());
+
+  // Verify both answers by re-execution.
+  auto verify = [&](const QreAnswer& a, const Table& rout) {
+    if (!a.found) return false;
+    Table regen = ExecuteToTable(db, a.query, "regen").ValueOrDie();
+    return regen.num_rows() == rout.num_rows();
+  };
+  if (!verify(a1, rout1) || !verify(a2, rout2)) {
+    std::printf("verification FAILED\n");
+    return 1;
+  }
+  std::printf("\nBoth recovered queries verified against their R_out.\n");
+  return 0;
+}

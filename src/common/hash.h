@@ -1,0 +1,48 @@
+// Hashing helpers used for tuple-set containment checks throughout the QRE
+// pipeline (column cover, CGM discovery, walk coherence, validation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastqre {
+
+/// \brief Combines a hash into a running seed (boost::hash_combine style,
+/// with a 64-bit mixer).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (SplitMix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// \brief FNV-1a over raw bytes; deterministic across platforms.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) { return HashBytes(s.data(), s.size()); }
+
+/// \brief Hash of a sequence of 32-bit ids; used for row tuples of ValueIds.
+inline uint64_t HashIdTuple(const uint32_t* ids, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ n;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, ids[i]);
+  return h;
+}
+
+/// \brief std::hash adapter for vectors of 32-bit ids.
+struct IdTupleHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    return static_cast<size_t>(HashIdTuple(v.data(), v.size()));
+  }
+};
+
+}  // namespace fastqre

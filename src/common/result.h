@@ -1,0 +1,73 @@
+// Result<T>: a value-or-Status union, following arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fastqre {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+///
+/// Typical usage:
+/// \code
+///   Result<Table> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, mirroring arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error Status. Aborts (in debug) if the status is OK:
+  /// an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) internal::DieOnError(status_, __FILE__, __LINE__);
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) internal::DieOnError(status_, __FILE__, __LINE__);
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) internal::DieOnError(status_, __FILE__, __LINE__);
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define FASTQRE_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  FASTQRE_ASSIGN_OR_RETURN_IMPL(                    \
+      FASTQRE_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define FASTQRE_CONCAT_INNER_(a, b) a##b
+#define FASTQRE_CONCAT_(a, b) FASTQRE_CONCAT_INNER_(a, b)
+
+#define FASTQRE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace fastqre

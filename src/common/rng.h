@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation. All data generation in this
+// repo is seeded, so every test, example and benchmark is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastqre {
+
+/// \brief SplitMix64 mixer; used for seeding and cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief xoshiro256** PRNG: fast, high-quality, deterministic across
+/// platforms (unlike std::mt19937 distributions, which vary by stdlib).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    for (auto& si : s_) {
+      seed = SplitMix64(seed);
+      si = seed;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p).
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string String(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace fastqre

@@ -1,0 +1,40 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fastqre {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "Invalid argument";
+    case StatusCode::kNotFound: return "Not found";
+    case StatusCode::kAlreadyExists: return "Already exists";
+    case StatusCode::kOutOfRange: return "Out of range";
+    case StatusCode::kNotImplemented: return "Not implemented";
+    case StatusCode::kInternal: return "Internal error";
+    case StatusCode::kIOError: return "I/O error";
+    case StatusCode::kResourceExhausted: return "Resource exhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+namespace internal {
+
+void DieOnError(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "FASTQRE_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fastqre

@@ -1,0 +1,76 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(width[i] - row[i].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string rule = "+";
+  for (size_t w : width) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += rule;
+  out += render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 0) return "-";
+  if (seconds < 1e-3) return StringFormat("%.1fus", seconds * 1e6);
+  if (seconds < 1.0) return StringFormat("%.1fms", seconds * 1e3);
+  if (seconds < 120.0) return StringFormat("%.2fs", seconds);
+  int64_t total = static_cast<int64_t>(seconds);
+  return StringFormat("%ldm%02lds", static_cast<long>(total / 60),
+                      static_cast<long>(total % 60));
+}
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c > 0 && c % 3 == 0) out += ',';
+    out += *it;
+    ++c;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,38 @@
+// Aligned ASCII table printing for the paper-style benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastqre {
+
+/// \brief Accumulates rows of string cells and prints them as an aligned
+/// ASCII table, the way the bench_e* binaries report paper-style results.
+class TablePrinter {
+ public:
+  /// \param title Printed above the table.
+  /// \param header Column names.
+  explicit TablePrinter(std::string title, std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (title, rule, header, rule, rows, rule).
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats seconds compactly: "3.2us", "14ms", "2.51s", "4m12s".
+std::string FormatDuration(double seconds);
+
+/// \brief Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t n);
+
+}  // namespace fastqre

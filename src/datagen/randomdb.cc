@@ -1,0 +1,98 @@
+#include "datagen/randomdb.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace fastqre {
+
+Result<Database> BuildRandomDb(const RandomDbOptions& options) {
+  if (options.num_tables < 1) {
+    return Status::InvalidArgument("num_tables must be >= 1");
+  }
+  Database db;
+  Rng rng(SplitMix64(options.seed) ^ 0x72616e64646221ULL);
+
+  struct Spec {
+    TableId id;
+    int rows;
+    std::vector<int> fk_targets;  // parent table index per fk column
+  };
+  std::vector<Spec> specs(options.num_tables);
+
+  // Decide shape first: rows, fk edges (spanning tree + extras).
+  for (int i = 0; i < options.num_tables; ++i) {
+    specs[i].rows = static_cast<int>(
+        rng.UniformInt(options.min_rows, std::max(options.min_rows, options.max_rows)));
+  }
+  for (int i = 1; i < options.num_tables; ++i) {
+    // Spanning tree: each table references an earlier one.
+    specs[i].fk_targets.push_back(static_cast<int>(rng.Uniform(i)));
+  }
+  for (int e = 0; e < options.extra_fk_edges && options.num_tables > 1; ++e) {
+    int child = static_cast<int>(rng.Uniform(options.num_tables - 1)) + 1;
+    specs[child].fk_targets.push_back(static_cast<int>(rng.Uniform(child)));
+  }
+
+  // Create tables: key column, fk columns, data columns.
+  std::vector<int> data_cols(options.num_tables);
+  for (int i = 0; i < options.num_tables; ++i) {
+    FASTQRE_ASSIGN_OR_RETURN(specs[i].id, db.AddTable("t" + std::to_string(i)));
+    Table& t = db.table(specs[i].id);
+    FASTQRE_RETURN_NOT_OK(
+        t.AddColumn(StringFormat("t%d_key", i), ValueType::kInt64));
+    for (size_t j = 0; j < specs[i].fk_targets.size(); ++j) {
+      FASTQRE_RETURN_NOT_OK(t.AddColumn(
+          StringFormat("t%d_fk%zu", i, j), ValueType::kInt64));
+    }
+    data_cols[i] = static_cast<int>(
+        rng.UniformInt(1, std::max(1, options.max_data_columns)));
+    for (int j = 0; j < data_cols[i]; ++j) {
+      bool is_string = rng.Chance(options.string_column_prob);
+      FASTQRE_RETURN_NOT_OK(
+          t.AddColumn(StringFormat("t%d_d%d", i, j),
+                      is_string ? ValueType::kString : ValueType::kInt64));
+    }
+  }
+
+  // Populate rows. Keys are 1..rows offset by a per-table base so key
+  // domains of different tables do not accidentally overlap (fk columns
+  // reference the parent's actual key values).
+  for (int i = 0; i < options.num_tables; ++i) {
+    Table& t = db.table(specs[i].id);
+    const int64_t key_base = 1000 * (i + 1);
+    for (int r = 0; r < specs[i].rows; ++r) {
+      std::vector<Value> row;
+      row.emplace_back(key_base + r);
+      for (int target : specs[i].fk_targets) {
+        int64_t parent_base = 1000 * (target + 1);
+        row.emplace_back(parent_base +
+                         static_cast<int64_t>(rng.Uniform(specs[target].rows)));
+      }
+      for (int j = 0; j < data_cols[i]; ++j) {
+        ColumnId col = static_cast<ColumnId>(1 + specs[i].fk_targets.size() + j);
+        int64_t v = static_cast<int64_t>(rng.Uniform(options.data_domain));
+        if (t.column(col).type() == ValueType::kString) {
+          row.emplace_back(StringFormat("v%03d", static_cast<int>(v)));
+        } else {
+          row.emplace_back(v);
+        }
+      }
+      FASTQRE_RETURN_NOT_OK(t.AppendRow(row));
+    }
+  }
+
+  // Declare the fks now that columns exist.
+  for (int i = 0; i < options.num_tables; ++i) {
+    for (size_t j = 0; j < specs[i].fk_targets.size(); ++j) {
+      int target = specs[i].fk_targets[j];
+      FASTQRE_RETURN_NOT_OK(db.AddForeignKey(
+          "t" + std::to_string(i), StringFormat("t%d_fk%zu", i, j),
+          "t" + std::to_string(target), StringFormat("t%d_key", target)));
+    }
+  }
+  return db;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,40 @@
+// Random-database generator for property-based testing.
+//
+// Builds a database with a randomly shaped (but always connected) pk-fk
+// schema graph and random value distributions, so property tests can assert
+// QRE invariants (e.g. "FastQRE finds a generating query for any R_out that
+// was actually produced by a CPJ query") across many schema shapes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Parameters of the random database.
+struct RandomDbOptions {
+  uint64_t seed = 7;
+  int num_tables = 4;
+  /// Rows of table i: uniform in [min_rows, max_rows].
+  int min_rows = 30;
+  int max_rows = 120;
+  /// Extra non-key data columns per table: uniform in [1, max_data_columns].
+  int max_data_columns = 3;
+  /// Distinct-value pool size for data columns (smaller => more duplication
+  /// and more accidental coherence, which stresses the ranking machinery).
+  int data_domain = 40;
+  /// Probability a data column is a string column (vs int64).
+  double string_column_prob = 0.5;
+  /// Extra random fk edges beyond the spanning tree (creates cycles and
+  /// parallel edges in G_S).
+  int extra_fk_edges = 1;
+};
+
+/// \brief Generates a random database. Table i is named "t<i>"; every table
+/// has a unique int64 key column "t<i>_key"; fks are "t<i>_fk<j>" columns.
+/// The schema graph is connected.
+Result<Database> BuildRandomDb(const RandomDbOptions& options = RandomDbOptions());
+
+}  // namespace fastqre

@@ -1,0 +1,290 @@
+#include "datagen/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace fastqre {
+
+namespace {
+
+// Official TPC-H SF=1 row counts (lineitem is ~6M; we derive it as 1-7
+// lines per order, matching the spec's distribution).
+constexpr int64_t kSupplierSf1 = 10000;
+constexpr int64_t kPartSf1 = 200000;
+constexpr int64_t kCustomerSf1 = 150000;
+constexpr int64_t kOrdersSf1 = 1500000;
+
+int64_t Scaled(int64_t sf1_count, double sf, int64_t floor_count) {
+  return std::max<int64_t>(floor_count,
+                           static_cast<int64_t>(std::llround(sf1_count * sf)));
+}
+
+std::string PaddedName(const char* prefix, int64_t key) {
+  return StringFormat("%s#%09lld", prefix, static_cast<long long>(key));
+}
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// Official TPC-H nation -> region assignment (region keys per kRegionNames).
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kMfgrs[] = {"Manufacturer#1", "Manufacturer#2", "Manufacturer#3",
+                        "Manufacturer#4", "Manufacturer#5"};
+const char* kPartAdjectives[] = {"almond", "antique", "aquamarine", "azure",
+                                 "beige", "bisque", "black", "blanched"};
+const char* kPartNouns[] = {"brass", "copper", "nickel", "steel", "tin"};
+const char* kTypes[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                        "PROMO"};
+const char* kStatuses[] = {"O", "F", "P"};
+const char* kFlags[] = {"N", "R", "A"};
+
+std::string RandomDate(Rng* rng) {
+  int year = static_cast<int>(1992 + rng->Uniform(7));
+  int month = static_cast<int>(1 + rng->Uniform(12));
+  int day = static_cast<int>(1 + rng->Uniform(28));
+  return StringFormat("%04d-%02d-%02d", year, month, day);
+}
+
+Status AddColumns(Table* t,
+                  std::initializer_list<std::pair<const char*, ValueType>> cols) {
+  for (const auto& [name, type] : cols) {
+    FASTQRE_RETURN_NOT_OK(t->AddColumn(name, type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Database> BuildTpch(const TpchOptions& options) {
+  Database db;
+  Rng rng(SplitMix64(options.seed) ^ 0x7063682d74636874ULL);
+
+  const double sf = options.scale_factor;
+  const int64_t n_supplier = Scaled(kSupplierSf1, sf, 10);
+  const int64_t n_part = Scaled(kPartSf1, sf, 25);
+  const int64_t n_customer = Scaled(kCustomerSf1, sf, 15);
+  const int64_t n_orders = Scaled(kOrdersSf1, sf, 30);
+
+  FASTQRE_ASSIGN_OR_RETURN(TableId region_id, db.AddTable("region"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId nation_id, db.AddTable("nation"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId supplier_id, db.AddTable("supplier"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId part_id, db.AddTable("part"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId partsupp_id, db.AddTable("partsupp"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId customer_id, db.AddTable("customer"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId orders_id, db.AddTable("orders"));
+  FASTQRE_ASSIGN_OR_RETURN(TableId lineitem_id, db.AddTable("lineitem"));
+
+  // -- region ---------------------------------------------------------------
+  Table& region = db.table(region_id);
+  FASTQRE_RETURN_NOT_OK(AddColumns(&region, {{"r_regionkey", ValueType::kInt64},
+                                             {"r_name", ValueType::kString},
+                                             {"r_comment", ValueType::kString}}));
+  for (int64_t k = 0; k < 5; ++k) {
+    FASTQRE_RETURN_NOT_OK(region.AppendRow(
+        {Value(k), Value(kRegionNames[k]), Value("region " + rng.String(12))}));
+  }
+
+  // -- nation ---------------------------------------------------------------
+  Table& nation = db.table(nation_id);
+  FASTQRE_RETURN_NOT_OK(AddColumns(&nation, {{"n_nationkey", ValueType::kInt64},
+                                             {"n_name", ValueType::kString},
+                                             {"n_regionkey", ValueType::kInt64},
+                                             {"n_comment", ValueType::kString}}));
+  for (int64_t k = 0; k < 25; ++k) {
+    FASTQRE_RETURN_NOT_OK(nation.AppendRow(
+        {Value(k), Value(kNationNames[k]),
+         Value(static_cast<int64_t>(kNationRegion[k])),
+         Value("nation " + rng.String(12))}));
+  }
+
+  // -- supplier -------------------------------------------------------------
+  Table& supplier = db.table(supplier_id);
+  FASTQRE_RETURN_NOT_OK(
+      AddColumns(&supplier, {{"s_suppkey", ValueType::kInt64},
+                             {"s_name", ValueType::kString},
+                             {"s_address", ValueType::kString},
+                             {"s_nationkey", ValueType::kInt64},
+                             {"s_phone", ValueType::kString},
+                             {"s_acctbal", ValueType::kDouble}}));
+  supplier.ReserveRows(n_supplier);
+  for (int64_t k = 1; k <= n_supplier; ++k) {
+    FASTQRE_RETURN_NOT_OK(supplier.AppendRow(
+        {Value(k), Value(PaddedName("Supplier", k)), Value(rng.String(16)),
+         Value(static_cast<int64_t>(rng.Uniform(25))),
+         Value(StringFormat("%02d-%03d-%03d-%04d",
+                            static_cast<int>(10 + rng.Uniform(25)),
+                            static_cast<int>(rng.Uniform(1000)),
+                            static_cast<int>(rng.Uniform(1000)),
+                            static_cast<int>(rng.Uniform(10000)))),
+         Value(std::round(rng.UniformDouble() * 1099999.0 - 99999.0) / 100.0)}));
+  }
+
+  // -- part -----------------------------------------------------------------
+  Table& part = db.table(part_id);
+  FASTQRE_RETURN_NOT_OK(AddColumns(&part, {{"p_partkey", ValueType::kInt64},
+                                           {"p_name", ValueType::kString},
+                                           {"p_mfgr", ValueType::kString},
+                                           {"p_brand", ValueType::kString},
+                                           {"p_type", ValueType::kString},
+                                           {"p_size", ValueType::kInt64},
+                                           {"p_retailprice", ValueType::kDouble}}));
+  part.ReserveRows(n_part);
+  for (int64_t k = 1; k <= n_part; ++k) {
+    int mfgr = static_cast<int>(rng.Uniform(5));
+    FASTQRE_RETURN_NOT_OK(part.AppendRow(
+        {Value(k),
+         Value(std::string(kPartAdjectives[rng.Uniform(8)]) + " " +
+               kPartNouns[rng.Uniform(5)] + " " + PaddedName("P", k)),
+         Value(kMfgrs[mfgr]),
+         Value(StringFormat("Brand#%d%d", mfgr + 1,
+                            static_cast<int>(1 + rng.Uniform(5)))),
+         Value(std::string(kTypes[rng.Uniform(6)]) + " " +
+               kPartNouns[rng.Uniform(5)]),
+         Value(static_cast<int64_t>(1 + rng.Uniform(50))),
+         Value(std::round((90000.0 + (k % 200) * 100.0 +
+                           (k % 1000)) ) / 100.0)}));
+  }
+
+  // -- partsupp: exactly 4 suppliers per part (TPC-H rule) --------------------
+  Table& partsupp = db.table(partsupp_id);
+  FASTQRE_RETURN_NOT_OK(
+      AddColumns(&partsupp, {{"ps_partkey", ValueType::kInt64},
+                             {"ps_suppkey", ValueType::kInt64},
+                             {"ps_availqty", ValueType::kInt64},
+                             {"ps_supplycost", ValueType::kDouble}}));
+  partsupp.ReserveRows(n_part * 4);
+  for (int64_t p = 1; p <= n_part; ++p) {
+    for (int j = 0; j < 4; ++j) {
+      // The spec's supplier spreading formula keeps (part, supplier) pairs
+      // unique.
+      int64_t s = 1 + (p + j * (n_supplier / 4 + 1) + (p - 1) / n_supplier) %
+                          n_supplier;
+      FASTQRE_RETURN_NOT_OK(partsupp.AppendRow(
+          {Value(p), Value(s), Value(static_cast<int64_t>(1 + rng.Uniform(9999))),
+           Value(std::round(rng.UniformDouble() * 100000.0) / 100.0)}));
+    }
+  }
+
+  // -- customer ---------------------------------------------------------------
+  Table& customer = db.table(customer_id);
+  FASTQRE_RETURN_NOT_OK(
+      AddColumns(&customer, {{"c_custkey", ValueType::kInt64},
+                             {"c_name", ValueType::kString},
+                             {"c_address", ValueType::kString},
+                             {"c_nationkey", ValueType::kInt64},
+                             {"c_phone", ValueType::kString},
+                             {"c_acctbal", ValueType::kDouble},
+                             {"c_mktsegment", ValueType::kString}}));
+  customer.ReserveRows(n_customer);
+  for (int64_t k = 1; k <= n_customer; ++k) {
+    FASTQRE_RETURN_NOT_OK(customer.AppendRow(
+        {Value(k), Value(PaddedName("Customer", k)), Value(rng.String(16)),
+         Value(static_cast<int64_t>(rng.Uniform(25))),
+         Value(StringFormat("%02d-%03d-%03d-%04d",
+                            static_cast<int>(10 + rng.Uniform(25)),
+                            static_cast<int>(rng.Uniform(1000)),
+                            static_cast<int>(rng.Uniform(1000)),
+                            static_cast<int>(rng.Uniform(10000)))),
+         Value(std::round(rng.UniformDouble() * 1099999.0 - 99999.0) / 100.0),
+         Value(kSegments[rng.Uniform(5)])}));
+  }
+
+  // -- orders -----------------------------------------------------------------
+  Table& orders = db.table(orders_id);
+  FASTQRE_RETURN_NOT_OK(
+      AddColumns(&orders, {{"o_orderkey", ValueType::kInt64},
+                           {"o_custkey", ValueType::kInt64},
+                           {"o_orderstatus", ValueType::kString},
+                           {"o_totalprice", ValueType::kDouble},
+                           {"o_orderdate", ValueType::kString},
+                           {"o_orderpriority", ValueType::kString},
+                           {"o_clerk", ValueType::kString}}));
+  orders.ReserveRows(n_orders);
+  std::vector<int64_t> order_keys;
+  order_keys.reserve(n_orders);
+  for (int64_t k = 1; k <= n_orders; ++k) {
+    int64_t custkey = 1 + static_cast<int64_t>(rng.Uniform(n_customer));
+    order_keys.push_back(k);
+    FASTQRE_RETURN_NOT_OK(orders.AppendRow(
+        {Value(k), Value(custkey), Value(kStatuses[rng.Uniform(3)]),
+         Value(std::round(rng.UniformDouble() * 45000000.0 + 85000.0) / 100.0),
+         Value(RandomDate(&rng)), Value(kPriorities[rng.Uniform(5)]),
+         Value(PaddedName("Clerk", static_cast<int64_t>(
+                                       1 + rng.Uniform(std::max<int64_t>(
+                                               1, n_orders / 1000 + 1)))))}));
+  }
+
+  // -- lineitem: 1-7 lines per order; (partkey, suppkey) drawn from partsupp --
+  Table& lineitem = db.table(lineitem_id);
+  FASTQRE_RETURN_NOT_OK(
+      AddColumns(&lineitem, {{"l_orderkey", ValueType::kInt64},
+                             {"l_partkey", ValueType::kInt64},
+                             {"l_suppkey", ValueType::kInt64},
+                             {"l_linenumber", ValueType::kInt64},
+                             {"l_quantity", ValueType::kInt64},
+                             {"l_extendedprice", ValueType::kDouble},
+                             {"l_discount", ValueType::kDouble},
+                             {"l_returnflag", ValueType::kString},
+                             {"l_shipdate", ValueType::kString}}));
+  lineitem.ReserveRows(n_orders * 4);
+  for (int64_t ok : order_keys) {
+    int nlines = static_cast<int>(1 + rng.Uniform(7));
+    for (int ln = 1; ln <= nlines; ++ln) {
+      // Sample a partsupp row so the composite L-PS relationship is real.
+      RowId ps_row = static_cast<RowId>(rng.Uniform(partsupp.num_rows()));
+      const auto& dict = *db.dictionary();
+      int64_t pkey = dict.Get(partsupp.column(0).at(ps_row)).AsInt64();
+      int64_t skey = dict.Get(partsupp.column(1).at(ps_row)).AsInt64();
+      FASTQRE_RETURN_NOT_OK(lineitem.AppendRow(
+          {Value(ok), Value(pkey), Value(skey), Value(static_cast<int64_t>(ln)),
+           Value(static_cast<int64_t>(1 + rng.Uniform(50))),
+           Value(std::round(rng.UniformDouble() * 9500000.0 + 90000.0) / 100.0),
+           Value(std::round(rng.UniformDouble() * 10.0) / 100.0),
+           Value(kFlags[rng.Uniform(3)]), Value(RandomDate(&rng))}));
+    }
+  }
+
+  // -- pk-fk schema graph (Figure 1) ------------------------------------------
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("nation", "n_regionkey", "region", "r_regionkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("supplier", "s_nationkey", "nation", "n_nationkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("customer", "c_nationkey", "nation", "n_nationkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("partsupp", "ps_partkey", "part", "p_partkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("partsupp", "ps_suppkey", "supplier", "s_suppkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("orders", "o_custkey", "customer", "c_custkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("lineitem", "l_orderkey", "orders", "o_orderkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("lineitem", "l_partkey", "part", "p_partkey"));
+  FASTQRE_RETURN_NOT_OK(
+      db.AddForeignKey("lineitem", "l_suppkey", "supplier", "s_suppkey"));
+  // Figure 1's L-PS adjacency: parallel single-column join edges.
+  {
+    FASTQRE_ASSIGN_OR_RETURN(ColumnId l_pk, lineitem.FindColumn("l_partkey"));
+    FASTQRE_ASSIGN_OR_RETURN(ColumnId ps_pk, partsupp.FindColumn("ps_partkey"));
+    FASTQRE_ASSIGN_OR_RETURN(ColumnId l_sk, lineitem.FindColumn("l_suppkey"));
+    FASTQRE_ASSIGN_OR_RETURN(ColumnId ps_sk, partsupp.FindColumn("ps_suppkey"));
+    db.AddJoinEdge(lineitem_id, l_pk, partsupp_id, ps_pk);
+    db.AddJoinEdge(lineitem_id, l_sk, partsupp_id, ps_sk);
+  }
+  return db;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,32 @@
+// Deterministic TPC-H-schema data generator.
+//
+// The paper's empirical study uses the TPC-H benchmark database (Example
+// 2.1, Figure 1). This generator reproduces the 8-table schema, its pk-fk
+// graph (including the parallel L-PS join edges), and the value shapes that
+// matter to QRE behaviour: unique key columns, name columns in 1:1
+// correspondence with keys ("Supplier#000000001" style), and realistic
+// fk fan-outs. Row counts scale linearly with `scale_factor` relative to the
+// official SF=1 proportions; absolute sizes are laptop-scale.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Options for BuildTpch.
+struct TpchOptions {
+  /// Fraction of official TPC-H SF=1 row counts. 0.001 gives
+  /// supplier=10, part=200, partsupp=800, customer=150, orders=1500,
+  /// lineitem~=6000.
+  double scale_factor = 0.001;
+  /// PRNG seed; equal seeds give byte-identical databases.
+  uint64_t seed = 42;
+};
+
+/// \brief Generates the TPC-H database with its full pk-fk schema graph.
+Result<Database> BuildTpch(const TpchOptions& options = TpchOptions());
+
+}  // namespace fastqre

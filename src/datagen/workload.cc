@@ -1,0 +1,305 @@
+#include "datagen/workload.h"
+
+#include <set>
+
+#include "engine/builder.h"
+#include "engine/executor.h"
+
+namespace fastqre {
+
+Result<PJQuery> BuildPaperQuery1(const Database& tpch) {
+  // SELECT S1.s_suppkey, S1.s_name, PS1.ps_availqty, S2.s_suppkey, S2.s_name
+  // FROM supplier S1, supplier S2, partsupp PS1, partsupp PS2, part P, nation N
+  // WHERE S1.s_suppkey=PS1.ps_suppkey AND S2.s_suppkey=PS2.ps_suppkey
+  //   AND P.p_partkey=PS1.ps_partkey AND P.p_partkey=PS2.ps_partkey
+  //   AND N.n_nationkey=S1.s_nationkey AND N.n_nationkey=S2.s_nationkey
+  QueryBuilder b(&tpch);
+  InstanceId s1 = b.Instance("supplier");
+  InstanceId s2 = b.Instance("supplier");
+  InstanceId ps1 = b.Instance("partsupp");
+  InstanceId ps2 = b.Instance("partsupp");
+  InstanceId p = b.Instance("part");
+  InstanceId n = b.Instance("nation");
+  b.Join(s1, "s_suppkey", ps1, "ps_suppkey");
+  b.Join(s2, "s_suppkey", ps2, "ps_suppkey");
+  b.Join(p, "p_partkey", ps1, "ps_partkey");
+  b.Join(p, "p_partkey", ps2, "ps_partkey");
+  b.Join(n, "n_nationkey", s1, "s_nationkey");
+  b.Join(n, "n_nationkey", s2, "s_nationkey");
+  b.Project(s1, "s_suppkey");
+  b.Project(s1, "s_name");
+  b.Project(ps1, "ps_availqty");
+  b.Project(s2, "s_suppkey");
+  b.Project(s2, "s_name");
+  return b.Build();
+}
+
+Result<PJQuery> BuildPaperQuery2(const Database& tpch) {
+  QueryBuilder b(&tpch);
+  InstanceId s1 = b.Instance("supplier");
+  InstanceId s2 = b.Instance("supplier");
+  InstanceId ps1 = b.Instance("partsupp");
+  InstanceId ps2 = b.Instance("partsupp");
+  InstanceId p = b.Instance("part");
+  InstanceId n = b.Instance("nation");
+  b.Join(s1, "s_suppkey", ps1, "ps_suppkey");
+  b.Join(s2, "s_suppkey", ps2, "ps_suppkey");
+  b.Join(p, "p_partkey", ps1, "ps_partkey");
+  b.Join(p, "p_partkey", ps2, "ps_partkey");
+  b.Join(n, "n_nationkey", s1, "s_nationkey");
+  b.Join(n, "n_nationkey", s2, "s_nationkey");
+  b.Project(s1, "s_suppkey");
+  b.Project(s1, "s_name");
+  b.Project(s2, "s_suppkey");
+  b.Project(s2, "s_name");
+  return b.Build();
+}
+
+namespace {
+
+Result<WorkloadQuery> MakeEntry(const Database& db, std::string name,
+                                std::string description, PJQuery query) {
+  FASTQRE_ASSIGN_OR_RETURN(Table rout,
+                           ExecuteToTable(db, query, "rout_" + name));
+  WorkloadQuery wq{std::move(name), std::move(description), std::move(query),
+                   std::move(rout)};
+  return wq;
+}
+
+}  // namespace
+
+Result<std::vector<WorkloadQuery>> StandardTpchWorkload(const Database& tpch) {
+  std::vector<WorkloadQuery> out;
+
+  {
+    QueryBuilder b(&tpch);
+    InstanceId n = b.Instance("nation");
+    InstanceId r = b.Instance("region");
+    b.Join(n, "n_regionkey", r, "r_regionkey");
+    b.Project(n, "n_name");
+    b.Project(r, "r_name");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e, MakeEntry(tpch, "L01", "nations with their regions (2 inst, 1 join)",
+                          std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    QueryBuilder b(&tpch);
+    InstanceId s = b.Instance("supplier");
+    InstanceId n = b.Instance("nation");
+    b.Join(s, "s_nationkey", n, "n_nationkey");
+    b.Project(s, "s_name");
+    b.Project(n, "n_name");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e,
+        MakeEntry(tpch, "L02", "suppliers with nations (2 inst, 1 join)",
+                  std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    QueryBuilder b(&tpch);
+    InstanceId c = b.Instance("customer");
+    InstanceId n = b.Instance("nation");
+    InstanceId r = b.Instance("region");
+    b.Join(c, "c_nationkey", n, "n_nationkey");
+    b.Join(n, "n_regionkey", r, "r_regionkey");
+    b.Project(c, "c_name");
+    b.Project(n, "n_name");
+    b.Project(r, "r_name");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e,
+        MakeEntry(tpch, "L03", "customer-nation-region chain (3 inst, 2 joins)",
+                  std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    QueryBuilder b(&tpch);
+    InstanceId ps = b.Instance("partsupp");
+    InstanceId s = b.Instance("supplier");
+    InstanceId p = b.Instance("part");
+    b.Join(ps, "ps_suppkey", s, "s_suppkey");
+    b.Join(ps, "ps_partkey", p, "p_partkey");
+    b.Project(s, "s_name");
+    b.Project(p, "p_name");
+    b.Project(ps, "ps_availqty");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e,
+        MakeEntry(tpch, "L04",
+                  "supplier/part offers with quantity (3 inst, 2 joins)",
+                  std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    // PS is an intermediate (non-projection) instance here.
+    QueryBuilder b(&tpch);
+    InstanceId s = b.Instance("supplier");
+    InstanceId ps = b.Instance("partsupp");
+    InstanceId p = b.Instance("part");
+    b.Join(s, "s_suppkey", ps, "ps_suppkey");
+    b.Join(p, "p_partkey", ps, "ps_partkey");
+    b.Project(s, "s_name");
+    b.Project(p, "p_name");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e,
+        MakeEntry(tpch, "L05",
+                  "supplier-part pairs via intermediate PS (3 inst, 2 joins)",
+                  std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    QueryBuilder b(&tpch);
+    InstanceId o = b.Instance("orders");
+    InstanceId l = b.Instance("lineitem");
+    InstanceId p = b.Instance("part");
+    b.Join(l, "l_orderkey", o, "o_orderkey");
+    b.Join(l, "l_partkey", p, "p_partkey");
+    b.Project(o, "o_orderkey");
+    b.Project(p, "p_name");
+    b.Project(l, "l_quantity");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e, MakeEntry(tpch, "L06", "order lines with parts (3 inst, 2 joins)",
+                          std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    QueryBuilder b(&tpch);
+    InstanceId r = b.Instance("region");
+    InstanceId n = b.Instance("nation");
+    InstanceId s = b.Instance("supplier");
+    InstanceId ps = b.Instance("partsupp");
+    InstanceId p = b.Instance("part");
+    b.Join(n, "n_regionkey", r, "r_regionkey");
+    b.Join(s, "s_nationkey", n, "n_nationkey");
+    b.Join(ps, "ps_suppkey", s, "s_suppkey");
+    b.Join(ps, "ps_partkey", p, "p_partkey");
+    b.Project(r, "r_name");
+    b.Project(n, "n_name");
+    b.Project(s, "s_name");
+    b.Project(p, "p_name");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e,
+        MakeEntry(tpch, "L07",
+                  "region-to-part 5-chain, PS intermediate (5 inst, 4 joins)",
+                  std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    QueryBuilder b(&tpch);
+    InstanceId c = b.Instance("customer");
+    InstanceId s = b.Instance("supplier");
+    InstanceId n = b.Instance("nation");
+    b.Join(c, "c_nationkey", n, "n_nationkey");
+    b.Join(s, "s_nationkey", n, "n_nationkey");
+    b.Project(c, "c_name");
+    b.Project(s, "s_name");
+    b.Project(n, "n_name");
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e,
+        MakeEntry(tpch, "L08",
+                  "customer/supplier pairs in the same nation (3 inst, 2 joins)",
+                  std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, BuildPaperQuery2(tpch));
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e, MakeEntry(tpch, "L09",
+                          "paper Query 2: supplier pairs sharing nation and part "
+                          "(6 inst, 6 joins, cyclic)",
+                          std::move(q)));
+    out.push_back(std::move(e));
+  }
+  {
+    FASTQRE_ASSIGN_OR_RETURN(PJQuery q, BuildPaperQuery1(tpch));
+    FASTQRE_ASSIGN_OR_RETURN(
+        auto e, MakeEntry(tpch, "L10",
+                          "paper Query 1: Query 2 plus PS1.ps_availqty "
+                          "(6 inst, 6 joins, cyclic)",
+                          std::move(q)));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<WorkloadQuery> RandomCpjQuery(const Database& db, Rng* rng,
+                                     const RandomQueryOptions& options) {
+  const SchemaGraph& graph = db.schema_graph();
+  if (graph.num_edges() == 0 && options.num_instances > 1) {
+    return Status::InvalidArgument("schema graph has no edges");
+  }
+
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    PJQuery q;
+    // Start from a random table that has at least one incident edge (or any
+    // table for single-instance queries).
+    std::vector<TableId> seeds;
+    for (TableId t = 0; t < db.num_tables(); ++t) {
+      if (options.num_instances == 1 || !graph.EdgesOf(t).empty()) {
+        seeds.push_back(t);
+      }
+    }
+    if (seeds.empty()) return Status::InvalidArgument("no usable seed table");
+    std::vector<TableId> inst_tables;
+    InstanceId first = q.AddInstance(rng->Pick(seeds));
+    inst_tables.push_back(q.instance_table(first));
+
+    bool stuck = false;
+    while (static_cast<int>(q.num_instances()) < options.num_instances) {
+      InstanceId u = static_cast<InstanceId>(rng->Uniform(q.num_instances()));
+      const auto& edges = graph.EdgesOf(q.instance_table(u));
+      if (edges.empty()) {
+        stuck = true;
+        break;
+      }
+      const SchemaEdge& e = graph.edge(rng->Pick(edges));
+      int side_u;
+      if (e.IsSelfLoop()) {
+        side_u = rng->Chance(0.5) ? 0 : 1;
+      } else {
+        side_u = e.SideOf(q.instance_table(u));
+      }
+      int side_v = 1 - side_u;
+      InstanceId v = q.AddInstance(e.table[side_v]);
+      q.AddJoin(u, e.column[side_u], v, e.column[side_v]);
+    }
+    if (stuck) continue;
+
+    // Projections: one per instance first (if requested), then extras.
+    std::set<std::pair<InstanceId, ColumnId>> proj;
+    if (options.project_every_instance) {
+      for (InstanceId i = 0; i < q.num_instances(); ++i) {
+        const Table& t = db.table(q.instance_table(i));
+        proj.emplace(i, static_cast<ColumnId>(rng->Uniform(t.num_columns())));
+      }
+    }
+    int want = std::max(options.num_projections, 1);
+    int guard = 0;
+    while (static_cast<int>(proj.size()) < want && guard++ < 100) {
+      InstanceId i = static_cast<InstanceId>(rng->Uniform(q.num_instances()));
+      const Table& t = db.table(q.instance_table(i));
+      proj.emplace(i, static_cast<ColumnId>(rng->Uniform(t.num_columns())));
+    }
+    for (const auto& [inst, col] : proj) q.AddProjection(inst, col);
+
+    auto rout = ExecuteToTable(db, q, "rout_random");
+    if (!rout.ok()) continue;
+    if (rout->num_rows() < options.min_rout_rows ||
+        rout->num_rows() > options.max_rout_rows) {
+      continue;
+    }
+    WorkloadQuery wq{"random", "randomly generated CPJ query", std::move(q),
+                     std::move(rout).ValueOrDie()};
+    return wq;
+  }
+  return Status::NotFound("no suitable random query found within max_attempts");
+}
+
+}  // namespace fastqre

@@ -1,0 +1,60 @@
+// QRE workloads: the paper's running-example queries, a complexity ladder of
+// CPJ queries over TPC-H (the evaluation axis of experiments E1/E4/E5/E9),
+// and a random CPJ query generator for property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief One workload entry: a ground-truth generating query plus its
+/// materialized output table R_out = Q(D).
+struct WorkloadQuery {
+  std::string name;
+  std::string description;
+  PJQuery query;
+  Table rout;
+};
+
+/// \brief Builds the paper's Query 1 (Figure 2): pairs of suppliers in the
+/// same nation supplying the same part, with the first supplier's available
+/// quantity. 6 instances (S, S2, PS, PS2, P, N), 6 joins, cyclic graph.
+Result<PJQuery> BuildPaperQuery1(const Database& tpch);
+
+/// \brief Query 2 = Query 1 without the PS.availqty projection.
+Result<PJQuery> BuildPaperQuery2(const Database& tpch);
+
+/// \brief The standard evaluation ladder over a TPC-H database: ten CPJ
+/// queries of increasing complexity, ending with the paper's Queries 2 and 1.
+/// Each entry's R_out is materialized by executing the query.
+Result<std::vector<WorkloadQuery>> StandardTpchWorkload(const Database& tpch);
+
+/// \brief Options for RandomCpjQuery.
+struct RandomQueryOptions {
+  int num_instances = 3;       // total table instances in the query graph
+  int num_projections = 3;     // projection columns (>=1)
+  int max_attempts = 50;       // retries until a non-empty R_out is found
+  size_t min_rout_rows = 1;    // reject queries with fewer result rows
+  size_t max_rout_rows = 100000;  // reject queries with more result rows
+  /// If true, every instance gets at least one projection column. This keeps
+  /// the query inside the CPJ class by construction (no intermediate nodes),
+  /// so FastQRE is guaranteed-complete on it — the setting used by the
+  /// round-trip property tests.
+  bool project_every_instance = true;
+};
+
+/// \brief Generates a random connected CPJ query over `db` whose execution
+/// yields a non-empty R_out, returning both. Instances are grown as a random
+/// spanning tree over schema-graph edges; projections are drawn from random
+/// instances. Returns NotFound if max_attempts random shapes all produce
+/// out-of-bounds outputs.
+Result<WorkloadQuery> RandomCpjQuery(const Database& db, Rng* rng,
+                                     const RandomQueryOptions& options);
+
+}  // namespace fastqre

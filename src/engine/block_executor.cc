@@ -1,0 +1,174 @@
+#include "engine/block_executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "engine/compare.h"
+
+namespace fastqre {
+
+Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
+                           const std::string& name,
+                           std::function<bool()> interrupt) {
+  uint64_t work = 0;
+  auto interrupted = [&]() {
+    return (++work & 0x3ff) == 0 && interrupt && interrupt();
+  };
+  // Hard cap on intermediate materialization: pathological candidate
+  // queries can otherwise exhaust memory before any time budget fires.
+  constexpr size_t kMaxIntermediateRows = 20'000'000;
+  const size_t n = query.num_instances();
+  if (n == 0) return Status::InvalidArgument("query has no instances");
+  if (!query.IsConnected()) {
+    return Status::InvalidArgument("query graph is disconnected (cross product)");
+  }
+  if (query.projections().empty()) {
+    return Status::InvalidArgument("query has no projection columns");
+  }
+
+  // Left-deep join order: start anywhere, repeatedly attach an instance
+  // adjacent to the placed set (any order is correct; smallest-table-first
+  // keeps intermediates modest without changing the block semantics).
+  std::vector<std::vector<size_t>> adj(n);
+  for (size_t ji = 0; ji < query.joins().size(); ++ji) {
+    const auto& j = query.joins()[ji];
+    if (j.a == j.b) continue;
+    adj[j.a].push_back(ji);
+    adj[j.b].push_back(ji);
+  }
+  std::vector<int> pos(n, -1);
+  std::vector<InstanceId> order{0};
+  pos[0] = 0;
+  while (order.size() < n) {
+    InstanceId best = static_cast<InstanceId>(n);
+    size_t best_rows = 0;
+    for (InstanceId v = 0; v < n; ++v) {
+      if (pos[v] >= 0) continue;
+      bool frontier = false;
+      for (size_t ji : adj[v]) {
+        const auto& j = query.joins()[ji];
+        InstanceId other = (j.a == v) ? j.b : j.a;
+        if (pos[other] >= 0) frontier = true;
+      }
+      if (!frontier) continue;
+      size_t rows = db.table(query.instance_table(v)).num_rows();
+      if (best == n || rows < best_rows) {
+        best = v;
+        best_rows = rows;
+      }
+    }
+    if (best == n) return Status::Internal("connected query not traversable");
+    pos[best] = static_cast<int>(order.size());
+    order.push_back(best);
+  }
+
+  // Per-instance filters (same-instance joins, selections).
+  auto passes_local = [&](InstanceId inst, RowId row) {
+    const Table& t = db.table(query.instance_table(inst));
+    for (const auto& j : query.joins()) {
+      if (j.a == inst && j.b == inst &&
+          t.column(j.col_a).at(row) != t.column(j.col_b).at(row)) {
+        return false;
+      }
+    }
+    for (const auto& s : query.selections()) {
+      if (s.instance == inst && t.column(s.column).at(row) != s.value) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Materialize the intermediate relation in plan order; each intermediate
+  // row is one RowId per placed instance.
+  std::vector<std::vector<RowId>> rows;
+  {
+    const Table& t0 = db.table(query.instance_table(order[0]));
+    for (RowId r = 0; r < t0.num_rows(); ++r) {
+      if (passes_local(order[0], r)) rows.push_back({r});
+    }
+  }
+  for (size_t p = 1; p < n; ++p) {
+    InstanceId inst = order[p];
+    // Key columns of `inst` from joins whose other endpoint is placed.
+    std::vector<ColumnId> key_cols;
+    std::vector<std::pair<int, ColumnId>> key_sources;  // (plan pos, column)
+    for (const auto& j : query.joins()) {
+      if (j.a == j.b) continue;
+      InstanceId other;
+      ColumnId local_col, other_col;
+      if (j.a == inst && pos[j.b] >= 0 && pos[j.b] < static_cast<int>(p)) {
+        other = j.b;
+        local_col = j.col_a;
+        other_col = j.col_b;
+      } else if (j.b == inst && pos[j.a] >= 0 && pos[j.a] < static_cast<int>(p)) {
+        other = j.a;
+        local_col = j.col_b;
+        other_col = j.col_a;
+      } else {
+        continue;
+      }
+      key_cols.push_back(local_col);
+      key_sources.emplace_back(pos[other], other_col);
+    }
+    if (key_cols.empty()) return Status::Internal("frontier step without keys");
+
+    const HashIndex& index = db.GetOrBuildIndex(query.instance_table(inst),
+                                                key_cols);
+    std::vector<std::vector<RowId>> next;
+    std::vector<ValueId> key(key_cols.size());
+    for (const auto& binding : rows) {
+      for (size_t k = 0; k < key_sources.size(); ++k) {
+        const auto& [src_pos, src_col] = key_sources[k];
+        const Table& src_table =
+            db.table(query.instance_table(order[src_pos]));
+        key[k] = src_table.column(src_col).at(binding[src_pos]);
+      }
+      for (RowId match : index.Lookup(key)) {
+        if (interrupted()) {
+          return Status::ResourceExhausted("block evaluation interrupted");
+        }
+        if (!passes_local(inst, match)) continue;
+        if (next.size() >= kMaxIntermediateRows) {
+          return Status::ResourceExhausted(
+              "block evaluation exceeded the intermediate-size cap");
+        }
+        std::vector<RowId> extended = binding;
+        extended.push_back(match);
+        next.push_back(std::move(extended));
+      }
+    }
+    rows = std::move(next);
+  }
+
+  // Project and dedupe.
+  Table out(name, db.dictionary());
+  std::unordered_set<std::string> used_names;
+  for (const auto& proj : query.projections()) {
+    const Column& src =
+        db.table(query.instance_table(proj.instance)).column(proj.column);
+    std::string col_name = src.name();
+    while (used_names.count(col_name) > 0) col_name += "_";
+    used_names.insert(col_name);
+    FASTQRE_RETURN_NOT_OK(out.AddColumn(col_name, src.type()));
+  }
+  TupleSet seen;
+  seen.reserve(rows.size());
+  std::vector<ValueId> tuple(query.projections().size());
+  for (const auto& binding : rows) {
+    if (interrupted()) {
+      return Status::ResourceExhausted("block evaluation interrupted");
+    }
+    for (size_t i = 0; i < query.projections().size(); ++i) {
+      const auto& proj = query.projections()[i];
+      tuple[i] = db.table(query.instance_table(proj.instance))
+                     .column(proj.column)
+                     .at(binding[pos[proj.instance]]);
+    }
+    if (seen.insert(tuple).second) out.AppendRowIds(tuple);
+  }
+  return out;
+}
+
+}  // namespace fastqre

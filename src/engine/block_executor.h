@@ -1,0 +1,32 @@
+// Block (materializing) PJ-query evaluation.
+//
+// The counterpart of the pipelined QueryCursor: evaluates the query
+// bottom-up with hash joins, materializing each intermediate relation in
+// full — "running it as a single block operation" in the paper's words
+// (Section 4.1), i.e. the behaviour of a conventional DBMS executing a
+// candidate query without a get-next interface. The naive baseline's
+// non-progressive validation uses this path; it is also a differential
+// oracle for the pipelined executor in tests.
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Evaluates `query` with materializing hash joins and returns the
+/// full *distinct* projected result as a table named `name`.
+///
+/// Unlike QueryCursor there is no early exit of any kind: the cost of the
+/// whole join is always paid, which is exactly the behaviour the
+/// progressive-evaluation component is designed to avoid.
+/// `interrupt` (may be empty) is polled periodically; when it fires the
+/// evaluation stops with ResourceExhausted.
+Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
+                           const std::string& name,
+                           std::function<bool()> interrupt = {});
+
+}  // namespace fastqre

@@ -1,0 +1,52 @@
+#include "engine/builder.h"
+
+namespace fastqre {
+
+InstanceId QueryBuilder::Instance(const std::string& table_name) {
+  auto id = db_->FindTable(table_name);
+  if (!id.ok()) {
+    if (first_error_.ok()) first_error_ = id.status();
+    return query_.AddInstance(0);
+  }
+  return query_.AddInstance(*id);
+}
+
+ColumnId QueryBuilder::ResolveColumn(InstanceId instance,
+                                     const std::string& column) {
+  if (instance >= query_.num_instances()) {
+    if (first_error_.ok()) {
+      first_error_ = Status::InvalidArgument("instance id out of range");
+    }
+    return 0;
+  }
+  auto col = db_->table(query_.instance_table(instance)).FindColumn(column);
+  if (!col.ok()) {
+    if (first_error_.ok()) first_error_ = col.status();
+    return 0;
+  }
+  return *col;
+}
+
+void QueryBuilder::Join(InstanceId a, const std::string& col_a, InstanceId b,
+                        const std::string& col_b) {
+  ColumnId ca = ResolveColumn(a, col_a);
+  ColumnId cb = ResolveColumn(b, col_b);
+  query_.AddJoin(a, ca, b, cb);
+}
+
+void QueryBuilder::Project(InstanceId instance, const std::string& column) {
+  query_.AddProjection(instance, ResolveColumn(instance, column));
+}
+
+void QueryBuilder::Select(InstanceId instance, const std::string& column,
+                          const Value& value) {
+  query_.AddSelection(instance, ResolveColumn(instance, column),
+                      db_->dictionary()->Intern(value));
+}
+
+Result<PJQuery> QueryBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  return query_;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,52 @@
+// QueryBuilder: name-based convenience layer for constructing PJQuery
+// objects in examples, tests and workload definitions.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Builds PJQuery objects by table/column *name*, accumulating the
+/// first error (monadic style) so call sites stay linear:
+/// \code
+///   QueryBuilder b(&db);
+///   auto s  = b.Instance("supplier");
+///   auto ps = b.Instance("partsupp");
+///   b.Join(s, "s_suppkey", ps, "ps_suppkey");
+///   b.Project(s, "s_name");
+///   FASTQRE_ASSIGN_OR_RETURN(PJQuery q, b.Build());
+/// \endcode
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Database* db) : db_(db) {}
+
+  /// Adds an instance of the named table. On unknown name, records the error
+  /// and returns a dummy id (surfaced by Build()).
+  InstanceId Instance(const std::string& table_name);
+
+  /// Adds a join a.col_a = b.col_b.
+  void Join(InstanceId a, const std::string& col_a, InstanceId b,
+            const std::string& col_b);
+
+  /// Appends a projection column.
+  void Project(InstanceId instance, const std::string& column);
+
+  /// Adds an equality selection instance.column = value.
+  void Select(InstanceId instance, const std::string& column, const Value& value);
+
+  /// Returns the built query, or the first name-resolution error.
+  Result<PJQuery> Build();
+
+ private:
+  ColumnId ResolveColumn(InstanceId instance, const std::string& column);
+
+  const Database* db_;
+  PJQuery query_;
+  Status first_error_ = Status::OK();
+};
+
+}  // namespace fastqre

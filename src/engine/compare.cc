@@ -1,0 +1,44 @@
+#include "engine/compare.h"
+
+namespace fastqre {
+
+TupleSet ProjectToTupleSet(const Table& table, const std::vector<ColumnId>& cols) {
+  TupleSet out;
+  out.reserve(table.num_rows());
+  std::vector<ValueId> tuple(cols.size());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      tuple[i] = table.column(cols[i]).at(r);
+    }
+    out.insert(tuple);
+  }
+  return out;
+}
+
+TupleSet TableToTupleSet(const Table& table) {
+  std::vector<ColumnId> cols(table.num_columns());
+  for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<ColumnId>(i);
+  return ProjectToTupleSet(table, cols);
+}
+
+bool IsSubsetOf(const TupleSet& sub, const TupleSet& super) {
+  if (sub.size() > super.size()) return false;
+  for (const auto& t : sub) {
+    if (super.count(t) == 0) return false;
+  }
+  return true;
+}
+
+bool ProjectionSubsetOf(const Table& table, const std::vector<ColumnId>& cols,
+                        const TupleSet& super) {
+  std::vector<ValueId> tuple(cols.size());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      tuple[i] = table.column(cols[i]).at(r);
+    }
+    if (super.count(tuple) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,33 @@
+// Tuple-set utilities backing the paper's pi / set-containment machinery.
+//
+// With dictionary encoding, pi_C(R) is a set of ValueId tuples; direct
+// column coherence, indirect (walk) coherence, and final validation all
+// reduce to operations over these sets.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace fastqre {
+
+/// \brief A set of rows, each a tuple of ValueIds.
+using TupleSet = std::unordered_set<std::vector<ValueId>, IdTupleHash>;
+
+/// \brief Distinct tuples of `table` projected onto `cols` (pi_cols(table)).
+TupleSet ProjectToTupleSet(const Table& table, const std::vector<ColumnId>& cols);
+
+/// \brief Distinct full rows of `table`.
+TupleSet TableToTupleSet(const Table& table);
+
+/// \brief True if every tuple of `sub` is in `super`.
+bool IsSubsetOf(const TupleSet& sub, const TupleSet& super);
+
+/// \brief True if the projection of `table` onto `cols` is a subset of
+/// `super`, short-circuiting on the first missing tuple.
+bool ProjectionSubsetOf(const Table& table, const std::vector<ColumnId>& cols,
+                        const TupleSet& super);
+
+}  // namespace fastqre

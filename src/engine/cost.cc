@@ -1,0 +1,80 @@
+#include "engine/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fastqre {
+
+double CostEstimator::EstimateCost(const PJQuery& query) const {
+  const size_t n = query.num_instances();
+  if (n == 0) return 0.0;
+
+  // Reconstruct the executor's BFS order from instance 0 (cost estimation
+  // never sees selections, so the start preference does not apply).
+  std::vector<std::vector<size_t>> adj(n);
+  for (size_t ji = 0; ji < query.joins().size(); ++ji) {
+    const auto& j = query.joins()[ji];
+    if (j.a == j.b) continue;
+    adj[j.a].push_back(ji);
+    adj[j.b].push_back(ji);
+  }
+  std::vector<int> pos(n, -1);
+  std::vector<InstanceId> order{0};
+  pos[0] = 0;
+  for (size_t head = 0; head < order.size(); ++head) {
+    InstanceId u = order[head];
+    for (size_t ji : adj[u]) {
+      const auto& j = query.joins()[ji];
+      InstanceId v = (j.a == u) ? j.b : j.a;
+      if (pos[v] < 0) {
+        pos[v] = static_cast<int>(order.size());
+        order.push_back(v);
+      }
+    }
+  }
+  if (order.size() != n) {
+    // Disconnected: model the cross product, which is what execution would
+    // cost if it were allowed. This keeps the estimate finite and huge.
+    double cost = 1.0;
+    for (InstanceId i = 0; i < n; ++i) {
+      cost *= std::max<size_t>(1, db_->table(query.instance_table(i)).num_rows());
+    }
+    return cost;
+  }
+
+  // For each later plan position, estimate fanout = rows / distinct(keys).
+  std::vector<double> fanout(n, 1.0);
+  std::vector<bool> has_key(n, false);
+  std::vector<double> key_distinct(n, 1.0);
+  for (const auto& j : query.joins()) {
+    if (j.a == j.b) continue;
+    int pa = pos[j.a], pb = pos[j.b];
+    int later = std::max(pa, pb);
+    bool a_is_later = (pa == later);
+    TableId t = query.instance_table(a_is_later ? j.a : j.b);
+    ColumnId c = a_is_later ? j.col_a : j.col_b;
+    const Column& col = db_->table(t).column(c);
+    key_distinct[later] *= std::max<size_t>(1, col.NumDistinct());
+    has_key[later] = true;
+  }
+
+  double card = static_cast<double>(
+      std::max<size_t>(1, db_->table(query.instance_table(order[0])).num_rows()));
+  double cost = card;
+  for (size_t p = 1; p < n; ++p) {
+    double rows = static_cast<double>(
+        std::max<size_t>(1, db_->table(query.instance_table(order[p])).num_rows()));
+    double distinct = std::min(key_distinct[p], rows);
+    double f = has_key[p] ? rows / distinct : rows;
+    card *= f;
+    cost += card;
+  }
+  return cost;
+}
+
+double CostEstimator::NormalizedCost(const PJQuery& query) const {
+  return std::log10(1.0 + EstimateCost(query));
+}
+
+}  // namespace fastqre

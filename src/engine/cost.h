@@ -1,0 +1,37 @@
+// CostEstimator: the Q_ex cost function of Section 4.4.2.
+//
+// The paper obtains a predicted execution time from the DBMS query
+// optimizer. Here a textbook cardinality model plays that role: cardinality
+// is propagated along the same plan order the executor would use, with
+// fk-fanout estimated from table sizes and distinct counts. The model is
+// deliberately *imperfect* — the paper's point is that Q_ex alone mis-ranks
+// queries and must be blended with Q_dc into Q_alpha.
+#pragma once
+
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Cardinality-based execution-cost model for PJ queries.
+class CostEstimator {
+ public:
+  explicit CostEstimator(const Database* db) : db_(db) {}
+
+  /// Estimated number of rows touched by a pipelined evaluation of `query`
+  /// (sum of estimated intermediate cardinalities). Deterministic; does not
+  /// execute anything or build indexes.
+  double EstimateCost(const PJQuery& query) const;
+
+  /// log10(1 + EstimateCost), the scale-compressed form used when blending
+  /// with Q_dc into Q_alpha = alpha*Q_dc + (1-alpha)*NormalizedCost. (The
+  /// paper leaves the combining scale open; footnote 4 allows any blending
+  /// "as long as it balances" the two costs, and Q_dc and raw row counts
+  /// live on wildly different scales.)
+  double NormalizedCost(const PJQuery& query) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace fastqre

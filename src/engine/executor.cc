@@ -1,0 +1,273 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace fastqre {
+
+Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
+    const Database& db, const PJQuery& query, std::function<bool()> interrupt) {
+  if (query.num_instances() == 0) {
+    return Status::InvalidArgument("query has no instances");
+  }
+  if (!query.IsConnected()) {
+    return Status::InvalidArgument("query graph is disconnected (cross product)");
+  }
+
+  auto cursor = std::unique_ptr<QueryCursor>(new QueryCursor());
+  cursor->db_ = &db;
+  cursor->interrupt_ = std::move(interrupt);
+  const size_t n = query.num_instances();
+
+  // Pick the start instance: prefer one carrying selections so probing
+  // queries start from an index point-lookup instead of a scan.
+  InstanceId start = 0;
+  {
+    std::vector<int> sel_count(n, 0);
+    for (const auto& s : query.selections()) sel_count[s.instance]++;
+    int best = 0;
+    for (InstanceId i = 0; i < n; ++i) {
+      if (sel_count[i] > best) {
+        best = sel_count[i];
+        start = i;
+      }
+    }
+  }
+
+  // Greedy selective-first plan order: repeatedly place the frontier
+  // instance with (a) the most selections, (b) the most join edges into the
+  // already-placed set, (c) the smallest table. This keeps the partial-join
+  // frontier small — crucial for probing queries, where every projection
+  // instance carries selections but naive BFS would wander through
+  // high-fanout intermediates first.
+  std::vector<std::vector<size_t>> adj(n);  // instance -> join indexes
+  for (size_t ji = 0; ji < query.joins().size(); ++ji) {
+    const auto& j = query.joins()[ji];
+    if (j.a == j.b) continue;
+    adj[j.a].push_back(ji);
+    adj[j.b].push_back(ji);
+  }
+  std::vector<int> sel_count(n, 0);
+  for (const auto& s : query.selections()) sel_count[s.instance]++;
+  std::vector<int> pos(n, -1);
+  std::vector<InstanceId> order;
+  order.reserve(n);
+  order.push_back(start);
+  pos[start] = 0;
+  while (order.size() < n) {
+    InstanceId best = n;  // sentinel
+    int best_sel = -1, best_joins = -1;
+    size_t best_rows = 0;
+    for (InstanceId v = 0; v < n; ++v) {
+      if (pos[v] >= 0) continue;
+      int joins_in = 0;
+      for (size_t ji : adj[v]) {
+        const auto& j = query.joins()[ji];
+        InstanceId other = (j.a == v) ? j.b : j.a;
+        if (pos[other] >= 0) ++joins_in;
+      }
+      if (joins_in == 0) continue;  // not on the frontier yet
+      size_t rows = db.table(query.instance_table(v)).num_rows();
+      bool better = false;
+      if (sel_count[v] != best_sel) better = sel_count[v] > best_sel;
+      else if (joins_in != best_joins) better = joins_in > best_joins;
+      else better = rows < best_rows;
+      if (best == n || better) {
+        best = v;
+        best_sel = sel_count[v];
+        best_joins = joins_in;
+        best_rows = rows;
+      }
+    }
+    if (best == n) {
+      return Status::Internal(
+          "plan order did not reach all instances of a connected query");
+    }
+    pos[best] = static_cast<int>(order.size());
+    order.push_back(best);
+  }
+
+  cursor->steps_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    Step& step = cursor->steps_[p];
+    step.instance = order[p];
+    step.table = &db.table(query.instance_table(order[p]));
+  }
+
+  // Assign joins: same-instance joins become self filters; cross-instance
+  // joins key the hash index at the later endpoint's plan position.
+  std::vector<std::vector<ColumnId>> key_cols(n);
+  for (const auto& j : query.joins()) {
+    if (j.a == j.b) {
+      cursor->steps_[pos[j.a]].self_filters.emplace_back(j.col_a, j.col_b);
+      continue;
+    }
+    int pa = pos[j.a], pb = pos[j.b];
+    int later = std::max(pa, pb);
+    bool a_is_later = (pa == later);
+    ColumnId local_col = a_is_later ? j.col_a : j.col_b;
+    int from_pos = a_is_later ? pb : pa;
+    ColumnId from_col = a_is_later ? j.col_b : j.col_a;
+    key_cols[later].push_back(local_col);
+    cursor->steps_[later].key_sources.push_back(
+        KeySource{from_pos, from_col, kNullValueId});
+  }
+
+  // Selections become index-key components (constants), so lookups return
+  // only rows already satisfying them.
+  std::vector<ColumnId> start_sel_cols;
+  for (const auto& s : query.selections()) {
+    int p = pos[s.instance];
+    if (p == 0) {
+      start_sel_cols.push_back(s.column);
+      cursor->steps_[0].key_sources.push_back(KeySource{-1, 0, s.value});
+    } else {
+      key_cols[p].push_back(s.column);
+      cursor->steps_[p].key_sources.push_back(KeySource{-1, 0, s.value});
+    }
+  }
+
+  // Build/fetch indexes.
+  if (!start_sel_cols.empty()) {
+    cursor->steps_[0].index =
+        &db.GetOrBuildIndex(query.instance_table(order[0]), start_sel_cols);
+  }
+  for (size_t p = 1; p < n; ++p) {
+    if (key_cols[p].empty()) {
+      return Status::Internal(
+          "plan step without incoming join key in a connected query");
+    }
+    cursor->steps_[p].index =
+        &db.GetOrBuildIndex(query.instance_table(order[p]), key_cols[p]);
+  }
+
+  cursor->projections_ = query.projections();
+  for (const auto& proj : cursor->projections_) {
+    cursor->proj_slots_.emplace_back(static_cast<size_t>(pos[proj.instance]),
+                                     proj.column);
+  }
+
+  cursor->candidates_.resize(n, nullptr);
+  cursor->cursor_.resize(n, 0);
+  cursor->bound_.resize(n, 0);
+  cursor->key_buf_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    cursor->key_buf_[p].resize(cursor->steps_[p].key_sources.size());
+  }
+  return cursor;
+}
+
+bool QueryCursor::RowPasses(const Step& step, RowId row) const {
+  for (const auto& [ca, cb] : step.self_filters) {
+    if (step.table->column(ca).at(row) != step.table->column(cb).at(row)) {
+      return false;
+    }
+  }
+  for (const auto& [col, val] : step.const_filters) {
+    if (step.table->column(col).at(row) != val) return false;
+  }
+  return true;
+}
+
+void QueryCursor::InitCandidates(size_t pos) {
+  const Step& step = steps_[pos];
+  cursor_[pos] = 0;
+  if (step.index == nullptr) {
+    candidates_[pos] = nullptr;  // full scan
+    return;
+  }
+  auto& key = key_buf_[pos];
+  for (size_t i = 0; i < step.key_sources.size(); ++i) {
+    const KeySource& ks = step.key_sources[i];
+    key[i] = (ks.from_pos < 0)
+                 ? ks.constant
+                 : steps_[ks.from_pos].table->column(ks.column).at(
+                       bound_[ks.from_pos]);
+  }
+  candidates_[pos] = &step.index->Lookup(key);
+}
+
+bool QueryCursor::Next(std::vector<ValueId>* row) {
+  if (done_) return false;
+  if (!started_) {
+    started_ = true;
+    depth_ = 0;
+    InitCandidates(0);
+  }
+  const int last = static_cast<int>(steps_.size()) - 1;
+  while (depth_ >= 0) {
+    const Step& step = steps_[depth_];
+    const size_t limit = candidates_[depth_] != nullptr
+                             ? candidates_[depth_]->size()
+                             : step.table->num_rows();
+    bool advanced = false;
+    while (cursor_[depth_] < limit) {
+      RowId r = candidates_[depth_] != nullptr
+                    ? (*candidates_[depth_])[cursor_[depth_]]
+                    : static_cast<RowId>(cursor_[depth_]);
+      ++cursor_[depth_];
+      ++rows_examined_;
+      if ((rows_examined_ & 0xfff) == 0 && interrupt_ && interrupt_()) {
+        interrupted_ = true;
+        return false;
+      }
+      if (RowPasses(step, r)) {
+        bound_[depth_] = r;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      --depth_;
+      continue;
+    }
+    if (depth_ == last) {
+      row->resize(proj_slots_.size());
+      for (size_t i = 0; i < proj_slots_.size(); ++i) {
+        const auto& [p, col] = proj_slots_[i];
+        (*row)[i] = steps_[p].table->column(col).at(bound_[p]);
+      }
+      return true;
+    }
+    ++depth_;
+    InitCandidates(depth_);
+  }
+  done_ = true;
+  return false;
+}
+
+Result<Table> ExecuteToTable(const Database& db, const PJQuery& query,
+                             const std::string& name,
+                             const std::vector<std::string>& column_names) {
+  if (query.projections().empty()) {
+    return Status::InvalidArgument("query has no projection columns");
+  }
+  FASTQRE_ASSIGN_OR_RETURN(auto cursor, QueryCursor::Create(db, query));
+
+  Table out(name, db.dictionary());
+  std::unordered_set<std::string> used_names;
+  for (size_t i = 0; i < query.projections().size(); ++i) {
+    const auto& p = query.projections()[i];
+    const Column& src =
+        db.table(query.instance_table(p.instance)).column(p.column);
+    std::string col_name =
+        i < column_names.size() ? column_names[i] : src.name();
+    while (used_names.count(col_name) > 0) col_name += "_";
+    used_names.insert(col_name);
+    FASTQRE_RETURN_NOT_OK(out.AddColumn(col_name, src.type()));
+  }
+
+  std::unordered_set<std::vector<ValueId>, IdTupleHash> seen;
+  std::vector<ValueId> row;
+  while (cursor->Next(&row)) {
+    if (seen.insert(row).second) {
+      out.AppendRowIds(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,104 @@
+// Pipelined PJ-query execution with a get-next interface.
+//
+// This implements the "Progressive Query Evaluation" substrate of Section
+// 4.1/4.5: instead of materializing Q(D) as a block, QueryCursor::Next()
+// yields one projected result row at a time (backtracking index-nested-loop
+// over a connected traversal of the query graph), so the validator can stop
+// at the first tuple contradicting R_out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Streaming evaluator of a connected PJQuery.
+///
+/// The plan orders instances greedily, most-selective-first (instances with
+/// selections, then most incoming joins, then smallest table), probes a hash
+/// index on each subsequent instance's incoming join + selection columns,
+/// and applies same-instance joins as row filters.
+class QueryCursor {
+ public:
+  /// Builds the execution plan (constructing any missing indexes through the
+  /// database's index cache). Fails if the query graph is empty or
+  /// disconnected. `interrupt` (may be empty) is polled every few thousand
+  /// examined rows; when it returns true, Next() stops and interrupted()
+  /// becomes true — a single Next() call over a pathological join space can
+  /// otherwise run unboundedly.
+  static Result<std::unique_ptr<QueryCursor>> Create(
+      const Database& db, const PJQuery& query,
+      std::function<bool()> interrupt = {});
+
+  /// Produces the next *raw* result row (one ValueId per projection, in
+  /// projection order). Returns false at end-of-results. Rows are NOT
+  /// deduplicated; callers wanting set semantics dedupe as they stream.
+  bool Next(std::vector<ValueId>* row);
+
+  /// Number of candidate rows examined so far (work metric for stats).
+  uint64_t rows_examined() const { return rows_examined_; }
+
+  /// True if the last Next() returned false because the interrupt callback
+  /// fired (result stream is then *incomplete*, not exhausted).
+  bool interrupted() const { return interrupted_; }
+
+ private:
+  struct KeySource {
+    // Probe-key component: value of `column` in the row currently bound at
+    // plan position `from_pos`, or the constant `constant` if from_pos < 0.
+    int from_pos;
+    ColumnId column;
+    ValueId constant;
+  };
+  struct Step {
+    InstanceId instance;
+    const Table* table;
+    // Index access (null for the scan at position 0 without selections).
+    const HashIndex* index = nullptr;
+    std::vector<KeySource> key_sources;
+    // Same-instance equality filters col_a = col_b.
+    std::vector<std::pair<ColumnId, ColumnId>> self_filters;
+    // Leftover constant filters col = value.
+    std::vector<std::pair<ColumnId, ValueId>> const_filters;
+  };
+
+  QueryCursor() = default;
+
+  bool RowPasses(const Step& step, RowId row) const;
+  // Prepares the candidate row list for plan position `pos` given the rows
+  // bound at earlier positions. Returns false if the candidate list is empty.
+  void InitCandidates(size_t pos);
+
+  const Database* db_ = nullptr;
+  std::vector<Step> steps_;
+  std::vector<InstanceColumn> projections_;
+  // projection -> (plan position, column)
+  std::vector<std::pair<size_t, ColumnId>> proj_slots_;
+
+  // Iteration state.
+  std::vector<const std::vector<RowId>*> candidates_;  // null => full scan
+  std::vector<size_t> cursor_;   // next candidate index (or next RowId if scan)
+  std::vector<RowId> bound_;     // currently bound row per position
+  std::vector<std::vector<ValueId>> key_buf_;  // probe-key scratch per position
+  int depth_ = -1;               // deepest position currently bound
+  bool started_ = false;
+  bool done_ = false;
+  bool interrupted_ = false;
+  std::function<bool()> interrupt_;
+  uint64_t rows_examined_ = 0;
+};
+
+/// \brief Materializes the distinct projected rows of `query` into a new
+/// table named `name` (column names out0, out1, ... unless `column_names`
+/// given). Convenience for tests, examples and workload generation.
+Result<Table> ExecuteToTable(const Database& db, const PJQuery& query,
+                             const std::string& name,
+                             const std::vector<std::string>& column_names = {});
+
+}  // namespace fastqre

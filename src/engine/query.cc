@@ -1,0 +1,77 @@
+#include "engine/query.h"
+
+#include <functional>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+bool PJQuery::IsConnected() const {
+  if (instances_.empty()) return false;
+  std::vector<InstanceId> parent(instances_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<InstanceId(InstanceId)> find = [&](InstanceId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& j : joins_) {
+    parent[find(j.a)] = find(j.b);
+  }
+  InstanceId root = find(0);
+  for (InstanceId i = 1; i < instances_.size(); ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
+}
+
+std::string PJQuery::ToSql(const Database& db) const {
+  auto alias = [&](InstanceId i) {
+    // Count earlier instances of the same table to mimic the paper's S, S2
+    // style (first instance keeps the bare suffixless alias index 1).
+    int ordinal = 1;
+    for (InstanceId k = 0; k < i; ++k) {
+      if (instances_[k] == instances_[i]) ++ordinal;
+    }
+    std::string base = db.table(instances_[i]).name();
+    return ordinal == 1 ? base + "1" : base + std::to_string(ordinal);
+  };
+
+  std::string sql = "SELECT ";
+  if (projections_.empty()) {
+    sql += "*";
+  } else {
+    std::vector<std::string> cols;
+    for (const auto& p : projections_) {
+      cols.push_back(alias(p.instance) + "." +
+                     db.table(instances_[p.instance]).column(p.column).name());
+    }
+    sql += JoinStrings(cols, ", ");
+  }
+  sql += " FROM ";
+  std::vector<std::string> froms;
+  for (InstanceId i = 0; i < instances_.size(); ++i) {
+    froms.push_back(db.table(instances_[i]).name() + " " + alias(i));
+  }
+  sql += JoinStrings(froms, ", ");
+  std::vector<std::string> conds;
+  for (const auto& j : joins_) {
+    conds.push_back(alias(j.a) + "." + db.table(instances_[j.a]).column(j.col_a).name() +
+                    "=" + alias(j.b) + "." +
+                    db.table(instances_[j.b]).column(j.col_b).name());
+  }
+  for (const auto& s : selections_) {
+    conds.push_back(alias(s.instance) + "." +
+                    db.table(instances_[s.instance]).column(s.column).name() + "=" +
+                    db.dictionary()->Get(s.value).ToSqlLiteral());
+  }
+  if (!conds.empty()) {
+    sql += " WHERE " + JoinStrings(conds, " AND ");
+  }
+  return sql;
+}
+
+}  // namespace fastqre

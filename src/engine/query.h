@@ -1,0 +1,100 @@
+// PJQuery: a project-join SQL query represented by its query graph G_Q
+// (Section 3 of the paper): nodes are table *instances*, edges are equi-join
+// conditions over schema-graph edges, plus an ordered projection list.
+//
+// Optional equality selections support the probing-query mechanism of the
+// Query Validation module (they are not part of the PJ class itself; the PJ
+// WHERE clause holds only join conditions, per the paper's footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Index of a table-instance node within a PJQuery's query graph.
+using InstanceId = uint32_t;
+
+/// \brief One equi-join condition: instance a's col_a = instance b's col_b.
+struct QueryJoin {
+  InstanceId a;
+  ColumnId col_a;
+  InstanceId b;
+  ColumnId col_b;
+};
+
+/// \brief A reference to one column of one table instance.
+struct InstanceColumn {
+  InstanceId instance;
+  ColumnId column;
+
+  bool operator==(const InstanceColumn& o) const {
+    return instance == o.instance && column == o.column;
+  }
+};
+
+/// \brief Equality selection used by probing queries: instance.col = value.
+struct Selection {
+  InstanceId instance;
+  ColumnId column;
+  ValueId value;
+};
+
+/// \brief A project-join query over a Database.
+class PJQuery {
+ public:
+  /// Adds an instance node of table `t`; returns the new InstanceId.
+  InstanceId AddInstance(TableId t) {
+    instances_.push_back(t);
+    return static_cast<InstanceId>(instances_.size() - 1);
+  }
+
+  /// Adds a join edge between two instances (may be the same instance, in
+  /// which case it is a per-row filter col_a = col_b).
+  void AddJoin(InstanceId a, ColumnId col_a, InstanceId b, ColumnId col_b) {
+    joins_.push_back(QueryJoin{a, col_a, b, col_b});
+  }
+
+  /// Appends a projection column (SELECT-clause order is append order).
+  void AddProjection(InstanceId instance, ColumnId column) {
+    projections_.push_back(InstanceColumn{instance, column});
+  }
+
+  /// Adds an equality selection (probing only).
+  void AddSelection(InstanceId instance, ColumnId column, ValueId value) {
+    selections_.push_back(Selection{instance, column, value});
+  }
+  void ClearSelections() { selections_.clear(); }
+
+  size_t num_instances() const { return instances_.size(); }
+  TableId instance_table(InstanceId i) const { return instances_[i]; }
+  const std::vector<TableId>& instances() const { return instances_; }
+  const std::vector<QueryJoin>& joins() const { return joins_; }
+  const std::vector<InstanceColumn>& projections() const { return projections_; }
+  const std::vector<Selection>& selections() const { return selections_; }
+
+  /// True if the query graph is connected (a disconnected graph means a
+  /// cross product; such candidates are never validated).
+  bool IsConnected() const;
+
+  /// Query description complexity Q_dc = |V_Q| + |E_Q| (Section 3 lists this
+  /// among the standard choices).
+  double DescriptionComplexity() const {
+    return static_cast<double>(instances_.size() + joins_.size());
+  }
+
+  /// Renders the query as SQL text against `db` (aliases R1, R2, ...).
+  std::string ToSql(const Database& db) const;
+
+ private:
+  std::vector<TableId> instances_;
+  std::vector<QueryJoin> joins_;
+  std::vector<InstanceColumn> projections_;
+  std::vector<Selection> selections_;
+};
+
+}  // namespace fastqre

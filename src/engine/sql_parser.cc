@@ -1,0 +1,278 @@
+#include "engine/sql_parser.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  // table / column / alias names (also bare keywords)
+  kNumber,      // integer or decimal literal
+  kString,      // 'quoted literal'
+  kComma,
+  kDot,
+  kEquals,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier name / literal payload
+  size_t pos;        // byte offset for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = input_.size();
+    while (i < n) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == ',') {
+        out.push_back({TokenKind::kComma, ",", i++});
+      } else if (c == '.') {
+        out.push_back({TokenKind::kDot, ".", i++});
+      } else if (c == '=') {
+        out.push_back({TokenKind::kEquals, "=", i++});
+      } else if (c == '\'') {
+        size_t start = i++;
+        std::string payload;
+        bool closed = false;
+        while (i < n) {
+          if (input_[i] == '\'') {
+            if (i + 1 < n && input_[i + 1] == '\'') {  // '' escape
+              payload += '\'';
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            payload += input_[i++];
+          }
+        }
+        if (!closed) {
+          return Status::InvalidArgument(StringFormat(
+              "unterminated string literal at position %zu", start));
+        }
+        out.push_back({TokenKind::kString, std::move(payload), start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+') {
+        size_t start = i;
+        ++i;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(input_[i])) ||
+                         input_[i] == '.' || input_[i] == 'e' ||
+                         input_[i] == 'E' ||
+                         ((input_[i] == '-' || input_[i] == '+') &&
+                          (input_[i - 1] == 'e' || input_[i - 1] == 'E')))) {
+          ++i;
+        }
+        out.push_back({TokenKind::kNumber, input_.substr(start, i - start), start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(input_[i])) ||
+                         input_[i] == '_')) {
+          ++i;
+        }
+        out.push_back(
+            {TokenKind::kIdentifier, input_.substr(start, i - start), start});
+      } else {
+        return Status::InvalidArgument(
+            StringFormat("unexpected character '%c' at position %zu", c, i));
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", n});
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  Parser(const Database& db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  Result<PJQuery> Parse() {
+    FASTQRE_RETURN_NOT_OK(ExpectKeyword("select"));
+    // SELECT list is resolved after FROM (aliases are declared there), so
+    // buffer the (alias, column) pairs.
+    std::vector<std::pair<Token, Token>> select_list;
+    while (true) {
+      FASTQRE_ASSIGN_OR_RETURN(auto ref, ParseColumnRefTokens());
+      select_list.push_back(ref);
+      if (!Accept(TokenKind::kComma)) break;
+    }
+
+    FASTQRE_RETURN_NOT_OK(ExpectKeyword("from"));
+    while (true) {
+      FASTQRE_ASSIGN_OR_RETURN(Token table, Expect(TokenKind::kIdentifier));
+      auto table_id = db_.FindTable(table.text);
+      if (!table_id.ok()) {
+        return Status::NotFound(StringFormat("unknown table '%s' at position %zu",
+                                             table.text.c_str(), table.pos));
+      }
+      std::string alias = table.text;
+      if (Peek().kind == TokenKind::kIdentifier && !PeekIsKeyword("where") &&
+          !PeekIsKeyword("and")) {
+        alias = Next().text;
+      }
+      if (aliases_.count(alias) > 0) {
+        return Status::InvalidArgument(
+            StringFormat("duplicate alias '%s'", alias.c_str()));
+      }
+      aliases_[alias] = query_.AddInstance(*table_id);
+      if (!Accept(TokenKind::kComma)) break;
+    }
+
+    if (PeekIsKeyword("where")) {
+      Next();
+      while (true) {
+        FASTQRE_RETURN_NOT_OK(ParseCondition());
+        if (!PeekIsKeyword("and")) break;
+        Next();
+      }
+    }
+    FASTQRE_RETURN_NOT_OK(Expect(TokenKind::kEnd).status());
+
+    for (const auto& [alias_tok, col_tok] : select_list) {
+      FASTQRE_ASSIGN_OR_RETURN(auto rc, Resolve(alias_tok, col_tok));
+      query_.AddProjection(rc.first, rc.second);
+    }
+    return query_;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[cursor_]; }
+  Token Next() { return tokens_[cursor_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++cursor_;
+    return true;
+  }
+  bool PeekIsKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdentifier && ToLower(Peek().text) == kw;
+  }
+  Result<Token> Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument(StringFormat(
+          "unexpected token '%s' at position %zu", Peek().text.c_str(),
+          Peek().pos));
+    }
+    return Next();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekIsKeyword(kw)) {
+      return Status::InvalidArgument(
+          StringFormat("expected %s at position %zu (found '%s')", kw,
+                       Peek().pos, Peek().text.c_str()));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<std::pair<Token, Token>> ParseColumnRefTokens() {
+    FASTQRE_ASSIGN_OR_RETURN(Token alias, Expect(TokenKind::kIdentifier));
+    FASTQRE_RETURN_NOT_OK(Expect(TokenKind::kDot).status());
+    FASTQRE_ASSIGN_OR_RETURN(Token col, Expect(TokenKind::kIdentifier));
+    return std::make_pair(alias, col);
+  }
+
+  Result<std::pair<InstanceId, ColumnId>> Resolve(const Token& alias,
+                                                  const Token& col) {
+    auto it = aliases_.find(alias.text);
+    if (it == aliases_.end()) {
+      return Status::NotFound(StringFormat("unknown alias '%s' at position %zu",
+                                           alias.text.c_str(), alias.pos));
+    }
+    InstanceId inst = it->second;
+    auto column = db_.table(query_.instance_table(inst)).FindColumn(col.text);
+    if (!column.ok()) {
+      return Status::NotFound(StringFormat(
+          "table '%s' (alias '%s') has no column '%s'",
+          db_.table(query_.instance_table(inst)).name().c_str(),
+          alias.text.c_str(), col.text.c_str()));
+    }
+    return std::make_pair(inst, *column);
+  }
+
+  Status ParseCondition() {
+    FASTQRE_ASSIGN_OR_RETURN(auto left_tokens, ParseColumnRefTokens());
+    FASTQRE_ASSIGN_OR_RETURN(auto left, Resolve(left_tokens.first,
+                                                left_tokens.second));
+    FASTQRE_RETURN_NOT_OK(Expect(TokenKind::kEquals).status());
+
+    const Token& rhs = Peek();
+    if (rhs.kind == TokenKind::kIdentifier) {
+      FASTQRE_ASSIGN_OR_RETURN(auto right_tokens, ParseColumnRefTokens());
+      FASTQRE_ASSIGN_OR_RETURN(auto right, Resolve(right_tokens.first,
+                                                   right_tokens.second));
+      query_.AddJoin(left.first, left.second, right.first, right.second);
+      return Status::OK();
+    }
+    if (rhs.kind == TokenKind::kNumber) {
+      Token lit = Next();
+      int64_t i64;
+      double d;
+      Value v;
+      if (ParseInt64(lit.text, &i64)) {
+        v = Value(i64);
+      } else if (ParseDouble(lit.text, &d)) {
+        v = Value(d);
+      } else {
+        return Status::InvalidArgument(StringFormat(
+            "bad numeric literal '%s' at position %zu", lit.text.c_str(),
+            lit.pos));
+      }
+      // Match the column's declared type so the selection can ever hit
+      // (int64 5 and double 5.0 are distinct dictionary values).
+      ValueType col_type =
+          db_.table(query_.instance_table(left.first)).column(left.second).type();
+      if (col_type == ValueType::kDouble && v.type() == ValueType::kInt64) {
+        v = Value(static_cast<double>(v.AsInt64()));
+      }
+      query_.AddSelection(left.first, left.second,
+                          db_.dictionary()->Intern(v));
+      return Status::OK();
+    }
+    if (rhs.kind == TokenKind::kString) {
+      Token lit = Next();
+      query_.AddSelection(left.first, left.second,
+                          db_.dictionary()->Intern(Value(lit.text)));
+      return Status::OK();
+    }
+    return Status::InvalidArgument(StringFormat(
+        "expected column reference or literal at position %zu", rhs.pos));
+  }
+
+  const Database& db_;
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+  PJQuery query_;
+  std::map<std::string, InstanceId> aliases_;
+};
+
+}  // namespace
+
+Result<PJQuery> ParsePJQuery(const Database& db, const std::string& sql) {
+  Lexer lexer(sql);
+  FASTQRE_ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  Parser parser(db, std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace fastqre

@@ -1,0 +1,28 @@
+// SQL parser for the project-join fragment FastQRE emits and consumes:
+//
+//   SELECT <alias>.<column> [, ...]
+//   FROM <table> [<alias>] [, ...]
+//   [WHERE <alias>.<column> = <alias>.<column | literal> [AND ...]]
+//
+// Keywords are case-insensitive; identifiers are case-sensitive and resolved
+// against a Database. Equality with a literal becomes a PJQuery selection
+// (the probing mechanism's representation); equality between column
+// references becomes a join (or a same-instance filter). This is exactly the
+// inverse of PJQuery::ToSql, so recovered queries can be round-tripped,
+// edited as text, and re-executed.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Parses `sql` into a PJQuery against `db`. Returns InvalidArgument
+/// with a position-annotated message on syntax errors and NotFound for
+/// unknown tables/columns/aliases.
+Result<PJQuery> ParsePJQuery(const Database& db, const std::string& sql);
+
+}  // namespace fastqre

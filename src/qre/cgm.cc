@@ -1,0 +1,173 @@
+#include "qre/cgm.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "engine/compare.h"
+
+namespace fastqre {
+
+namespace {
+
+using Mapping = std::vector<std::pair<ColumnId, ColumnId>>;
+
+// Deterministic cap on per-level candidate growth; prevents pathological
+// blowup on databases where many columns accidentally cover many R_out
+// columns (the paper's intuition is that accidental coherence is rare, but
+// the code must stay bounded even when it is not).
+constexpr size_t kMaxGroupsPerLevel = 20000;
+
+// pi_outcols(rout) ⊆ pi_dbcols(table) via one index probe per distinct
+// R_out tuple.
+bool GroupCoherent(const Database& db, const Table& rout, TableId t,
+                   const Mapping& mapping) {
+  std::vector<ColumnId> out_cols, db_cols;
+  out_cols.reserve(mapping.size());
+  db_cols.reserve(mapping.size());
+  for (const auto& [oc, dc] : mapping) {
+    out_cols.push_back(oc);
+    db_cols.push_back(dc);
+  }
+  const HashIndex& index = db.GetOrBuildIndex(t, db_cols);
+  TupleSet out_tuples = ProjectToTupleSet(rout, out_cols);
+  for (const auto& tuple : out_tuples) {
+    if (index.Lookup(tuple).empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Cgm::ToString(const Database& db, const Table& rout) const {
+  std::vector<std::string> pairs;
+  for (const auto& [oc, dc] : mapping) {
+    pairs.push_back(db.table(table).column(dc).name() + "->" +
+                    rout.column(oc).name());
+  }
+  return db.table(table).name() + "{" + JoinStrings(pairs, ", ") + "}" +
+         (certain ? " [certain]" : "");
+}
+
+CgmSet DiscoverCgms(const Database& db, const Table& rout,
+                    const ColumnCover& cover, const QreOptions& options,
+                    QreStats* stats) {
+  Timer timer;
+  CgmSet result;
+  result.of_out_column.resize(rout.num_columns());
+
+  for (TableId t = 0; t < db.num_tables(); ++t) {
+    // Level 1: singleton groups straight from the column cover (already
+    // coherent by definition of the cover).
+    std::vector<Mapping> level;
+    for (ColumnId c = 0; c < rout.num_columns(); ++c) {
+      for (const CoverEntry& e : cover.covers[c]) {
+        if (e.table == t) level.push_back(Mapping{{c, e.column}});
+      }
+    }
+    if (level.empty()) continue;
+
+    // `maximal[m]` = true until some coherent supergroup subsumes m.
+    std::map<Mapping, bool> maximal;
+    for (const auto& m : level) maximal[m] = true;
+
+    int level_size = 1;
+    while (!level.empty() && level_size < options.max_cgm_columns) {
+      // Apriori join: two sorted groups sharing all but the last pair
+      // combine into a (k+1)-group; the combination must stay 1-to-1.
+      std::sort(level.begin(), level.end());
+      std::set<Mapping> level_set(level.begin(), level.end());
+      std::vector<Mapping> next;
+      for (size_t i = 0; i < level.size(); ++i) {
+        for (size_t j = i + 1; j < level.size(); ++j) {
+          const Mapping& a = level[i];
+          const Mapping& b = level[j];
+          if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+          const auto& [a_oc, a_dc] = a.back();
+          const auto& [b_oc, b_dc] = b.back();
+          if (a_oc == b_oc || a_dc == b_dc) continue;  // violates 1-to-1
+          Mapping cand = a;
+          cand.push_back(b.back());
+          std::sort(cand.begin(), cand.end());
+          // Apriori prune: every k-subset must itself be coherent.
+          bool all_subsets_coherent = true;
+          for (size_t drop = 0; drop + 2 < cand.size() && all_subsets_coherent;
+               ++drop) {
+            Mapping sub = cand;
+            sub.erase(sub.begin() + drop);
+            if (level_set.count(sub) == 0) all_subsets_coherent = false;
+          }
+          if (!all_subsets_coherent) continue;
+
+          ++stats->cgm_candidates_checked;
+          if (!GroupCoherent(db, rout, t, cand)) continue;
+
+          // cand is coherent: all its k-subsets are non-maximal.
+          for (size_t drop = 0; drop < cand.size(); ++drop) {
+            Mapping sub = cand;
+            sub.erase(sub.begin() + drop);
+            auto it = maximal.find(sub);
+            if (it != maximal.end()) it->second = false;
+          }
+          maximal[cand] = true;
+          next.push_back(std::move(cand));
+          if (next.size() >= kMaxGroupsPerLevel) break;
+        }
+        if (next.size() >= kMaxGroupsPerLevel) break;
+      }
+      // Dedup (the join can produce the same (k+1)-group from multiple
+      // parent pairs).
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      level = std::move(next);
+      ++level_size;
+    }
+
+    for (const auto& [mapping, is_maximal] : maximal) {
+      if (!is_maximal) continue;
+      Cgm cgm;
+      cgm.table = t;
+      cgm.mapping = mapping;
+      int idx = static_cast<int>(result.cgms.size());
+      result.cgms.push_back(std::move(cgm));
+      for (const auto& [oc, dc] : mapping) {
+        result.of_out_column[oc].push_back(idx);
+      }
+    }
+  }
+
+  // Certainty (Section 4.3.1): a 1-match column c (|S_c| = 1, |Λ_c| = 1)
+  // whose database column is a key within pi_C(R) pins its CGM into any
+  // generating query.
+  for (ColumnId c = 0; c < rout.num_columns(); ++c) {
+    if (cover.covers[c].size() != 1 || result.of_out_column[c].size() != 1) {
+      continue;
+    }
+    Cgm& cgm = result.cgms[result.of_out_column[c][0]];
+    if (cgm.certain) continue;
+    int db_col = cgm.DbColumnFor(c);
+    // Key test: within the distinct tuples of pi_C(R), no two tuples share
+    // the c' value.
+    TupleSet group_tuples = ProjectToTupleSet(db.table(cgm.table), cgm.DbColumns());
+    std::unordered_set<ValueId> key_values;
+    size_t key_pos = 0;
+    {
+      auto db_cols = cgm.DbColumns();
+      for (size_t i = 0; i < db_cols.size(); ++i) {
+        if (static_cast<int>(db_cols[i]) == db_col) key_pos = i;
+      }
+    }
+    for (const auto& tuple : group_tuples) key_values.insert(tuple[key_pos]);
+    if (key_values.size() == group_tuples.size()) cgm.certain = true;
+  }
+
+  stats->num_cgms += result.cgms.size();
+  stats->cgm_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace fastqre

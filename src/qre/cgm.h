@@ -1,0 +1,76 @@
+// Direct column coherence and CGM discovery (Section 4.2).
+//
+// A column group C of table R is *coherent* w.r.t. columns C_out of R_out if
+// there is a 1-to-1 mapping M with pi_Cout(R_out) ⊆ pi_C(R) under M
+// (Definition 4.1). The tuple λ = (R, C, M, C_out) is a CGM (Definition
+// 4.2); DiscoverCgms computes, per table, all *maximal* CGMs (Definition
+// 4.3) — groups not extensible by any further column.
+//
+// Discovery is apriori-style (the paper notes it is "similar to finding
+// association rules and functional dependencies"): coherence is
+// anti-monotone, so level k+1 candidates are joined from coherent level-k
+// groups and checked with one multi-column index probe per distinct R_out
+// tuple.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qre/column_cover.h"
+#include "qre/options.h"
+#include "qre/stats.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief A maximal CGM λ = (R, C, M, C_out). The mapping M is stored as
+/// (out column, db column) pairs sorted by out column; C and C_out are the
+/// pair projections.
+struct Cgm {
+  TableId table;
+  std::vector<std::pair<ColumnId, ColumnId>> mapping;
+
+  /// True if this CGM is *guaranteed* to be part of any generating query:
+  /// it contains a 1-match column (|S_c| = 1, |Λ_c| = 1) whose database
+  /// column is a key within pi_C(R) (Section 4.3.1).
+  bool certain = false;
+
+  /// The database column mapped to out column `c`, or -1 if c ∉ C_out.
+  int DbColumnFor(ColumnId out_col) const {
+    for (const auto& [oc, dc] : mapping) {
+      if (oc == out_col) return static_cast<int>(dc);
+    }
+    return -1;
+  }
+
+  std::vector<ColumnId> OutColumns() const {
+    std::vector<ColumnId> out;
+    out.reserve(mapping.size());
+    for (const auto& [oc, dc] : mapping) out.push_back(oc);
+    return out;
+  }
+  std::vector<ColumnId> DbColumns() const {
+    std::vector<ColumnId> out;
+    out.reserve(mapping.size());
+    for (const auto& [oc, dc] : mapping) out.push_back(dc);
+    return out;
+  }
+
+  std::string ToString(const Database& db, const Table& rout) const;
+};
+
+/// \brief All maximal CGMs plus the per-out-column index Λ_c.
+struct CgmSet {
+  std::vector<Cgm> cgms;
+  /// Λ_c: indexes into `cgms` of the CGMs containing out column c
+  /// (index-parallel to R_out's columns).
+  std::vector<std::vector<int>> of_out_column;
+};
+
+/// \brief Discovers all maximal CGMs of `rout` against `db`, marking certain
+/// ones. Updates the cgm_* fields of `stats`.
+CgmSet DiscoverCgms(const Database& db, const Table& rout,
+                    const ColumnCover& cover, const QreOptions& options,
+                    QreStats* stats);
+
+}  // namespace fastqre

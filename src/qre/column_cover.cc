@@ -1,0 +1,61 @@
+#include "qre/column_cover.h"
+
+#include "common/timer.h"
+#include "storage/pattern.h"
+
+namespace fastqre {
+
+namespace {
+
+// pi_c(rout) ⊆ pi_a(R), on distinct ValueId sets.
+bool ColumnContained(const Column& sub, const Column& super) {
+  const auto& sub_set = sub.DistinctSet();
+  const auto& super_set = super.DistinctSet();
+  if (sub_set.size() > super_set.size()) return false;
+  for (ValueId id : sub_set) {
+    if (super_set.count(id) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ColumnCover ComputeColumnCover(const Database& db, const Table& rout,
+                               const QreOptions& options, QreStats* stats) {
+  Timer timer;
+  const Dictionary& dict = *db.dictionary();
+
+  ColumnCover cover;
+  cover.covers.resize(rout.num_columns());
+  for (ColumnId c = 0; c < rout.num_columns(); ++c) {
+    const Column& out_col = rout.column(c);
+    ColumnPattern out_pattern;
+    if (options.use_pattern_pruning) {
+      out_pattern = ComputeColumnPattern(out_col, dict);
+    }
+    for (TableId t = 0; t < db.num_tables(); ++t) {
+      const Table& table = db.table(t);
+      for (ColumnId a = 0; a < table.num_columns(); ++a) {
+        ++stats->cover_pairs_total;
+        if (options.use_pattern_pruning &&
+            !PatternCompatible(out_pattern, db.GetColumnPattern(t, a))) {
+          ++stats->cover_pairs_pruned;
+          continue;
+        }
+        ++stats->cover_pairs_checked;
+        const Column& db_col = table.column(a);
+        if (ColumnContained(out_col, db_col)) {
+          double jaccard = db_col.NumDistinct() == 0
+                               ? 0.0
+                               : static_cast<double>(out_col.NumDistinct()) /
+                                     static_cast<double>(db_col.NumDistinct());
+          cover.covers[c].push_back(CoverEntry{t, a, jaccard});
+        }
+      }
+    }
+  }
+  stats->cover_seconds += timer.ElapsedSeconds();
+  return cover;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,47 @@
+// Column cover S_c (Example 2.2): for each R_out column c, the set of
+// database columns R.a whose value sets contain c's values —
+// S_c = {R.a : pi_c(R_out) ⊆ pi_a(R)}.
+//
+// Containment is computed on dictionary-encoded distinct sets; pattern
+// pruning (patterns.h) skips pairs proven incompatible in O(1).
+#pragma once
+
+#include <vector>
+
+#include "qre/options.h"
+#include "qre/stats.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief One cover member for an R_out column: database column + the
+/// Jaccard similarity of the two value sets (the ranking signal of §4.3.2).
+struct CoverEntry {
+  TableId table;
+  ColumnId column;
+  /// |values(c) ∩ values(R.a)| / |values(c) ∪ values(R.a)|. Because
+  /// containment holds, this is |values(c)| / |values(R.a)|; 1.0 means the
+  /// column was used exhaustively.
+  double jaccard;
+};
+
+/// \brief Covers of all R_out columns, index-parallel to R_out's columns.
+struct ColumnCover {
+  std::vector<std::vector<CoverEntry>> covers;
+
+  /// True if some R_out column has an empty cover (then no PJ query over
+  /// this database can generate R_out and the whole search is futile).
+  bool HasEmptyCover() const {
+    for (const auto& c : covers) {
+      if (c.empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief Computes the column cover of `rout` against `db`. `rout` must be
+/// encoded against db's dictionary. Updates the cover_* fields of `stats`.
+ColumnCover ComputeColumnCover(const Database& db, const Table& rout,
+                               const QreOptions& options, QreStats* stats);
+
+}  // namespace fastqre

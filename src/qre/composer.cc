@@ -1,0 +1,211 @@
+#include "qre/composer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fastqre {
+
+RankedComposer::RankedComposer(const Database* db, const ColumnMapping* mapping,
+                               const std::vector<Walk>* walks,
+                               const QreOptions* options, Feedback* feedback,
+                               std::function<bool()> budget_exceeded)
+    : db_(db),
+      mapping_(mapping),
+      walks_(walks),
+      options_(options),
+      feedback_(feedback),
+      budget_exceeded_(std::move(budget_exceeded)),
+      estimator_(db) {
+  // Initialize PQ1 with all singleton walk sets (Algorithm 1 lines 1-2).
+  for (int i = 0; i < static_cast<int>(walks_->size()); ++i) {
+    pq1_.push(SetEntry{{i}, static_cast<double>((*walks_)[i].length())});
+  }
+  if (options_->use_two_queue_composer && mapping_->instances.size() > 1) {
+    SeedSpanningGroup();
+  }
+}
+
+void RankedComposer::SeedSpanningGroup() {
+  // Kruskal over walks as instance-graph edges, weighted by walk length
+  // (ties broken by discovery order, i.e. shorter-first within pairs).
+  std::vector<int> order(walks_->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return (*walks_)[a].length() < (*walks_)[b].length();
+  });
+  const size_t n = mapping_->instances.size();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<int> seed;
+  double dc = 0.0;
+  size_t components = n;
+  for (int id : order) {
+    int a = find((*walks_)[id].from_instance);
+    int b = find((*walks_)[id].to_instance);
+    if (a == b) continue;
+    parent[a] = b;
+    seed.push_back(id);
+    dc += (*walks_)[id].length();
+    if (--components == 1) break;
+  }
+  if (components != 1) return;  // instances cannot all be connected
+  std::sort(seed.begin(), seed.end());
+  pq2_.push(PoolEntry{BuildCandidate(std::move(seed), dc)});
+}
+
+bool RankedComposer::IsConnectedGroup(const std::vector<int>& walk_ids) const {
+  const size_t n = mapping_->instances.size();
+  if (n == 1) return false;  // handled by the single-instance special case
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  size_t components = n;
+  for (int id : walk_ids) {
+    int a = find((*walks_)[id].from_instance);
+    int b = find((*walks_)[id].to_instance);
+    if (a != b) {
+      parent[a] = b;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+CandidateQuery RankedComposer::BuildCandidate(std::vector<int> walk_ids,
+                                              double dc) const {
+  CandidateQuery cand;
+  std::vector<const Walk*> group;
+  group.reserve(walk_ids.size());
+  for (int id : walk_ids) group.push_back(&(*walks_)[id]);
+  cand.query = ComposeQueryFromWalks(*db_, *mapping_, group);
+  cand.walk_ids = std::move(walk_ids);
+  cand.dc = dc;
+  cand.alpha_cost = options_->alpha * dc +
+                    (1.0 - options_->alpha) * estimator_.NormalizedCost(cand.query);
+  return cand;
+}
+
+bool RankedComposer::DrainOne() {
+  while (!pq1_.empty()) {
+    if (sets_expanded_ >= kMaxSetsExpanded) return false;
+    if ((sets_expanded_ & 0xfff) == 0 && budget_exceeded_ &&
+        budget_exceeded_()) {
+      return false;
+    }
+    SetEntry entry = pq1_.top();
+    pq1_.pop();
+    ++sets_expanded_;
+
+    if (options_->use_feedback_pruning && feedback_->IsDead(entry.walk_ids)) {
+      ++sets_pruned_dead_;
+      // Dead sets still spawn their children: a child adds a walk with a
+      // *smaller* index, and the child set is a superset of the dead parent,
+      // hence also dead — so skip the whole subtree instead.
+      continue;
+    }
+
+    // Children: extend by every walk index below the set's minimum
+    // (generates every subset of W exactly once).
+    int k = entry.walk_ids.front();
+    for (int i = 0; i < k; ++i) {
+      SetEntry child;
+      child.walk_ids.reserve(entry.walk_ids.size() + 1);
+      child.walk_ids.push_back(i);
+      child.walk_ids.insert(child.walk_ids.end(), entry.walk_ids.begin(),
+                            entry.walk_ids.end());
+      child.dc = entry.dc + (*walks_)[i].length();
+      if (options_->use_feedback_pruning && feedback_->IsDead(child.walk_ids)) {
+        ++sets_pruned_dead_;
+        continue;
+      }
+      pq1_.push(std::move(child));
+    }
+
+    if (!IsConnectedGroup(entry.walk_ids)) continue;
+    if (options_->variant == QreVariant::kSuperset &&
+        entry.walk_ids.size() != mapping_->instances.size() - 1) {
+      // Superset QRE: tree-shaped query graphs suffice (Section 1); a
+      // connected group over n instances is a tree iff it has n-1 walks.
+      continue;
+    }
+    pq2_.push(PoolEntry{BuildCandidate(entry.walk_ids, entry.dc)});
+    return true;
+  }
+  return false;
+}
+
+bool RankedComposer::Next(CandidateQuery* out) {
+  // Single-instance mappings have exactly one candidate: the bare instance.
+  if (mapping_->instances.size() == 1) {
+    if (emitted_single_) return false;
+    emitted_single_ = true;
+    CandidateQuery cand;
+    cand.query.AddInstance(mapping_->instances[0].table);
+    for (const auto& [inst, db_col] : mapping_->slots) {
+      cand.query.AddProjection(0, db_col);
+    }
+    cand.dc = 1.0;
+    cand.alpha_cost = options_->alpha * cand.dc +
+                      (1.0 - options_->alpha) * estimator_.NormalizedCost(cand.query);
+    *out = std::move(cand);
+    return true;
+  }
+
+  if (!options_->use_two_queue_composer) {
+    // Basic approach: single queue by Q_dc; validate in generation order.
+    while (true) {
+      if (!pq2_.empty()) {
+        *out = pq2_.top().candidate;  // at most one element in basic mode
+        pq2_.pop();
+        return true;
+      }
+      if (!DrainOne()) return false;
+    }
+  }
+
+  while (true) {
+    // Pool policy (Algorithm 1 line 13): keep draining PQ1 while its best
+    // Q_dc stays within C1 of PQ2's best and the pool is below C2.
+    while (!pq1_.empty() &&
+           (pq2_.empty() ||
+            (pq1_.top().dc <=
+                 pq2_.top().candidate.dc + options_->pool_dc_slack &&
+             pq2_.size() < static_cast<size_t>(options_->pool_min_size)))) {
+      if (!DrainOne()) break;
+    }
+    if (pq2_.empty()) {
+      if (pq1_.empty() || sets_expanded_ >= kMaxSetsExpanded ||
+          (budget_exceeded_ && budget_exceeded_())) {
+        return false;
+      }
+      continue;
+    }
+    CandidateQuery cand = pq2_.top().candidate;
+    pq2_.pop();
+    // Feedback may have killed this set after it entered the pool.
+    if (options_->use_feedback_pruning && feedback_->IsDead(cand.walk_ids)) {
+      ++sets_pruned_dead_;
+      continue;
+    }
+    // The lattice eventually regenerates the spanning-tree seed; emit each
+    // walk set at most once.
+    if (!emitted_.insert(cand.walk_ids).second) continue;
+    *out = std::move(cand);
+    return true;
+  }
+}
+
+}  // namespace fastqre

@@ -1,0 +1,117 @@
+// Ranked walk composition — Algorithm 1 (Section 4.4).
+//
+// Candidate queries are subsets of the discovered walk set W that connect
+// all mapping instances. Subsets are enumerated bottom-up without
+// repetition: PQ1 holds walk sets ordered by Q_dc (sum of walk lengths);
+// the children of a set whose minimum walk index is k are its extensions by
+// w_i for i < k, so every subset of W is generated exactly once in
+// non-decreasing Q_dc. Connected sets enter PQ2, a candidate pool ordered
+// by Q_alpha = alpha*Q_dc + (1-alpha)*Q_ex; the pool policy (line 13:
+// constants C1/C2) balances draining PQ1 against validating from PQ2,
+// fixing the two drawbacks of Figure 9 (convoy effect; oracle-blind
+// parent-first testing).
+//
+// The Minimum Spanning Tree component of Figure 6 seeds PQ2 with the
+// cheapest walk group that spans all mapping instances (Kruskal over walks
+// weighted by length), so a plausible connected candidate is available for
+// validation before the subset lattice has been drained to its depth.
+// Emission is deduplicated, so the seed does not reappear when the lattice
+// reaches it.
+//
+// With options.use_two_queue_composer = false this degrades to the paper's
+// "basic approach": a single queue ordered by Q_dc only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "engine/cost.h"
+#include "qre/feedback.h"
+#include "qre/mapping.h"
+#include "qre/options.h"
+#include "qre/walks.h"
+
+namespace fastqre {
+
+/// \brief A composed candidate query ready for validation.
+struct CandidateQuery {
+  /// Sorted indexes into the walk set W. Empty for the single-instance
+  /// candidate.
+  std::vector<int> walk_ids;
+  PJQuery query;
+  double dc = 0.0;
+  double alpha_cost = 0.0;
+};
+
+/// \brief Generator form of Algorithm 1: Next() yields candidate queries in
+/// ranked order, consulting Feedback to skip dead subtrees.
+class RankedComposer {
+ public:
+  /// `walks`, `mapping`, `feedback` must outlive the composer.
+  /// `budget_exceeded` (may be empty) is polled during long lattice drains
+  /// so a time-budgeted search cannot stall inside subset enumeration.
+  RankedComposer(const Database* db, const ColumnMapping* mapping,
+                 const std::vector<Walk>* walks, const QreOptions* options,
+                 Feedback* feedback,
+                 std::function<bool()> budget_exceeded = {});
+
+  /// Produces the next candidate; false when the subset space is exhausted
+  /// (or the expansion safety cap was hit).
+  bool Next(CandidateQuery* out);
+
+  uint64_t sets_expanded() const { return sets_expanded_; }
+  uint64_t sets_pruned_dead() const { return sets_pruned_dead_; }
+
+ private:
+  struct SetEntry {
+    std::vector<int> walk_ids;  // sorted
+    double dc;
+    bool operator>(const SetEntry& o) const {
+      if (dc != o.dc) return dc > o.dc;
+      return walk_ids > o.walk_ids;  // deterministic tie-break
+    }
+  };
+  struct PoolEntry {
+    CandidateQuery candidate;
+    bool operator>(const PoolEntry& o) const {
+      if (candidate.alpha_cost != o.candidate.alpha_cost) {
+        return candidate.alpha_cost > o.candidate.alpha_cost;
+      }
+      return candidate.walk_ids > o.candidate.walk_ids;
+    }
+  };
+
+  // Pops from PQ1, pushes children, and moves connected sets into PQ2.
+  // Returns false when PQ1 is exhausted.
+  bool DrainOne();
+  // Kruskal seed: pushes the minimum spanning walk group into PQ2.
+  void SeedSpanningGroup();
+  bool IsConnectedGroup(const std::vector<int>& walk_ids) const;
+  CandidateQuery BuildCandidate(std::vector<int> walk_ids, double dc) const;
+
+  const Database* db_;
+  const ColumnMapping* mapping_;
+  const std::vector<Walk>* walks_;
+  const QreOptions* options_;
+  Feedback* feedback_;
+  std::function<bool()> budget_exceeded_;
+  CostEstimator estimator_;
+
+  std::priority_queue<SetEntry, std::vector<SetEntry>, std::greater<SetEntry>> pq1_;
+  std::priority_queue<PoolEntry, std::vector<PoolEntry>, std::greater<PoolEntry>> pq2_;
+
+  bool emitted_single_ = false;  // single-instance mapping case
+  std::set<std::vector<int>> emitted_;  // dedup (lattice can re-reach the seed)
+  uint64_t sets_expanded_ = 0;
+  uint64_t sets_pruned_dead_ = 0;
+
+  // Safety cap: subset lattices are exponential; a run that expands this
+  // many sets without finding the generating query is hopeless for this
+  // mapping and should move on.
+  static constexpr uint64_t kMaxSetsExpanded = 2'000'000;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,201 @@
+#include "qre/fastqre.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "engine/compare.h"
+#include "qre/cgm.h"
+#include "qre/column_cover.h"
+#include "qre/composer.h"
+#include "qre/feedback.h"
+#include "qre/mapping.h"
+#include "qre/validator.h"
+#include "qre/walks.h"
+
+namespace fastqre {
+
+namespace {
+
+// Re-encodes `rout` against the database dictionary (if needed) and
+// collapses duplicate rows: the paper's pi/⊆ machinery is set-semantics.
+Result<Table> NormalizeRout(const Database& db, const Table& rout) {
+  Table out(rout.name(), db.dictionary());
+  for (size_t c = 0; c < rout.num_columns(); ++c) {
+    FASTQRE_RETURN_NOT_OK(
+        out.AddColumn(rout.column(c).name(), rout.column(c).type()));
+  }
+  const bool same_dict = rout.dictionary() == db.dictionary();
+  TupleSet seen;
+  seen.reserve(rout.num_rows());
+  for (RowId r = 0; r < rout.num_rows(); ++r) {
+    std::vector<ValueId> ids(rout.num_columns());
+    if (same_dict) {
+      ids = rout.RowIds(r);
+    } else {
+      for (size_t c = 0; c < rout.num_columns(); ++c) {
+        ids[c] = db.dictionary()->Intern(
+            rout.dictionary()->Get(rout.column(c).at(r)));
+      }
+    }
+    if (seen.insert(ids).second) out.AppendRowIds(ids);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QreTrace::ToString() const {
+  std::string out;
+  for (size_t m = 0; m < mappings.size(); ++m) {
+    out += StringFormat("mapping #%zu: %s\n", m, mappings[m].c_str());
+  }
+  for (const auto& c : candidates) {
+    out += StringFormat("  [m%d dc=%.0f a=%.2f] %-16s %s\n", c.mapping_index,
+                        c.dc, c.alpha_cost, c.outcome.c_str(), c.sql.c_str());
+  }
+  return out;
+}
+
+FastQre::FastQre(const Database* db, QreOptions options)
+    : db_(db), options_(options) {}
+
+Result<QreAnswer> FastQre::Reverse(const Table& rout) const {
+  FASTQRE_ASSIGN_OR_RETURN(auto answers, ReverseAll(rout, 1));
+  return std::move(answers[0]);
+}
+
+Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
+                                                   int limit) const {
+  if (rout.num_columns() == 0) {
+    return Status::InvalidArgument("R_out has no columns");
+  }
+  if (rout.num_rows() == 0) {
+    return Status::InvalidArgument(
+        "R_out has no rows; any query with an empty result would generate it");
+  }
+  if (limit < 1) return Status::InvalidArgument("limit must be >= 1");
+
+  Timer total_timer;
+  QreStats stats;
+  auto budget_exceeded = [this, &total_timer]() {
+    return options_.time_budget_seconds > 0 &&
+           total_timer.ElapsedSeconds() > options_.time_budget_seconds;
+  };
+  auto finish = [&](QreAnswer* a) {
+    a->stats = stats;
+    a->stats.total_seconds = total_timer.ElapsedSeconds();
+  };
+  QreTrace* trace_ptr = nullptr;  // set below once the trace exists
+  auto not_found = [&](const std::string& reason) {
+    QreAnswer a;
+    a.found = false;
+    a.failure_reason = reason;
+    if (trace_ptr != nullptr) a.trace = *trace_ptr;
+    finish(&a);
+    return std::vector<QreAnswer>{std::move(a)};
+  };
+
+  // ---- Preprocessing -------------------------------------------------------
+  FASTQRE_ASSIGN_OR_RETURN(Table norm_rout, NormalizeRout(*db_, rout));
+  const TupleSet rout_set = TableToTupleSet(norm_rout);
+
+  ColumnCover cover = ComputeColumnCover(*db_, norm_rout, options_, &stats);
+  if (cover.HasEmptyCover()) {
+    return not_found(
+        "some R_out column is contained in no database column; no PJ query "
+        "can generate R_out");
+  }
+
+  CgmSet cgms;
+  if (options_.use_cgm_ranking) {
+    cgms = DiscoverCgms(*db_, norm_rout, cover, options_, &stats);
+  }
+
+  // ---- Candidate generation + validation -----------------------------------
+  QreTrace trace;
+  trace_ptr = &trace;
+  std::vector<QreAnswer> answers;
+  MappingEnumerator mappings(db_, &norm_rout, &cover,
+                             options_.use_cgm_ranking ? &cgms : nullptr,
+                             &options_, budget_exceeded);
+  ColumnMapping mapping;
+  for (int m = 0; m < options_.max_mappings && mappings.Next(&mapping); ++m) {
+    ++stats.mappings_tried;
+    if (options_.collect_trace) {
+      trace.mappings.push_back(mapping.ToString(*db_, norm_rout));
+    }
+    if (budget_exceeded()) return not_found("time budget exceeded");
+
+    std::vector<Walk> walks;
+    if (mapping.instances.size() > 1) {
+      walks = DiscoverWalks(*db_, mapping, options_);
+      stats.walks_discovered += walks.size();
+      if (walks.empty()) continue;  // instances cannot be connected
+    }
+
+    Feedback feedback(walks.size());
+    RankedComposer composer(db_, &mapping, &walks, &options_, &feedback,
+                            budget_exceeded);
+    Validator validator(db_, &norm_rout, &rout_set, &mapping, &walks,
+                        &options_, &feedback, &stats, budget_exceeded);
+
+    CandidateQuery candidate;
+    uint64_t tried = 0;
+    while (tried < options_.max_candidates_per_mapping &&
+           composer.Next(&candidate)) {
+      ++tried;
+      ++stats.candidates_generated;
+      if (budget_exceeded()) return not_found("time budget exceeded");
+
+      CandidateOutcome outcome = validator.Validate(candidate);
+      if (options_.collect_trace) {
+        trace.candidates.push_back(QreTrace::Candidate{
+            m, candidate.query.ToSql(*db_), candidate.dc, candidate.alpha_cost,
+            CandidateOutcomeToString(outcome)});
+      }
+      switch (outcome) {
+        case CandidateOutcome::kGenerating: {
+          QreAnswer a;
+          a.found = true;
+          a.query = candidate.query;
+          a.sql = candidate.query.ToSql(*db_);
+          a.num_instances = candidate.query.num_instances();
+          a.num_joins = candidate.query.joins().size();
+          // Fold the composer counters in before snapshotting the stats.
+          a.trace = trace;
+          a.stats = stats;
+          a.stats.candidates_pruned_dead += composer.sets_pruned_dead();
+          a.stats.walk_sets_expanded += composer.sets_expanded();
+          a.stats.total_seconds = total_timer.ElapsedSeconds();
+          answers.push_back(std::move(a));
+          if (static_cast<int>(answers.size()) >= limit) {
+            return answers;
+          }
+          break;
+        }
+        case CandidateOutcome::kMissingTuples:
+          if (options_.use_feedback_pruning && !candidate.walk_ids.empty()) {
+            feedback.AddDeadSet(candidate.walk_ids);
+          }
+          break;
+        case CandidateOutcome::kIncoherentWalk:
+          // The validator already memoized the incoherent walk in feedback.
+          break;
+        case CandidateOutcome::kExtraTuples:
+        case CandidateOutcome::kError:
+          break;  // only this candidate is dismissed
+        case CandidateOutcome::kBudgetExhausted:
+          return not_found("time budget exceeded");
+      }
+    }
+    stats.candidates_pruned_dead += composer.sets_pruned_dead();
+    stats.walk_sets_expanded += composer.sets_expanded();
+  }
+
+  if (!answers.empty()) return answers;
+  if (budget_exceeded()) return not_found("time budget exceeded");
+  return not_found("search space exhausted without finding a generating query");
+}
+
+}  // namespace fastqre

@@ -1,0 +1,97 @@
+// FastQre: the end-to-end Query Reverse Engineering driver (Figure 6).
+//
+// Given a database D and an output table R_out, Reverse() finds a
+// generating CPJ query Q_gen with Q_gen(D) = R_out (exact variant) or
+// Q_gen(D) ⊇ R_out (superset variant), wiring together the four framework
+// modules: Preprocessing (parsing, column cover, index creation), Candidate
+// Query Generation (CGMs, ranked mappings, walk discovery, ranked walk
+// composition), Query Validation (probing, indirect coherence, progressive
+// evaluation) and Feedback.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query.h"
+#include "qre/options.h"
+#include "qre/stats.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Optional explanation of a Reverse() run (QreOptions::collect_trace):
+/// the ranked column mappings that were tried and every candidate query that
+/// was validated, with its verdict — the paper's decision process, replayable.
+struct QreTrace {
+  /// Human-readable descriptions of the column mappings, in rank order.
+  std::vector<std::string> mappings;
+
+  struct Candidate {
+    /// Index into `mappings` of the mapping this candidate came from.
+    int mapping_index;
+    std::string sql;
+    double dc;
+    double alpha_cost;
+    /// "generating", "missing-tuples", "extra-tuples", "incoherent-walk", ...
+    std::string outcome;
+  };
+  std::vector<Candidate> candidates;
+
+  /// Multi-line rendering for logs / the CLI.
+  std::string ToString() const;
+};
+
+/// \brief Result of a Reverse() run.
+struct QreAnswer {
+  /// True if a generating query was found; the remaining query fields are
+  /// only meaningful then.
+  bool found = false;
+  /// Why the search ended without an answer ("search space exhausted",
+  /// "time budget exceeded", ...). Empty when found.
+  std::string failure_reason;
+
+  PJQuery query;
+  /// SQL text of the found query.
+  std::string sql;
+  /// Number of table instances / joins in the found query.
+  size_t num_instances = 0;
+  size_t num_joins = 0;
+
+  QreStats stats;
+
+  /// Present iff QreOptions::collect_trace was set.
+  QreTrace trace;
+};
+
+/// \brief The FastQRE engine.
+///
+/// Not thread-safe, and the underlying Database's lazy caches mutate during
+/// a run — concurrent Reverse() calls need fully separate Database
+/// instances, not just separate FastQre objects.
+class FastQre {
+ public:
+  /// `db` must outlive the engine.
+  explicit FastQre(const Database* db, QreOptions options = QreOptions());
+
+  const QreOptions& options() const { return options_; }
+
+  /// Reverse-engineers a generating query for `rout`. `rout` may be encoded
+  /// against any dictionary; it is re-encoded and row-deduplicated (set
+  /// semantics) internally. Returns an error Status only for invalid input
+  /// (empty table, zero columns); an unsuccessful search returns found =
+  /// false with a reason and full statistics.
+  Result<QreAnswer> Reverse(const Table& rout) const;
+
+  /// Like Reverse() but keeps enumerating after the first answer, returning
+  /// up to `limit` distinct generating queries in discovery order (the
+  /// "enumerate other generating queries" interface of Section 3).
+  Result<std::vector<QreAnswer>> ReverseAll(const Table& rout, int limit) const;
+
+ private:
+  const Database* db_;
+  QreOptions options_;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,81 @@
+// Feedback module (Section 4.1, module 4).
+//
+// When the Query Validation module dismisses a candidate, it propagates why:
+//  * an incoherent walk (indirect column coherence, Section 4.5) — every
+//    candidate containing that walk is dead;
+//  * a missing-tuple failure (Q(D) ⊉ R_out). Adding walks only adds join
+//    constraints, so Q(D) shrinks monotonically along the generation tree;
+//    hence every superset of a missing-tuple-failed walk set is dead too.
+// The composer consults this state to dismiss queued candidates and to avoid
+// generating dead subtrees in the first place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fastqre {
+
+/// \brief Shared search state between the validator and the composer for
+/// one column mapping (walk ids are mapping-scoped).
+class Feedback {
+ public:
+  explicit Feedback(size_t num_walks)
+      : walk_state_(num_walks, kUnknown) {}
+
+  /// Memoized indirect-coherence verdict for a walk, if checked.
+  std::optional<bool> WalkCoherence(int walk_id) const {
+    int8_t s = walk_state_[walk_id];
+    if (s == kUnknown) return std::nullopt;
+    return s == kCoherent;
+  }
+
+  void SetWalkCoherence(int walk_id, bool coherent) {
+    walk_state_[walk_id] = coherent ? kCoherent : kIncoherent;
+  }
+
+  /// Registers a walk set whose supersets are all non-generating.
+  /// `sorted_ids` must be sorted ascending.
+  void AddDeadSet(std::vector<int> sorted_ids) {
+    if (sorted_ids.size() == 1) {
+      // Single-walk dead sets are folded into the fast per-walk bitmap.
+      walk_state_[sorted_ids[0]] = kIncoherent;
+      return;
+    }
+    dead_sets_.push_back(std::move(sorted_ids));
+  }
+
+  /// True if `sorted_ids` contains an incoherent walk or is a superset of
+  /// any registered dead set.
+  bool IsDead(const std::vector<int>& sorted_ids) const {
+    for (int id : sorted_ids) {
+      if (walk_state_[id] == kIncoherent) return true;
+    }
+    for (const auto& dead : dead_sets_) {
+      if (IsSubset(dead, sorted_ids)) return true;
+    }
+    return false;
+  }
+
+  size_t num_dead_sets() const { return dead_sets_.size(); }
+
+ private:
+  static bool IsSubset(const std::vector<int>& sub, const std::vector<int>& sup) {
+    size_t i = 0;
+    for (int v : sup) {
+      if (i == sub.size()) return true;
+      if (sub[i] == v) ++i;
+      else if (sub[i] < v) return false;
+    }
+    return i == sub.size();
+  }
+
+  static constexpr int8_t kUnknown = -1;
+  static constexpr int8_t kIncoherent = 0;
+  static constexpr int8_t kCoherent = 1;
+
+  std::vector<int8_t> walk_state_;
+  std::vector<std::vector<int>> dead_sets_;
+};
+
+}  // namespace fastqre

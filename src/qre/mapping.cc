@@ -1,0 +1,176 @@
+#include "qre/mapping.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+std::string ColumnMapping::ToString(const Database& db, const Table& rout) const {
+  std::vector<std::string> parts;
+  for (ColumnId c = 0; c < slots.size(); ++c) {
+    const auto& [inst, db_col] = slots[c];
+    parts.push_back(rout.column(c).name() + "<-" +
+                    db.table(instances[inst].table).name() +
+                    StringFormat("[%d].", inst) +
+                    db.table(instances[inst].table).column(db_col).name());
+  }
+  return JoinStrings(parts, ", ") + StringFormat(" (score=%.3f)", score);
+}
+
+MappingEnumerator::MappingEnumerator(const Database* db, const Table* rout,
+                                     const ColumnCover* cover, const CgmSet* cgms,
+                                     const QreOptions* options,
+                                     std::function<bool()> budget_exceeded)
+    : db_(db),
+      rout_(rout),
+      cover_(cover),
+      cgms_(cgms),
+      options_(options),
+      budget_exceeded_(std::move(budget_exceeded)) {
+  // Per-column optimistic score: the best achievable contribution, used in
+  // the admissible heuristic.
+  best_col_score_.resize(rout->num_columns(), 0.0);
+  for (ColumnId c = 0; c < rout->num_columns(); ++c) {
+    double best = 0.0;
+    for (const CoverEntry& e : cover->covers[c]) {
+      double certain_possible = 0.0;
+      if (options->use_cgm_ranking && cgms != nullptr) {
+        for (int idx : cgms->of_out_column[c]) {
+          const Cgm& g = cgms->cgms[idx];
+          if (g.certain && g.table == e.table &&
+              g.DbColumnFor(c) == static_cast<int>(e.column)) {
+            certain_possible = 1.0;
+          }
+        }
+      }
+      best = std::max(best, e.jaccard + certain_possible);
+    }
+    best_col_score_[c] = best;
+  }
+
+  State root;
+  root.next_col = 0;
+  root.score = 0.0;
+  root.optimistic = OptimisticRest(0);
+  queue_.push(std::move(root));
+}
+
+double MappingEnumerator::OptimisticRest(uint32_t from_col) const {
+  double rest = 0.0;
+  for (uint32_t c = from_col; c < best_col_score_.size(); ++c) {
+    rest += best_col_score_[c];
+  }
+  return rest;
+}
+
+double MappingEnumerator::PairScore(ColumnId out_col, TableId table,
+                                    ColumnId db_col, bool certain_bonus) const {
+  for (const CoverEntry& e : cover_->covers[out_col]) {
+    if (e.table == table && e.column == db_col) {
+      return e.jaccard + (certain_bonus ? 1.0 : 0.0);
+    }
+  }
+  return certain_bonus ? 1.0 : 0.0;
+}
+
+void MappingEnumerator::PushState(State s) {
+  s.optimistic = s.score + OptimisticRest(s.next_col);
+  queue_.push(std::move(s));
+}
+
+bool MappingEnumerator::Next(ColumnMapping* out) {
+  const uint32_t num_cols = static_cast<uint32_t>(rout_->num_columns());
+  while (!queue_.empty()) {
+    if (states_expanded_ >= options_->max_mapping_states) return false;
+    if ((states_expanded_ & 0x3ff) == 0 && budget_exceeded_ &&
+        budget_exceeded_()) {
+      return false;
+    }
+    State s = queue_.top();
+    queue_.pop();
+    ++states_expanded_;
+
+    if (s.next_col == num_cols) {
+      // Complete: build the slot structure and dedupe.
+      ColumnMapping m;
+      m.instances = s.instances;
+      m.score = s.score;
+      m.slots.assign(num_cols, {-1, 0});
+      for (size_t i = 0; i < m.instances.size(); ++i) {
+        for (const auto& [oc, dc] : m.instances[i].columns) {
+          m.slots[oc] = {static_cast<int>(i), dc};
+        }
+      }
+      if (!emitted_.insert(m.slots).second) continue;
+      *out = std::move(m);
+      return true;
+    }
+
+    const ColumnId c = s.next_col;
+
+    // Option (a): join an existing instance.
+    for (size_t i = 0; i < s.instances.size(); ++i) {
+      const InstanceAssignment& inst = s.instances[i];
+      if (inst.cgm_index >= 0) {
+        const Cgm& g = cgms_->cgms[inst.cgm_index];
+        int dc = g.DbColumnFor(c);
+        if (dc < 0) continue;
+        State child = s;
+        child.next_col = c + 1;
+        child.instances[i].columns.emplace_back(c, static_cast<ColumnId>(dc));
+        child.score += PairScore(c, inst.table, static_cast<ColumnId>(dc), g.certain);
+        PushState(std::move(child));
+      } else {
+        // Unrestricted mode: any cover column of this table not already used
+        // by the instance.
+        for (const CoverEntry& e : cover_->covers[c]) {
+          if (e.table != inst.table) continue;
+          bool used = false;
+          for (const auto& [oc, dc] : inst.columns) {
+            if (dc == e.column) used = true;
+          }
+          if (used) continue;
+          State child = s;
+          child.next_col = c + 1;
+          child.instances[i].columns.emplace_back(c, e.column);
+          child.score += e.jaccard;
+          PushState(std::move(child));
+        }
+      }
+    }
+
+    // Option (b): open a new instance for column c.
+    if (options_->use_cgm_ranking && cgms_ != nullptr) {
+      for (int idx : cgms_->of_out_column[c]) {
+        const Cgm& g = cgms_->cgms[idx];
+        int dc = g.DbColumnFor(c);
+        if (dc < 0) continue;
+        State child = s;
+        child.next_col = c + 1;
+        InstanceAssignment inst;
+        inst.table = g.table;
+        inst.cgm_index = idx;
+        inst.columns.emplace_back(c, static_cast<ColumnId>(dc));
+        child.instances.push_back(std::move(inst));
+        child.score += PairScore(c, g.table, static_cast<ColumnId>(dc), g.certain);
+        PushState(std::move(child));
+      }
+    } else {
+      for (const CoverEntry& e : cover_->covers[c]) {
+        State child = s;
+        child.next_col = c + 1;
+        InstanceAssignment inst;
+        inst.table = e.table;
+        inst.cgm_index = -1;
+        inst.columns.emplace_back(c, e.column);
+        child.instances.push_back(std::move(inst));
+        child.score += e.jaccard;
+        PushState(std::move(child));
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,95 @@
+// Tuning knobs of the FastQRE framework, including ablation toggles for each
+// novel component (used by experiment E4) and the QRE-variant switch.
+#pragma once
+
+#include <cstdint>
+
+namespace fastqre {
+
+/// \brief Which QRE problem variant to solve (Definitions 3.1 / 3.2).
+enum class QreVariant {
+  /// Find Q with Q(D) = R_out.
+  kExact,
+  /// Find Q with Q(D) ⊇ R_out. Tree-shaped query graphs suffice for this
+  /// variant, which the composer exploits.
+  kSuperset,
+};
+
+/// \brief Options controlling the FastQRE pipeline.
+struct QreOptions {
+  QreVariant variant = QreVariant::kExact;
+
+  /// L of the "L-short walks" in Section 4.4: maximum number of schema-graph
+  /// edges per discovered walk.
+  int max_walk_length = 3;
+
+  /// Cap on walks kept per instance pair (the paper notes |W| can exceed
+  /// 100; capping per pair, in BFS length order, bounds the subset lattice).
+  int max_walks_per_pair = 24;
+
+  /// alpha of Q_alpha = alpha*Q_dc + (1-alpha)*Q_ex (Section 4.4.2).
+  double alpha = 0.5;
+
+  /// C1 of Algorithm 1 line 13: keep draining PQ1 while its best Q_dc is
+  /// within this slack of PQ2's best.
+  double pool_dc_slack = 2.0;
+
+  /// C2 of Algorithm 1 line 13: target size of the PQ2 candidate pool.
+  int pool_min_size = 16;
+
+  /// How many ranked column mappings to try before giving up.
+  int max_mappings = 64;
+
+  /// Cap on candidate queries validated per column mapping.
+  uint64_t max_candidates_per_mapping = 20000;
+
+  /// Cap on expanded states in the mapping enumerator's best-first search.
+  uint64_t max_mapping_states = 200000;
+
+  /// Largest CGM size discovered (R_out is rarely wider than this).
+  int max_cgm_columns = 8;
+
+  /// Wall-clock budget for one Reverse() call; 0 = unlimited. On timeout,
+  /// Reverse returns ResourceExhausted with the statistics gathered so far.
+  double time_budget_seconds = 0.0;
+
+  /// Number of R_out tuples bound by probing queries per candidate
+  /// (the basic probing mechanism of Section 4.1; 0 disables).
+  int probe_tuples = 2;
+
+  // --- Ablation toggles (experiment E4). All on by default. ---------------
+
+  /// Rank column mappings using CGMs (Sections 4.2-4.3). Off: mappings are
+  /// enumerated from per-column covers with unrestricted instance grouping
+  /// and no Jaccard ranking (the naive behaviour).
+  bool use_cgm_ranking = true;
+
+  /// Indirect column coherence: lazily check walk coherence and filter all
+  /// candidate queries containing incoherent walks (Section 4.5).
+  bool use_indirect_coherence = true;
+
+  /// Two-queue ranked composition with Q_alpha (Algorithm 1). Off: the
+  /// "basic approach" (single queue ordered by Q_dc only), exhibiting the
+  /// convoy effect of Figure 9.
+  bool use_two_queue_composer = true;
+
+  /// Progressive evaluation: stream Q(D) and stop at the first tuple
+  /// contradicting R_out. Off: materialize Q(D) fully, then compare.
+  bool use_progressive_validation = true;
+
+  /// Basic probing queries before full validation.
+  bool use_probing = true;
+
+  /// Feedback module: dead walk-set subtree pruning from
+  /// missing-tuple failures plus incoherent-walk memoization.
+  bool use_feedback_pruning = true;
+
+  /// Pattern-based pruning of column-cover comparisons (Section 4.1).
+  bool use_pattern_pruning = true;
+
+  /// Record a QreTrace (ranked mappings + per-candidate verdicts) in the
+  /// answer. Off by default: traces of long searches can be large.
+  bool collect_trace = false;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,47 @@
+// Execution statistics reported by FastQre::Reverse — the accounting behind
+// experiments E7 (preprocessing) and E9 (candidate counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastqre {
+
+/// \brief Counters and timings for one Reverse() run.
+struct QreStats {
+  // Preprocessing.
+  double cover_seconds = 0.0;
+  double cgm_seconds = 0.0;
+  uint64_t cover_pairs_total = 0;    // candidate (c, R.a) pairs considered
+  uint64_t cover_pairs_pruned = 0;   // dismissed by pattern compatibility
+  uint64_t cover_pairs_checked = 0;  // full set-containment checks run
+  uint64_t cgm_candidates_checked = 0;
+  uint64_t num_cgms = 0;
+
+  // Search.
+  uint64_t mappings_tried = 0;
+  uint64_t walks_discovered = 0;
+  uint64_t candidates_generated = 0;     // popped from PQ2 (or single queue)
+  uint64_t walk_sets_expanded = 0;       // PQ1 pops across all composers
+  uint64_t candidates_pruned_dead = 0;   // skipped via feedback dead sets
+  uint64_t candidates_dismissed_probe = 0;
+  uint64_t candidates_dismissed_walk = 0;  // via indirect coherence
+  uint64_t walk_coherence_checks = 0;
+  uint64_t full_validations = 0;         // candidates reaching the full check
+  uint64_t validation_rows = 0;          // result rows streamed during checks
+  // Phase attribution of validation_rows:
+  uint64_t probe_rows = 0;       // quick 2-tuple + partial probes
+  uint64_t coherence_rows = 0;   // walk-coherence streams
+  uint64_t alltuple_rows = 0;    // per-R_out-tuple membership probes
+  uint64_t fullscan_rows = 0;    // extra-tuple hunting streams
+
+  double total_seconds = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+
+  /// Accumulates counters (used by benchmark sweeps).
+  void Accumulate(const QreStats& other);
+};
+
+}  // namespace fastqre

@@ -1,0 +1,57 @@
+#include "qre/tuning.h"
+
+#include <limits>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+
+namespace fastqre {
+
+Result<TuneAlphaResult> TuneAlpha(const Database& db, const QreOptions& base,
+                                  const TuneAlphaOptions& tune_options) {
+  if (tune_options.candidates.empty()) {
+    return Status::InvalidArgument("no candidate alpha values");
+  }
+
+  // Self-generate the calibration workload.
+  Rng rng(SplitMix64(tune_options.seed) ^ 0x616c706861ULL);
+  RandomQueryOptions q_opts;
+  q_opts.num_instances = tune_options.test_query_instances;
+  q_opts.num_projections = tune_options.test_query_instances;
+  std::vector<Table> routs;
+  for (int i = 0; i < tune_options.num_test_queries; ++i) {
+    auto wq = RandomCpjQuery(db, &rng, q_opts);
+    if (wq.ok()) routs.push_back(std::move(wq->rout));
+  }
+  if (routs.empty()) {
+    return Status::NotFound("could not generate any calibration query");
+  }
+
+  TuneAlphaResult result;
+  result.alphas = tune_options.candidates;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (double alpha : tune_options.candidates) {
+    QreOptions opts = base;
+    opts.alpha = alpha;
+    opts.time_budget_seconds = tune_options.per_run_budget_seconds;
+    FastQre engine(&db, opts);
+    double total = 0.0;
+    for (const Table& rout : routs) {
+      Timer t;
+      auto answer = engine.Reverse(rout);
+      total += answer.ok() && (*answer).found
+                   ? t.ElapsedSeconds()
+                   : tune_options.per_run_budget_seconds;
+    }
+    result.total_seconds.push_back(total);
+    if (total < best_total) {
+      best_total = total;
+      result.best_alpha = alpha;
+    }
+  }
+  return result;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,53 @@
+// Semi-automated alpha calibration (Section 4.4.2).
+//
+// "The value of alpha is set in a semi-automated fashion as follows. Given a
+// database and its schema, either the analyst, or the QRE approach itself,
+// generates a few test queries and their corresponding R_out tables. Tests
+// then are done to determine which alpha results in good performance for the
+// test queries."
+//
+// TuneAlpha implements the self-generating form: it samples random CPJ
+// queries over the database (via the workload generator), times Reverse()
+// under each candidate alpha, and returns the alpha with the best total
+// response time.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "qre/options.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Options for TuneAlpha.
+struct TuneAlphaOptions {
+  /// Candidate alpha values to evaluate.
+  std::vector<double> candidates = {0.0, 0.25, 0.5, 0.75, 1.0};
+  /// Number of self-generated test queries.
+  int num_test_queries = 4;
+  /// Table instances per test query (complexity of the calibration set).
+  int test_query_instances = 3;
+  /// Per-(query, alpha) time budget; expiring counts as this many seconds.
+  double per_run_budget_seconds = 5.0;
+  /// Seed for test-query generation.
+  uint64_t seed = 97;
+};
+
+/// \brief Result of a calibration run.
+struct TuneAlphaResult {
+  double best_alpha = 0.5;
+  /// Total Reverse() seconds per candidate (index-parallel to the
+  /// candidates evaluated, in their given order).
+  std::vector<double> total_seconds;
+  std::vector<double> alphas;
+};
+
+/// \brief Calibrates QreOptions::alpha for `db` by self-generated test
+/// queries. `base` supplies every other option (variant, toggles, limits);
+/// its alpha field is ignored. Returns NotFound if no usable test query
+/// could be generated (e.g. an empty database).
+Result<TuneAlphaResult> TuneAlpha(const Database& db, const QreOptions& base,
+                                  const TuneAlphaOptions& tune_options = {});
+
+}  // namespace fastqre

@@ -1,0 +1,280 @@
+#include "qre/validator.h"
+
+#include <algorithm>
+
+#include "engine/block_executor.h"
+#include "engine/executor.h"
+
+namespace fastqre {
+
+const char* CandidateOutcomeToString(CandidateOutcome outcome) {
+  switch (outcome) {
+    case CandidateOutcome::kGenerating: return "generating";
+    case CandidateOutcome::kMissingTuples: return "missing-tuples";
+    case CandidateOutcome::kExtraTuples: return "extra-tuples";
+    case CandidateOutcome::kIncoherentWalk: return "incoherent-walk";
+    case CandidateOutcome::kBudgetExhausted: return "budget-exhausted";
+    case CandidateOutcome::kError: return "error";
+  }
+  return "unknown";
+}
+
+Validator::Validator(const Database* db, const Table* rout,
+                     const TupleSet* rout_set, const ColumnMapping* mapping,
+                     const std::vector<Walk>* walks, const QreOptions* options,
+                     Feedback* feedback, QreStats* stats,
+                     std::function<bool()> budget_exceeded)
+    : db_(db),
+      rout_(rout),
+      rout_set_(rout_set),
+      mapping_(mapping),
+      walks_(walks),
+      options_(options),
+      feedback_(feedback),
+      stats_(stats),
+      budget_exceeded_(std::move(budget_exceeded)) {}
+
+CandidateOutcome Validator::ProbeCheck(const CandidateQuery& candidate) {
+  const size_t n = rout_->num_rows();
+  const int probes = std::min<int>(options_->probe_tuples, static_cast<int>(n));
+
+  // Membership probes: bind every projection column to a sampled R_out
+  // tuple; an empty result proves the tuple cannot be generated.
+  for (int p = 0; p < probes; ++p) {
+    RowId row = static_cast<RowId>(probes == 1 ? 0 : p * (n - 1) / (probes - 1));
+    PJQuery probe = candidate.query;
+    const auto& projections = probe.projections();
+    for (size_t j = 0; j < projections.size(); ++j) {
+      probe.AddSelection(projections[j].instance, projections[j].column,
+                         rout_->column(static_cast<ColumnId>(j)).at(row));
+    }
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_);
+    if (!cursor.ok()) return CandidateOutcome::kError;
+    std::vector<ValueId> out_row;
+    bool hit = (*cursor)->Next(&out_row);
+    stats_->validation_rows += (*cursor)->rows_examined();
+    stats_->probe_rows += (*cursor)->rows_examined();
+    if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
+    if (!hit) return CandidateOutcome::kMissingTuples;
+  }
+
+  // Partial probe (exact only): bind the first projection column and stream
+  // a bounded prefix; any produced tuple outside R_out dismisses Q.
+  if (options_->variant == QreVariant::kExact && probes > 0 &&
+      rout_->num_columns() > 0) {
+    PJQuery probe = candidate.query;
+    const auto& proj0 = probe.projections()[0];
+    probe.AddSelection(proj0.instance, proj0.column, rout_->column(0).at(0));
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_);
+    if (!cursor.ok()) return CandidateOutcome::kError;
+    std::vector<ValueId> out_row;
+    uint64_t streamed = 0;
+    while (streamed < kPartialProbeRowCap && (*cursor)->Next(&out_row)) {
+      ++streamed;
+      ++stats_->validation_rows;
+      ++stats_->probe_rows;
+      if (rout_set_->count(out_row) == 0) {
+        return CandidateOutcome::kExtraTuples;
+      }
+    }
+    if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
+  }
+  return CandidateOutcome::kGenerating;  // "not dismissed"
+}
+
+bool Validator::WalkCoherent(int walk_id) {
+  auto memo = feedback_->WalkCoherence(walk_id);
+  if (memo.has_value()) return *memo;
+
+  ++stats_->walk_coherence_checks;
+  std::vector<ColumnId> out_cols;
+  PJQuery subquery =
+      ComposeWalkSubquery(*db_, *mapping_, (*walks_)[walk_id], &out_cols);
+
+  // Needed: every tuple of pi_outcols(R_out) must appear in the walk
+  // subquery's result. Checked by one index-backed point probe per needed
+  // tuple (binding the subquery's projection columns), so an incoherent
+  // walk is detected without draining the subquery's full result.
+  TupleSet needed = ProjectToTupleSet(*rout_, out_cols);
+  const auto projections = subquery.projections();
+  bool coherent = true;
+  size_t probed = 0;
+  for (const auto& tuple : needed) {
+    subquery.ClearSelections();
+    for (size_t j = 0; j < projections.size(); ++j) {
+      subquery.AddSelection(projections[j].instance, projections[j].column,
+                            tuple[j]);
+    }
+    auto cursor = QueryCursor::Create(*db_, subquery, budget_exceeded_);
+    if (!cursor.ok()) {
+      coherent = false;
+      break;
+    }
+    std::vector<ValueId> row;
+    bool hit = (*cursor)->Next(&row);
+    stats_->validation_rows += (*cursor)->rows_examined();
+    stats_->coherence_rows += (*cursor)->rows_examined();
+    if ((*cursor)->interrupted()) {
+      // Unproven either way under timeout: do not memoize a verdict.
+      return false;
+    }
+    if (!hit) {
+      coherent = false;
+      break;
+    }
+    if ((++probed & 0xff) == 0 && BudgetExceeded()) {
+      // Unproven either way: do not memoize a verdict under timeout.
+      return false;
+    }
+  }
+  feedback_->SetWalkCoherence(walk_id, coherent);
+  return coherent;
+}
+
+CandidateOutcome Validator::AllTupleProbe(const CandidateQuery& candidate) {
+  // Advanced probing (the multi-tuple horizontal check of Appendix A, whose
+  // text is unavailable; this is our design): verify R_out ⊆ Q(D) with one
+  // index-backed point probe per R_out tuple, instead of streaming Q(D) —
+  // which, for subset-failing candidates under exact semantics, would have
+  // to drain the entire (possibly huge) result before concluding "missing".
+  PJQuery probe = candidate.query;
+  const auto projections = probe.projections();
+  for (RowId r = 0; r < rout_->num_rows(); ++r) {
+    probe.ClearSelections();
+    for (size_t j = 0; j < projections.size(); ++j) {
+      probe.AddSelection(projections[j].instance, projections[j].column,
+                         rout_->column(static_cast<ColumnId>(j)).at(r));
+    }
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_);
+    if (!cursor.ok()) return CandidateOutcome::kError;
+    std::vector<ValueId> out_row;
+    bool hit = (*cursor)->Next(&out_row);
+    stats_->validation_rows += (*cursor)->rows_examined();
+    stats_->alltuple_rows += (*cursor)->rows_examined();
+    if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
+    if (!hit) return CandidateOutcome::kMissingTuples;
+    if ((r & 0xff) == 0 && BudgetExceeded()) {
+      return CandidateOutcome::kBudgetExhausted;
+    }
+  }
+  return CandidateOutcome::kGenerating;  // R_out ⊆ Q(D) established
+}
+
+CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate) {
+  ++stats_->full_validations;
+
+  if (options_->use_probing) {
+    CandidateOutcome subset = AllTupleProbe(candidate);
+    if (subset != CandidateOutcome::kGenerating) return subset;
+    if (options_->variant == QreVariant::kSuperset) {
+      return CandidateOutcome::kGenerating;  // superset needs nothing more
+    }
+    // Exact: R_out ⊆ Q(D) holds; it remains to rule out extra tuples by
+    // streaming with an early exit on the first violation.
+    auto cursor = QueryCursor::Create(*db_, candidate.query, budget_exceeded_);
+    if (!cursor.ok()) return CandidateOutcome::kError;
+    std::vector<ValueId> row;
+    while ((*cursor)->Next(&row)) {
+      ++stats_->validation_rows;
+      ++stats_->fullscan_rows;
+      if ((stats_->validation_rows & 0xfff) == 0 && BudgetExceeded()) {
+        return CandidateOutcome::kBudgetExhausted;
+      }
+      if (rout_set_->count(row) == 0) return CandidateOutcome::kExtraTuples;
+    }
+    if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
+    return CandidateOutcome::kGenerating;
+  }
+
+  if (!options_->use_progressive_validation) {
+    // The paper's "single block operation": materialize Q(D) in full with
+    // the block executor, then compare. No early exit of any kind.
+    auto result = ExecuteBlock(*db_, candidate.query, "block", budget_exceeded_);
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kResourceExhausted) {
+        // Either the overall time budget fired mid-evaluation, or this one
+        // candidate blew the block executor's intermediate-size cap. Only
+        // the former aborts the whole search; the latter skips just this
+        // candidate (it cannot be classified, so nothing is pruned).
+        return BudgetExceeded() ? CandidateOutcome::kBudgetExhausted
+                                : CandidateOutcome::kError;
+      }
+      return CandidateOutcome::kError;
+    }
+    stats_->validation_rows += result->num_rows();
+    stats_->fullscan_rows += result->num_rows();
+    TupleSet result_set = TableToTupleSet(*result);
+    if (options_->variant == QreVariant::kExact) {
+      if (result_set.size() != rout_set_->size()) {
+        return !IsSubsetOf(*rout_set_, result_set)
+                   ? CandidateOutcome::kMissingTuples
+                   : CandidateOutcome::kExtraTuples;
+      }
+      return IsSubsetOf(result_set, *rout_set_)
+                 ? CandidateOutcome::kGenerating
+                 : CandidateOutcome::kExtraTuples;
+    }
+    return IsSubsetOf(*rout_set_, result_set)
+               ? CandidateOutcome::kGenerating
+               : CandidateOutcome::kMissingTuples;
+  }
+
+  // Progressive evaluation (without probing): stream and stop at the first
+  // contradiction.
+  auto cursor = QueryCursor::Create(*db_, candidate.query, budget_exceeded_);
+  if (!cursor.ok()) return CandidateOutcome::kError;
+
+  std::vector<ValueId> row;
+  TupleSet covered;
+  covered.reserve(rout_set_->size());
+  while ((*cursor)->Next(&row)) {
+    ++stats_->validation_rows;
+    if ((stats_->validation_rows & 0xfff) == 0 && BudgetExceeded()) {
+      return CandidateOutcome::kBudgetExhausted;
+    }
+    if (rout_set_->count(row) == 0) {
+      if (options_->variant == QreVariant::kExact) {
+        return CandidateOutcome::kExtraTuples;  // progressive early exit
+      }
+      continue;  // superset: extra tuples are allowed
+    }
+    covered.insert(row);
+    if (options_->variant == QreVariant::kSuperset &&
+        covered.size() == rout_set_->size()) {
+      return CandidateOutcome::kGenerating;  // superset early exit
+    }
+  }
+  if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
+  return covered.size() == rout_set_->size() ? CandidateOutcome::kGenerating
+                                             : CandidateOutcome::kMissingTuples;
+}
+
+CandidateOutcome Validator::Validate(const CandidateQuery& candidate) {
+  if (BudgetExceeded()) return CandidateOutcome::kBudgetExhausted;
+
+  if (options_->use_probing && options_->probe_tuples > 0 &&
+      rout_->num_rows() > 0) {
+    CandidateOutcome probe = ProbeCheck(candidate);
+    if (probe != CandidateOutcome::kGenerating) {
+      if (probe == CandidateOutcome::kMissingTuples ||
+          probe == CandidateOutcome::kExtraTuples) {
+        ++stats_->candidates_dismissed_probe;
+      }
+      return probe;
+    }
+  }
+
+  if (options_->use_indirect_coherence) {
+    for (int walk_id : candidate.walk_ids) {
+      if (!WalkCoherent(walk_id)) {
+        ++stats_->candidates_dismissed_walk;
+        return CandidateOutcome::kIncoherentWalk;
+      }
+      if (BudgetExceeded()) return CandidateOutcome::kBudgetExhausted;
+    }
+  }
+
+  return FullCheck(candidate);
+}
+
+}  // namespace fastqre

@@ -1,0 +1,82 @@
+// Query Validation module (Section 4.5): given a candidate query Q, decide
+// whether Q(D) = R_out (exact) or Q(D) ⊇ R_out (superset), trying to
+// dismiss Q as cheaply as possible first:
+//
+//  1. Probing queries (basic mechanism of Section 4.1): bind all projection
+//     columns to a sampled R_out tuple and ask for one result row (a missed
+//     tuple dismisses Q and, via feedback, its whole generation subtree);
+//     in exact mode, a partial probe binding only the first projection
+//     column streams a bounded prefix looking for tuples outside R_out.
+//  2. Indirect column coherence: each walk's join-path subquery must cover
+//     pi(R_out) on the walk's endpoint columns; verdicts are memoized in
+//     Feedback and shared across candidates (lazy, per Section 4.5).
+//  3. Progressive full evaluation: stream Q(D) one tuple at a time and stop
+//     at the first contradiction.
+#pragma once
+
+#include <functional>
+
+#include "engine/compare.h"
+#include "qre/composer.h"
+#include "qre/feedback.h"
+#include "qre/mapping.h"
+#include "qre/options.h"
+#include "qre/stats.h"
+#include "qre/walks.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Why a candidate was accepted or dismissed.
+enum class CandidateOutcome {
+  kGenerating,       // Q is a generating query
+  kMissingTuples,    // some R_out tuple not in Q(D)  => subtree is dead
+  kExtraTuples,      // some Q(D) tuple not in R_out (exact variant only)
+  kIncoherentWalk,   // a walk failed indirect coherence => walk is dead
+  kBudgetExhausted,  // the time budget expired mid-validation
+  kError,            // execution error (malformed candidate)
+};
+
+const char* CandidateOutcomeToString(CandidateOutcome outcome);
+
+/// \brief Validates candidates against one (R_out, mapping) pair.
+class Validator {
+ public:
+  /// `budget_exceeded` (may be empty) is polled during long streams.
+  Validator(const Database* db, const Table* rout, const TupleSet* rout_set,
+            const ColumnMapping* mapping, const std::vector<Walk>* walks,
+            const QreOptions* options, Feedback* feedback, QreStats* stats,
+            std::function<bool()> budget_exceeded = {});
+
+  /// Runs the dismissal cascade and, if needed, the full check.
+  CandidateOutcome Validate(const CandidateQuery& candidate);
+
+ private:
+  CandidateOutcome ProbeCheck(const CandidateQuery& candidate);
+  /// Checks (and memoizes) indirect coherence of one walk; true = coherent.
+  bool WalkCoherent(int walk_id);
+  /// Establishes R_out ⊆ Q(D) by point-probing every R_out tuple
+  /// (kGenerating = containment holds).
+  CandidateOutcome AllTupleProbe(const CandidateQuery& candidate);
+  CandidateOutcome FullCheck(const CandidateQuery& candidate);
+
+  bool BudgetExceeded() const {
+    return budget_exceeded_ && budget_exceeded_();
+  }
+
+  const Database* db_;
+  const Table* rout_;
+  const TupleSet* rout_set_;
+  const ColumnMapping* mapping_;
+  const std::vector<Walk>* walks_;
+  const QreOptions* options_;
+  Feedback* feedback_;
+  QreStats* stats_;
+  std::function<bool()> budget_exceeded_;
+
+  // Rows streamed by the partial probe before giving up (keeps the probe a
+  // quick check even for unselective first columns).
+  static constexpr uint64_t kPartialProbeRowCap = 256;
+};
+
+}  // namespace fastqre

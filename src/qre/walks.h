@@ -1,0 +1,70 @@
+// Walk discovery (Section 4.4): the set W of all L-short walks between
+// pairs of projection table instances of a column mapping.
+//
+// A walk is a sequence of schema-graph edges from one mapping instance to
+// another. Walks need not be simple (an edge can repeat, e.g. the paper's
+// w3 = S-N-S2 uses the S-N schema edge twice); intermediate nodes are
+// always *fresh* instances, never instances from I_M (Section 4.4 "does not
+// have any instances from I_M as intermediate nodes"), though they may be
+// fresh instances of a projection table (w2's PS2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "qre/mapping.h"
+#include "qre/options.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief One traversal step: a schema edge with its orientation.
+/// `forward` means edge side 0 is the node closer to the walk's start
+/// (orientation matters for self-loops and repeated tables).
+struct WalkStep {
+  EdgeId edge;
+  bool forward;
+
+  bool operator==(const WalkStep& o) const {
+    return edge == o.edge && forward == o.forward;
+  }
+  bool operator<(const WalkStep& o) const {
+    return edge != o.edge ? edge < o.edge : forward < o.forward;
+  }
+};
+
+/// \brief A walk between two mapping instances.
+struct Walk {
+  /// Endpoint indexes into ColumnMapping::instances (from < to).
+  int from_instance;
+  int to_instance;
+  std::vector<WalkStep> steps;
+  /// Node table sequence; tables.size() == steps.size() + 1.
+  std::vector<TableId> tables;
+
+  int length() const { return static_cast<int>(steps.size()); }
+
+  std::string ToString(const Database& db) const;
+};
+
+/// \brief Discovers all walks of length <= options.max_walk_length between
+/// every pair of instances in `mapping`, deduplicated up to reversal and
+/// capped at options.max_walks_per_pair per pair (shortest first).
+std::vector<Walk> DiscoverWalks(const Database& db, const ColumnMapping& mapping,
+                                const QreOptions& options);
+
+/// \brief Instantiates a candidate query from a walk group: one node per
+/// mapping instance, fresh nodes for walk intermediates, joins along walk
+/// steps, and projections in R_out column order per `mapping`.
+PJQuery ComposeQueryFromWalks(const Database& db, const ColumnMapping& mapping,
+                              const std::vector<const Walk*>& group);
+
+/// \brief The subquery corresponding to a single walk (Section 4.5): the
+/// walk's join path projected onto the R_out columns generated from its two
+/// endpoint instances. `out_cols` receives those R_out column ids in the
+/// projection order used.
+PJQuery ComposeWalkSubquery(const Database& db, const ColumnMapping& mapping,
+                            const Walk& walk, std::vector<ColumnId>* out_cols);
+
+}  // namespace fastqre

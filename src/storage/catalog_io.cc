@@ -1,0 +1,197 @@
+#include "storage/catalog_io.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Result<ValueType> ParseType(const std::string& s) {
+  if (s == "int64") return ValueType::kInt64;
+  if (s == "double") return ValueType::kDouble;
+  if (s == "string") return ValueType::kString;
+  return Status::InvalidArgument("unknown column type '" + s + "' in manifest");
+}
+
+}  // namespace
+
+namespace {
+
+bool NameIsManifestSafe(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '/' || c == '\\') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  for (TableId t = 0; t < db.num_tables(); ++t) {
+    if (!NameIsManifestSafe(db.table(t).name())) {
+      return Status::InvalidArgument("table name '" + db.table(t).name() +
+                                     "' is not manifest-safe");
+    }
+    for (ColumnId c = 0; c < db.table(t).num_columns(); ++c) {
+      if (!NameIsManifestSafe(db.table(t).column(c).name())) {
+        return Status::InvalidArgument("column name '" +
+                                       db.table(t).column(c).name() +
+                                       "' is not manifest-safe");
+      }
+    }
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir + "': " +
+                           ec.message());
+  }
+
+  std::ostringstream manifest;
+  manifest << "fastqre-db 1\n";
+  for (TableId t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    manifest << "table " << table.name() << " " << table.num_columns() << "\n";
+    for (ColumnId c = 0; c < table.num_columns(); ++c) {
+      manifest << "column " << table.name() << " " << table.column(c).name()
+               << " " << ValueTypeToString(table.column(c).type()) << "\n";
+    }
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    manifest << "fk " << db.table(fk.child_table).name() << " "
+             << db.table(fk.child_table).column(fk.child_column).name() << " "
+             << db.table(fk.parent_table).name() << " "
+             << db.table(fk.parent_table).column(fk.parent_column).name()
+             << "\n";
+  }
+  // Schema edges beyond the fks (AddJoinEdge): fks created the first
+  // |foreign_keys| edges, in order.
+  const auto& edges = db.schema_graph().edges();
+  for (size_t e = db.foreign_keys().size(); e < edges.size(); ++e) {
+    const SchemaEdge& edge = edges[e];
+    manifest << "join " << db.table(edge.table[0]).name() << " "
+             << db.table(edge.table[0]).column(edge.column[0]).name() << " "
+             << db.table(edge.table[1]).name() << " "
+             << db.table(edge.table[1]).column(edge.column[1]).name() << "\n";
+  }
+  {
+    std::ofstream out(fs::path(dir) / "schema.fqre");
+    if (!out) return Status::IOError("cannot write manifest in '" + dir + "'");
+    out << manifest.str();
+  }
+
+  for (TableId t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    std::ofstream out(fs::path(dir) / (table.name() + ".csv"));
+    if (!out) {
+      return Status::IOError("cannot write table file for '" + table.name() +
+                             "'");
+    }
+    out << TableToCsv(table);
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / "schema.fqre");
+  if (!in) {
+    return Status::IOError("cannot open manifest '" + dir + "/schema.fqre'");
+  }
+
+  Database db;
+  std::string line;
+  bool header_seen = false;
+  // Deferred constraint lines: applied after all tables are loaded.
+  std::vector<std::vector<std::string>> fks;
+  std::vector<std::vector<std::string>> joins;
+  // Column declarations per table, in manifest order.
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, ValueType>>>>
+      table_decls;
+
+  while (std::getline(in, line)) {
+    std::string trimmed(TrimString(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tok = SplitString(trimmed, ' ');
+    if (!header_seen) {
+      if (tok.size() != 2 || tok[0] != "fastqre-db" || tok[1] != "1") {
+        return Status::InvalidArgument("bad manifest header: '" + trimmed + "'");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (tok[0] == "table" && tok.size() == 3) {
+      table_decls.emplace_back(tok[1],
+                               std::vector<std::pair<std::string, ValueType>>{});
+    } else if (tok[0] == "column" && tok.size() == 4) {
+      if (table_decls.empty() || table_decls.back().first != tok[1]) {
+        return Status::InvalidArgument("column line outside its table: '" +
+                                       trimmed + "'");
+      }
+      FASTQRE_ASSIGN_OR_RETURN(ValueType type, ParseType(tok[3]));
+      table_decls.back().second.emplace_back(tok[2], type);
+    } else if (tok[0] == "fk" && tok.size() == 5) {
+      fks.push_back(std::move(tok));
+    } else if (tok[0] == "join" && tok.size() == 5) {
+      joins.push_back(std::move(tok));
+    } else {
+      return Status::InvalidArgument("bad manifest line: '" + trimmed + "'");
+    }
+  }
+  if (!header_seen) return Status::InvalidArgument("empty manifest");
+
+  for (const auto& [name, columns] : table_decls) {
+    FASTQRE_ASSIGN_OR_RETURN(TableId tid, db.AddTable(name));
+    Table& table = db.table(tid);
+    for (const auto& [col_name, type] : columns) {
+      FASTQRE_RETURN_NOT_OK(table.AddColumn(col_name, type));
+    }
+    // Load rows from CSV against the manifest-declared types (no inference,
+    // so round trips are exact — "05" stays a string).
+    std::ifstream csv_in(fs::path(dir) / (name + ".csv"));
+    if (!csv_in) {
+      return Status::IOError("missing table file '" + name + ".csv'");
+    }
+    std::ostringstream buf;
+    buf << csv_in.rdbuf();
+    CsvOptions csv_opts;
+    for (const auto& [col_name, type] : columns) {
+      csv_opts.column_types.push_back(type);
+    }
+    FASTQRE_ASSIGN_OR_RETURN(
+        Table parsed,
+        LoadCsvString(buf.str(), name, db.dictionary(), csv_opts));
+    if (parsed.num_columns() != columns.size()) {
+      return Status::InvalidArgument(StringFormat(
+          "table '%s': CSV has %zu columns, manifest declares %zu",
+          name.c_str(), parsed.num_columns(), columns.size()));
+    }
+    for (RowId r = 0; r < parsed.num_rows(); ++r) {
+      table.AppendRowIds(parsed.RowIds(r));
+    }
+  }
+
+  for (const auto& fk : fks) {
+    FASTQRE_RETURN_NOT_OK(db.AddForeignKey(fk[1], fk[2], fk[3], fk[4]));
+  }
+  for (const auto& j : joins) {
+    FASTQRE_ASSIGN_OR_RETURN(TableId ta, db.FindTable(j[1]));
+    FASTQRE_ASSIGN_OR_RETURN(TableId tb, db.FindTable(j[3]));
+    FASTQRE_ASSIGN_OR_RETURN(ColumnId ca, db.table(ta).FindColumn(j[2]));
+    FASTQRE_ASSIGN_OR_RETURN(ColumnId cb, db.table(tb).FindColumn(j[4]));
+    db.AddJoinEdge(ta, ca, tb, cb);
+  }
+  return db;
+}
+
+}  // namespace fastqre

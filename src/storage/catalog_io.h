@@ -1,0 +1,36 @@
+// Database persistence: save/load a whole Database as a directory of CSV
+// files plus a plain-text schema manifest.
+//
+// Layout of a database directory:
+//   <dir>/schema.fqre       manifest (version, tables, column types, fks,
+//                           extra join edges)
+//   <dir>/<table>.csv       one CSV per table, header row included
+//
+// The manifest is line-oriented:
+//   fastqre-db 1
+//   table <name> <ncols>
+//   column <table> <name> <type>          # type in {int64,double,string}
+//   fk <child_table> <child_col> <parent_table> <parent_col>
+//   join <table_a> <col_a> <table_b> <col_b>   # non-fk schema edge
+//
+// This backs the CLI tool and lets examples/tests round-trip databases.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Writes `db` into directory `dir` (created if missing). Existing
+/// files with the same names are overwritten.
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// \brief Loads a database previously written by SaveDatabase. Column types
+/// come from the manifest (not re-inferred), so a round trip is exact with
+/// one documented exception: an empty-string cell is indistinguishable from
+/// NULL in CSV and loads back as NULL.
+Result<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace fastqre

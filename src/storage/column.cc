@@ -1,0 +1,22 @@
+#include "storage/column.h"
+
+namespace fastqre {
+
+const std::unordered_set<ValueId>& Column::DistinctSet() const {
+  if (!distinct_.has_value()) {
+    std::unordered_set<ValueId> s;
+    s.reserve(data_.size());
+    for (ValueId id : data_) s.insert(id);
+    distinct_ = std::move(s);
+  }
+  return *distinct_;
+}
+
+bool Column::HasNulls() const {
+  if (!has_nulls_.has_value()) {
+    has_nulls_ = DistinctSet().count(kNullValueId) > 0;
+  }
+  return *has_nulls_;
+}
+
+}  // namespace fastqre

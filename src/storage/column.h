@@ -1,0 +1,68 @@
+// Column: a named, typed vector of dictionary-encoded values with lazily
+// computed statistics (distinct set, uniqueness, min/max).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/value.h"
+
+namespace fastqre {
+
+/// \brief Index of a column within its table.
+using ColumnId = uint32_t;
+/// \brief Index of a row within its table.
+using RowId = uint32_t;
+
+/// \brief One column of a Table. Values are ValueIds into the owning
+/// Database's Dictionary; NULL cells store kNullValueId.
+class Column {
+ public:
+  Column(std::string name, ValueType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declared type. Cells are either this type or NULL.
+  ValueType type() const { return type_; }
+
+  size_t size() const { return data_.size(); }
+  ValueId at(RowId row) const { return data_[row]; }
+  const std::vector<ValueId>& data() const { return data_; }
+
+  void Append(ValueId id) {
+    data_.push_back(id);
+    InvalidateStats();
+  }
+  void Reserve(size_t n) { data_.reserve(n); }
+
+  /// The set of distinct ValueIds in this column. Computed once, cached.
+  const std::unordered_set<ValueId>& DistinctSet() const;
+
+  /// Number of distinct values (including NULL if present).
+  size_t NumDistinct() const { return DistinctSet().size(); }
+
+  /// True if no value occurs twice (a key column in isolation).
+  bool IsUnique() const { return NumDistinct() == size(); }
+
+  /// True if any cell is NULL.
+  bool HasNulls() const;
+
+ private:
+  void InvalidateStats() {
+    distinct_.reset();
+    has_nulls_.reset();
+  }
+
+  std::string name_;
+  ValueType type_;
+  std::vector<ValueId> data_;
+  mutable std::optional<std::unordered_set<ValueId>> distinct_;
+  mutable std::optional<bool> has_nulls_;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,202 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+namespace {
+
+// Splits one CSV line honoring double-quoted fields with "" escapes.
+std::vector<std::string> SplitCsvLine(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+bool NeedsQuoting(const std::string& s, char sep) {
+  return s.find(sep) != std::string::npos || s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteCsv(const std::string& s, char sep) {
+  if (!NeedsQuoting(s, sep)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Table> LoadCsvString(const std::string& csv, const std::string& table_name,
+                            std::shared_ptr<Dictionary> dict,
+                            const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  {
+    std::istringstream in(csv);
+    std::string line;
+    std::vector<std::string> raw;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      raw.push_back(line);
+    }
+    // A trailing empty line is the final row terminator, not a row; interior
+    // empty lines are legitimate rows (a NULL cell in a 1-column table).
+    while (!raw.empty() && raw.back().empty()) raw.pop_back();
+    rows.reserve(raw.size());
+    for (const std::string& l : raw) {
+      rows.push_back(SplitCsvLine(l, options.separator));
+    }
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV input for table '" + table_name + "'");
+  }
+
+  std::vector<std::string> header;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const auto& name : rows[0]) header.emplace_back(TrimString(name));
+    first_data_row = 1;
+  } else {
+    for (size_t i = 0; i < rows[0].size(); ++i) {
+      header.push_back("c" + std::to_string(i));
+    }
+  }
+  const size_t ncols = header.size();
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (rows[r].size() != ncols) {
+      return Status::InvalidArgument(StringFormat(
+          "CSV row %zu has %zu fields; expected %zu", r, rows[r].size(), ncols));
+    }
+  }
+
+  auto is_null = [&](const std::string& cell) {
+    return cell.empty() || cell == options.null_token;
+  };
+
+  // Use declared types when given; otherwise infer the narrowest type that
+  // fits every non-null cell of each column.
+  std::vector<ValueType> types(ncols, ValueType::kInt64);
+  if (!options.column_types.empty()) {
+    if (options.column_types.size() != ncols) {
+      return Status::InvalidArgument(StringFormat(
+          "declared %zu column types for %zu CSV columns",
+          options.column_types.size(), ncols));
+    }
+    types = options.column_types;
+  } else {
+  for (size_t c = 0; c < ncols; ++c) {
+    bool all_null = true;
+    for (size_t r = first_data_row; r < rows.size(); ++r) {
+      const std::string& cell = rows[r][c];
+      if (is_null(cell)) continue;
+      all_null = false;
+      int64_t i64;
+      double d;
+      if (types[c] == ValueType::kInt64 && !ParseInt64(cell, &i64)) {
+        types[c] = ValueType::kDouble;
+      }
+      if (types[c] == ValueType::kDouble && !ParseDouble(cell, &d)) {
+        types[c] = ValueType::kString;
+        break;
+      }
+    }
+    if (all_null) types[c] = ValueType::kString;
+  }
+  }
+
+  Table table(table_name, std::move(dict));
+  for (size_t c = 0; c < ncols; ++c) {
+    FASTQRE_RETURN_NOT_OK(table.AddColumn(header[c], types[c]));
+  }
+  std::vector<Value> row(ncols);
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = rows[r][c];
+      if (is_null(cell)) {
+        row[c] = Value::Null();
+      } else if (types[c] == ValueType::kInt64) {
+        int64_t v = 0;
+        if (!ParseInt64(cell, &v)) {
+          return Status::InvalidArgument(StringFormat(
+              "row %zu column %zu: '%s' is not an int64", r, c, cell.c_str()));
+        }
+        row[c] = Value(v);
+      } else if (types[c] == ValueType::kDouble) {
+        double v = 0;
+        if (!ParseDouble(cell, &v)) {
+          return Status::InvalidArgument(StringFormat(
+              "row %zu column %zu: '%s' is not a double", r, c, cell.c_str()));
+        }
+        row[c] = Value(v);
+      } else {
+        row[c] = Value(cell);
+      }
+    }
+    FASTQRE_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> LoadCsvFile(const std::string& path, const std::string& table_name,
+                          std::shared_ptr<Dictionary> dict,
+                          const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadCsvString(buf.str(), table_name, std::move(dict), options);
+}
+
+std::string TableToCsv(const Table& table, char separator) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += separator;
+    out += QuoteCsv(table.column(c).name(), separator);
+  }
+  out += '\n';
+  const auto& dict = *table.dictionary();
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += separator;
+      const Value& v = dict.Get(table.column(c).at(r));
+      if (!v.is_null()) out += QuoteCsv(v.ToString(), separator);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fastqre

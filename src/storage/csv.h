@@ -1,0 +1,48 @@
+// CSV ingestion and export — the "Parsing Data" preprocessing component.
+//
+// R_out typically arrives as an exported spreadsheet (Example 2.1's excel
+// table); LoadCsv turns such a file into a Table encoded against the target
+// database's dictionary, inferring column types (int64 / double / string).
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace fastqre {
+
+/// \brief Options controlling CSV parsing.
+struct CsvOptions {
+  char separator = ',';
+  /// First row holds column names. If false, columns are named c0, c1, ...
+  bool has_header = true;
+  /// Cells equal to this string become NULL (in addition to empty cells).
+  std::string null_token = "";
+  /// Declared column types. Empty: infer per column (int64 -> double ->
+  /// string widening). Non-empty: must match the column count; cells are
+  /// parsed as the declared type (a non-parsing cell is an error), which
+  /// keeps round trips exact (e.g. the string "05" is not narrowed to 5).
+  std::vector<ValueType> column_types;
+};
+
+/// \brief Parses CSV text into a table named `table_name`, interning values
+/// into `dict` (pass the target Database's dictionary so containment checks
+/// against it are id-comparisons). Column types are inferred: a column where
+/// every non-null cell parses as int64 is int64; else double; else string.
+Result<Table> LoadCsvString(const std::string& csv, const std::string& table_name,
+                            std::shared_ptr<Dictionary> dict,
+                            const CsvOptions& options = CsvOptions());
+
+/// \brief LoadCsvString over a file's contents.
+Result<Table> LoadCsvFile(const std::string& path, const std::string& table_name,
+                          std::shared_ptr<Dictionary> dict,
+                          const CsvOptions& options = CsvOptions());
+
+/// \brief Renders a table as CSV (header + rows).
+std::string TableToCsv(const Table& table, char separator = ',');
+
+}  // namespace fastqre

@@ -1,0 +1,69 @@
+#include "storage/database.h"
+
+#include "common/timer.h"
+
+namespace fastqre {
+
+Result<TableId> Database::AddTable(const std::string& name) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(name, dict_));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<TableId> Database::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Database::AddForeignKey(const std::string& child_table,
+                               const std::string& child_col,
+                               const std::string& parent_table,
+                               const std::string& parent_col) {
+  FASTQRE_ASSIGN_OR_RETURN(TableId child_t, FindTable(child_table));
+  FASTQRE_ASSIGN_OR_RETURN(TableId parent_t, FindTable(parent_table));
+  FASTQRE_ASSIGN_OR_RETURN(ColumnId child_c, table(child_t).FindColumn(child_col));
+  FASTQRE_ASSIGN_OR_RETURN(ColumnId parent_c, table(parent_t).FindColumn(parent_col));
+  fks_.push_back(ForeignKey{child_t, child_c, parent_t, parent_c});
+  graph_.AddEdge(child_t, child_c, parent_t, parent_c);
+  return Status::OK();
+}
+
+const HashIndex& Database::GetOrBuildIndex(TableId t,
+                                           std::vector<ColumnId> cols) const {
+  auto key = std::make_pair(t, cols);
+  auto it = index_cache_.find(key);
+  if (it != index_cache_.end()) {
+    ++index_stats_.cache_hits;
+    return *it->second;
+  }
+  Timer timer;
+  auto index = std::make_unique<HashIndex>(*tables_[t], std::move(cols));
+  index_stats_.build_seconds += timer.ElapsedSeconds();
+  ++index_stats_.indexes_built;
+  auto [pos, _] = index_cache_.emplace(std::move(key), std::move(index));
+  return *pos->second;
+}
+
+const ColumnPattern& Database::GetColumnPattern(TableId t, ColumnId c) const {
+  auto key = std::make_pair(t, c);
+  auto it = pattern_cache_.find(key);
+  if (it != pattern_cache_.end()) return it->second;
+  auto [pos, _] = pattern_cache_.emplace(
+      key, ComputeColumnPattern(tables_[t]->column(c), *dict_));
+  return pos->second;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,110 @@
+// Database: catalog of tables + pk-fk constraints + derived schema graph +
+// index cache. This is the substrate the QRE pipeline runs against.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/index.h"
+#include "storage/pattern.h"
+#include "storage/schema_graph.h"
+#include "storage/table.h"
+
+namespace fastqre {
+
+/// \brief A declared pk-fk constraint (child.fk_col references parent.pk_col).
+struct ForeignKey {
+  TableId child_table;
+  ColumnId child_column;
+  TableId parent_table;
+  ColumnId parent_column;
+};
+
+/// \brief Counters describing on-demand index construction (the paper's
+/// "Index Creation" preprocessing component).
+struct IndexBuildStats {
+  uint64_t indexes_built = 0;
+  uint64_t cache_hits = 0;
+  double build_seconds = 0.0;
+};
+
+/// \brief An in-memory relational database: tables sharing one dictionary,
+/// pk-fk constraints, the schema graph they induce, and a cache of
+/// on-demand hash indexes.
+///
+/// Not thread-safe: the lazily-built caches (indexes, patterns, per-column
+/// distinct sets) mutate under logically-const reads, so concurrent QRE
+/// runs must use separate Database instances.
+class Database {
+ public:
+  Database() : dict_(std::make_shared<Dictionary>()) {}
+
+  // Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  /// Creates an empty table; fails on duplicate name.
+  Result<TableId> AddTable(const std::string& name);
+
+  size_t num_tables() const { return tables_.size(); }
+  Table& table(TableId id) { return *tables_[id]; }
+  const Table& table(TableId id) const { return *tables_[id]; }
+  Result<TableId> FindTable(const std::string& name) const;
+
+  /// Declares child.fk = parent.pk and adds the corresponding schema-graph
+  /// edge. Column/table names are resolved immediately.
+  Status AddForeignKey(const std::string& child_table, const std::string& child_col,
+                       const std::string& parent_table, const std::string& parent_col);
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  const SchemaGraph& schema_graph() const { return graph_; }
+
+  /// Adds an arbitrary schema-graph join edge without pk-fk semantics.
+  /// (Section 3: "Our approach applies to any G_S irrespective of how its
+  /// edges have been generated.")
+  EdgeId AddJoinEdge(TableId table_a, ColumnId col_a, TableId table_b, ColumnId col_b) {
+    return graph_.AddEdge(table_a, col_a, table_b, col_b);
+  }
+
+  /// Returns (building and caching on first use) the hash index over the
+  /// given columns of the given table.
+  const HashIndex& GetOrBuildIndex(TableId t, std::vector<ColumnId> cols) const;
+
+  /// Returns (computing and caching on first use) the value pattern of a
+  /// column — the per-column statistic behind cover-comparison pruning.
+  /// Invalidated never: patterns are computed on sealed data (the QRE
+  /// pipeline treats the database as read-only).
+  const ColumnPattern& GetColumnPattern(TableId t, ColumnId c) const;
+
+  const IndexBuildStats& index_stats() const { return index_stats_; }
+
+  /// Total number of rows across all tables.
+  size_t TotalRows() const;
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+  std::vector<ForeignKey> fks_;
+  SchemaGraph graph_;
+
+  // Index cache: keyed by (table, column list). Mutable because building an
+  // index is a logically-const acceleration.
+  mutable std::map<std::pair<TableId, std::vector<ColumnId>>,
+                   std::unique_ptr<HashIndex>>
+      index_cache_;
+  mutable IndexBuildStats index_stats_;
+  mutable std::map<std::pair<TableId, ColumnId>, ColumnPattern> pattern_cache_;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,60 @@
+// Dictionary: global value interning for a database.
+//
+// Every distinct Value seen by a Database (including a later-encoded R_out)
+// maps to a dense 32-bit ValueId. Two cells are equal iff their ids are
+// equal, across columns and tables, which turns the paper's π/⊆ containment
+// machinery into integer-set operations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace fastqre {
+
+/// \brief Dense identifier of an interned Value. Id 0 is always NULL.
+using ValueId = uint32_t;
+
+/// \brief The id the NULL value interns to.
+inline constexpr ValueId kNullValueId = 0;
+
+/// \brief Append-only value interner shared by all tables of a Database.
+class Dictionary {
+ public:
+  Dictionary() {
+    // Reserve id 0 for NULL so callers can test nullness without a lookup.
+    ids_.emplace(Value::Null(), kNullValueId);
+    values_.push_back(Value::Null());
+  }
+
+  /// Returns the id of `v`, interning it if new.
+  ValueId Intern(const Value& v) {
+    auto it = ids_.find(v);
+    if (it != ids_.end()) return it->second;
+    ValueId id = static_cast<ValueId>(values_.size());
+    values_.push_back(v);
+    ids_.emplace(v, id);
+    return id;
+  }
+
+  /// Returns the id of `v` if already interned, else kNotInterned.
+  static constexpr ValueId kNotInterned = 0xffffffffu;
+  ValueId Find(const Value& v) const {
+    auto it = ids_.find(v);
+    return it == ids_.end() ? kNotInterned : it->second;
+  }
+
+  /// Returns the value for an id. Precondition: id < size().
+  const Value& Get(ValueId id) const { return values_[id]; }
+
+  /// Number of interned values (including NULL).
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<Value, ValueId, ValueHash> ids_;
+  std::vector<Value> values_;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,26 @@
+#include "storage/index.h"
+
+namespace fastqre {
+
+HashIndex::HashIndex(const Table& table, std::vector<ColumnId> cols)
+    : cols_(std::move(cols)) {
+  const size_t n = table.num_rows();
+  if (cols_.size() == 1) {
+    const Column& c = table.column(cols_[0]);
+    single_.reserve(n);
+    for (RowId r = 0; r < n; ++r) {
+      single_[c.at(r)].push_back(r);
+    }
+  } else {
+    multi_.reserve(n);
+    std::vector<ValueId> key(cols_.size());
+    for (RowId r = 0; r < n; ++r) {
+      for (size_t i = 0; i < cols_.size(); ++i) {
+        key[i] = table.column(cols_[i]).at(r);
+      }
+      multi_[key].push_back(r);
+    }
+  }
+}
+
+}  // namespace fastqre

@@ -1,0 +1,55 @@
+// HashIndex: an equality index over one or more columns of a table.
+//
+// Indexes back both the pipelined join executor (index-nested-loop joins on
+// pk-fk edges) and the probing-query mechanism (point lookups binding
+// projection columns to an R_out tuple's values).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace fastqre {
+
+/// \brief Equality index: (value tuple over `cols`) -> row ids.
+///
+/// Single-column indexes (the overwhelmingly common case for pk-fk joins)
+/// use a flat ValueId-keyed map; multi-column indexes key on the id tuple.
+class HashIndex {
+ public:
+  /// Builds the index eagerly over all rows of `table`.
+  HashIndex(const Table& table, std::vector<ColumnId> cols);
+
+  const std::vector<ColumnId>& columns() const { return cols_; }
+  size_t num_keys() const {
+    return cols_.size() == 1 ? single_.size() : multi_.size();
+  }
+
+  /// Rows whose single indexed column equals `key`. Requires 1 column.
+  const std::vector<RowId>& Lookup1(ValueId key) const {
+    auto it = single_.find(key);
+    return it == single_.end() ? kEmpty() : it->second;
+  }
+
+  /// Rows whose indexed columns equal `key` position-wise.
+  const std::vector<RowId>& Lookup(const std::vector<ValueId>& key) const {
+    if (cols_.size() == 1) return Lookup1(key[0]);
+    auto it = multi_.find(key);
+    return it == multi_.end() ? kEmpty() : it->second;
+  }
+
+ private:
+  static const std::vector<RowId>& kEmpty() {
+    static const std::vector<RowId> e;
+    return e;
+  }
+
+  std::vector<ColumnId> cols_;
+  std::unordered_map<ValueId, std::vector<RowId>> single_;
+  std::unordered_map<std::vector<ValueId>, std::vector<RowId>, IdTupleHash> multi_;
+};
+
+}  // namespace fastqre

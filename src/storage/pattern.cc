@@ -1,0 +1,40 @@
+#include "storage/pattern.h"
+
+namespace fastqre {
+
+ColumnPattern ComputeColumnPattern(const Column& column, const Dictionary& dict) {
+  ColumnPattern p;
+  p.num_distinct = column.NumDistinct();
+  bool first = true;
+  for (ValueId id : column.DistinctSet()) {
+    if (id == kNullValueId) {
+      p.has_nulls = true;
+      continue;
+    }
+    const Value& v = dict.Get(id);
+    if (first) {
+      p.type = v.type();
+      p.min_value = v;
+      p.max_value = v;
+      first = false;
+    } else {
+      if (v < p.min_value) p.min_value = v;
+      if (p.max_value < v) p.max_value = v;
+    }
+  }
+  return p;
+}
+
+bool PatternCompatible(const ColumnPattern& sub, const ColumnPattern& super) {
+  // An all-null sub column only needs the super column to contain NULL.
+  if (sub.type == ValueType::kNull) return !sub.has_nulls || super.has_nulls;
+  if (sub.type != super.type) return false;
+  if (sub.num_distinct > super.num_distinct) return false;
+  if (sub.has_nulls && !super.has_nulls) return false;
+  if (super.type == ValueType::kNull) return false;
+  if (sub.min_value < super.min_value) return false;
+  if (super.max_value < sub.max_value) return false;
+  return true;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,36 @@
+// Column patterns: cheap per-column summaries used to prune column-cover
+// comparisons (Section 4.1: "FastQRE first computes patterns formed by
+// column values, that are then leveraged to avoid certain column
+// comparisons").
+//
+// A pattern captures type, distinct count, value range and null presence;
+// containment pi_c(R_out) ⊆ pi_a(R) is impossible unless the patterns are
+// compatible, and incompatibility is detected in O(1). Patterns are
+// database-level statistics: Database caches one per column (see
+// Database::GetColumnPattern), so repeated cover computations pay nothing.
+#pragma once
+
+#include "storage/column.h"
+#include "storage/dictionary.h"
+
+namespace fastqre {
+
+/// \brief O(1)-comparable summary of a column's value set.
+struct ColumnPattern {
+  /// Type of the non-null values (kNull iff the column is entirely null).
+  ValueType type = ValueType::kNull;
+  size_t num_distinct = 0;  // including NULL if present
+  bool has_nulls = false;
+  /// Min / max over non-null values (Value ordering). Unset if all-null.
+  Value min_value;
+  Value max_value;
+};
+
+/// \brief Computes the pattern of a column (one pass over its distinct set).
+ColumnPattern ComputeColumnPattern(const Column& column, const Dictionary& dict);
+
+/// \brief True if a column with pattern `sub` could possibly be a subset of
+/// a column with pattern `super`; false proves non-containment.
+bool PatternCompatible(const ColumnPattern& sub, const ColumnPattern& super);
+
+}  // namespace fastqre

@@ -1,0 +1,71 @@
+// SchemaGraph: the labeled multigraph G_S over the tables of a database.
+//
+// Nodes are tables; an edge (R_i.a, R_j.b) says a join R_i.a = R_j.b is
+// possible. Parallel edges (different column pairs between the same tables)
+// and self-loops (e.g. employee.manager_id = employee.id) are supported, as
+// required by Section 3 of the paper. The QRE walk machinery traverses this
+// graph; it does not care how the edges were produced, but Database derives
+// them from declared pk-fk constraints, matching the paper's empirical setup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace fastqre {
+
+/// \brief Index of an edge within a SchemaGraph.
+using EdgeId = uint32_t;
+
+/// \brief One join edge of the schema graph. side 0/1 are interchangeable;
+/// the edge is undirected.
+struct SchemaEdge {
+  EdgeId id = 0;
+  TableId table[2] = {0, 0};
+  ColumnId column[2] = {0, 0};
+
+  /// True if both endpoints are the same table (self-loop).
+  bool IsSelfLoop() const { return table[0] == table[1]; }
+
+  /// Given one endpoint table, returns which side (0/1) it is. For
+  /// self-loops returns 0. Precondition: t is an endpoint.
+  int SideOf(TableId t) const { return table[0] == t ? 0 : 1; }
+};
+
+/// \brief Undirected multigraph over tables.
+class SchemaGraph {
+ public:
+  /// Adds an edge table_a.col_a = table_b.col_b; returns its id.
+  EdgeId AddEdge(TableId table_a, ColumnId col_a, TableId table_b, ColumnId col_b) {
+    EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(SchemaEdge{id, {table_a, table_b}, {col_a, col_b}});
+    EnsureTable(std::max(table_a, table_b));
+    adjacency_[table_a].push_back(id);
+    if (table_b != table_a) adjacency_[table_b].push_back(id);
+    return id;
+  }
+
+  size_t num_edges() const { return edges_.size(); }
+  const SchemaEdge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<SchemaEdge>& edges() const { return edges_; }
+
+  /// Edges incident to table `t` (self-loops appear once).
+  const std::vector<EdgeId>& EdgesOf(TableId t) const {
+    static const std::vector<EdgeId> kEmpty;
+    if (t >= adjacency_.size()) return kEmpty;
+    return adjacency_[t];
+  }
+
+ private:
+  void EnsureTable(TableId t) {
+    if (adjacency_.size() <= t) adjacency_.resize(t + 1);
+  }
+
+  std::vector<SchemaEdge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace fastqre

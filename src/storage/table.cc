@@ -1,0 +1,73 @@
+#include "storage/table.h"
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+Status Table::AddColumn(const std::string& name, ValueType type) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("column '" + name + "' already exists in table '" +
+                                 name_ + "'");
+  }
+  if (num_rows() > 0) {
+    return Status::InvalidArgument("cannot add column '" + name +
+                                   "' after rows were appended");
+  }
+  if (type == ValueType::kNull) {
+    return Status::InvalidArgument("column '" + name + "' cannot have type null");
+  }
+  by_name_.emplace(name, static_cast<ColumnId>(columns_.size()));
+  columns_.emplace_back(name, type);
+  return Status::OK();
+}
+
+Result<ColumnId> Table::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column '" + name + "' in table '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "row arity %zu does not match table '%s' arity %zu", values.size(),
+        name_.c_str(), columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i].is_null() && values[i].type() != columns_[i].type()) {
+      return Status::InvalidArgument(StringFormat(
+          "value type %s does not match column '%s' type %s",
+          ValueTypeToString(values[i].type()), columns_[i].name().c_str(),
+          ValueTypeToString(columns_[i].type())));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].Append(dict_->Intern(values[i]));
+  }
+  return Status::OK();
+}
+
+void Table::AppendRowIds(const std::vector<ValueId>& ids) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].Append(ids[i]);
+  }
+}
+
+std::vector<ValueId> Table::RowIds(RowId row) const {
+  std::vector<ValueId> out(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) out[i] = columns_[i].at(row);
+  return out;
+}
+
+std::vector<Value> Table::RowValues(RowId row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out.push_back(dict_->Get(columns_[i].at(row)));
+  }
+  return out;
+}
+
+}  // namespace fastqre

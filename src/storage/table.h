@@ -1,0 +1,66 @@
+// Table: a named collection of equal-length Columns sharing a Dictionary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+
+namespace fastqre {
+
+/// \brief Index of a table within its Database.
+using TableId = uint32_t;
+
+/// \brief An in-memory relation. Rows are appended via Value (interned) or
+/// pre-encoded ValueIds; reads are columnar.
+class Table {
+ public:
+  Table(std::string name, std::shared_ptr<Dictionary> dict)
+      : name_(std::move(name)), dict_(std::move(dict)) {}
+
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  /// Declares a new column. Fails if the name already exists or rows have
+  /// already been appended.
+  Status AddColumn(const std::string& name, ValueType type);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const Column& column(ColumnId c) const { return columns_[c]; }
+  Column& column(ColumnId c) { return columns_[c]; }
+
+  /// Returns the index of the named column, or NotFound.
+  Result<ColumnId> FindColumn(const std::string& name) const;
+
+  /// Interns each Value and appends a row. Arity must match; each non-null
+  /// cell must match its column's declared type.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Fast path: appends a row of already-interned ids (no type checks).
+  void AppendRowIds(const std::vector<ValueId>& ids);
+
+  /// Reads back a row as ValueIds.
+  std::vector<ValueId> RowIds(RowId row) const;
+
+  /// Reads back a row as decoded Values.
+  std::vector<Value> RowValues(RowId row) const;
+
+  void ReserveRows(size_t n) {
+    for (auto& c : columns_) c.Reserve(n);
+  }
+
+ private:
+  std::string name_;
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, ColumnId> by_name_;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,49 @@
+#include "storage/value.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace fastqre {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt64: return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      // Shortest representation that round-trips: try increasing precision
+      // until parsing the text recovers the exact double (usually %.15g).
+      double d = AsDouble();
+      for (int precision : {15, 16}) {
+        std::string s = StringFormat("%.*g", precision, d);
+        if (std::strtod(s.c_str(), nullptr) == d) return s;
+      }
+      return StringFormat("%.17g", d);
+    }
+    case ValueType::kString: return AsString();
+  }
+  return "";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (type() != ValueType::kString) return ToString();
+  std::string out = "'";
+  for (char c : AsString()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,96 @@
+// Value: the dynamically-typed cell type of the storage layer.
+//
+// The engine dictionary-encodes every distinct Value into a dense ValueId
+// (see dictionary.h); all hot paths (joins, coherence checks, covers) operate
+// on ValueIds, and Value itself only appears at ingest and display time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace fastqre {
+
+/// \brief Storage type of a column / value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// \brief Returns "null" / "int64" / "double" / "string".
+const char* ValueTypeToString(ValueType t);
+
+/// \brief A single dynamically-typed cell.
+///
+/// Ordering and equality are defined first by type, then by payload, so that
+/// Values of mixed types can live in ordered containers. NULL compares equal
+/// to NULL: the QRE containment checks treat cells as opaque values (set
+/// semantics over R_out), which is the semantics the paper's π/⊆ notation
+/// uses.
+class Value {
+ public:
+  Value() : payload_(std::monostate{}) {}
+  explicit Value(int64_t v) : payload_(v) {}
+  explicit Value(double v) : payload_(v) {}
+  explicit Value(std::string v) : payload_(std::move(v)) {}
+  explicit Value(const char* v) : payload_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(payload_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(payload_); }
+  double AsDouble() const { return std::get<double>(payload_); }
+  const std::string& AsString() const { return std::get<std::string>(payload_); }
+
+  bool operator==(const Value& o) const { return payload_ == o.payload_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const {
+    if (payload_.index() != o.payload_.index()) {
+      return payload_.index() < o.payload_.index();
+    }
+    return payload_ < o.payload_;
+  }
+
+  /// Stable hash (used by the dictionary).
+  uint64_t Hash() const {
+    switch (type()) {
+      case ValueType::kNull:
+        return 0x6e756c6cULL;
+      case ValueType::kInt64:
+        return HashCombine(1, static_cast<uint64_t>(AsInt64()));
+      case ValueType::kDouble: {
+        double d = AsDouble();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return HashCombine(2, bits);
+      }
+      case ValueType::kString:
+        return HashCombine(3, HashString(AsString()));
+    }
+    return 0;
+  }
+
+  /// Human-readable rendering; strings are returned verbatim.
+  std::string ToString() const;
+
+  /// SQL-literal rendering; strings are single-quoted with escaping.
+  std::string ToSqlLiteral() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> payload_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+
+}  // namespace fastqre

@@ -1,0 +1,148 @@
+// Unit tests for database persistence (save/load CSV directory + manifest).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/randomdb.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "qre/fastqre.h"
+#include "storage/catalog_io.h"
+
+namespace fastqre {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CatalogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fastqre_catio_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void ExpectSameData(const Database& a, const Database& b) {
+    ASSERT_EQ(a.num_tables(), b.num_tables());
+    for (TableId t = 0; t < a.num_tables(); ++t) {
+      const Table& ta = a.table(t);
+      const Table& tb = b.table(t);
+      ASSERT_EQ(ta.name(), tb.name());
+      ASSERT_EQ(ta.num_columns(), tb.num_columns());
+      ASSERT_EQ(ta.num_rows(), tb.num_rows()) << ta.name();
+      for (ColumnId c = 0; c < ta.num_columns(); ++c) {
+        EXPECT_EQ(ta.column(c).name(), tb.column(c).name());
+        EXPECT_EQ(ta.column(c).type(), tb.column(c).type());
+      }
+      for (RowId r = 0; r < ta.num_rows(); ++r) {
+        ASSERT_EQ(ta.RowValues(r), tb.RowValues(r))
+            << ta.name() << " row " << r;
+      }
+    }
+    ASSERT_EQ(a.foreign_keys().size(), b.foreign_keys().size());
+    ASSERT_EQ(a.schema_graph().num_edges(), b.schema_graph().num_edges());
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CatalogIoTest, TpchRoundTrip) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 5}).ValueOrDie();
+  FASTQRE_CHECK_OK(SaveDatabase(db, dir_.string()));
+  Database loaded = LoadDatabase(dir_.string()).ValueOrDie();
+  ExpectSameData(db, loaded);
+}
+
+TEST_F(CatalogIoTest, RandomDbRoundTrip) {
+  Database db = BuildRandomDb({.seed = 3, .num_tables = 4}).ValueOrDie();
+  FASTQRE_CHECK_OK(SaveDatabase(db, dir_.string()));
+  Database loaded = LoadDatabase(dir_.string()).ValueOrDie();
+  ExpectSameData(db, loaded);
+}
+
+TEST_F(CatalogIoTest, QreWorksOnReloadedDatabase) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 5}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  FASTQRE_CHECK_OK(SaveDatabase(db, dir_.string()));
+  Database loaded = LoadDatabase(dir_.string()).ValueOrDie();
+
+  // R_out from the original db re-encodes transparently against the loaded
+  // db's own dictionary inside Reverse.
+  FastQre engine(&loaded);
+  QreAnswer a = engine.Reverse(workload[1].rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  Table regen = ExecuteToTable(loaded, a.query, "regen").ValueOrDie();
+  EXPECT_EQ(regen.num_rows(), workload[1].rout.num_rows());
+}
+
+TEST_F(CatalogIoTest, TypePreservationForDigitStrings) {
+  // The classic corruption case: a string column whose values look numeric.
+  Database db;
+  TableId t = db.AddTable("codes").ValueOrDie();
+  ASSERT_TRUE(db.table(t).AddColumn("code", ValueType::kString).ok());
+  ASSERT_TRUE(db.table(t).AddColumn("amount", ValueType::kDouble).ok());
+  ASSERT_TRUE(db.table(t).AppendRow({Value("05"), Value(2.0)}).ok());
+  ASSERT_TRUE(db.table(t).AppendRow({Value("007"), Value(1.5)}).ok());
+  FASTQRE_CHECK_OK(SaveDatabase(db, dir_.string()));
+  Database loaded = LoadDatabase(dir_.string()).ValueOrDie();
+  EXPECT_EQ(loaded.table(0).RowValues(0)[0], Value("05"));
+  EXPECT_EQ(loaded.table(0).RowValues(1)[0], Value("007"));
+  // The integral double stays a double.
+  EXPECT_EQ(loaded.table(0).column(1).type(), ValueType::kDouble);
+  EXPECT_EQ(loaded.table(0).RowValues(0)[1], Value(2.0));
+}
+
+TEST_F(CatalogIoTest, NullRoundTrip) {
+  Database db;
+  TableId t = db.AddTable("n").ValueOrDie();
+  ASSERT_TRUE(db.table(t).AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(db.table(t).AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(db.table(t).AppendRow({Value(int64_t{7})}).ok());
+  FASTQRE_CHECK_OK(SaveDatabase(db, dir_.string()));
+  Database loaded = LoadDatabase(dir_.string()).ValueOrDie();
+  EXPECT_TRUE(loaded.table(0).RowValues(0)[0].is_null());
+  EXPECT_EQ(loaded.table(0).RowValues(1)[0], Value(int64_t{7}));
+}
+
+TEST_F(CatalogIoTest, ManifestRejectsUnsafeNames) {
+  Database db;
+  TableId t = db.AddTable("bad name").ValueOrDie();
+  ASSERT_TRUE(db.table(t).AddColumn("a", ValueType::kInt64).ok());
+  EXPECT_TRUE(SaveDatabase(db, dir_.string()).IsInvalidArgument());
+}
+
+TEST_F(CatalogIoTest, LoadErrors) {
+  EXPECT_TRUE(LoadDatabase((dir_ / "nope").string()).status().IsIOError());
+
+  fs::create_directories(dir_);
+  {
+    std::ofstream out(dir_ / "schema.fqre");
+    out << "not-a-manifest\n";
+  }
+  EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsInvalidArgument());
+
+  {
+    std::ofstream out(dir_ / "schema.fqre");
+    out << "fastqre-db 1\ntable ghost 1\ncolumn ghost a int64\n";
+  }
+  // Missing ghost.csv.
+  EXPECT_TRUE(LoadDatabase(dir_.string()).status().IsIOError());
+}
+
+TEST_F(CatalogIoTest, ExtraJoinEdgesPersist) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 5}).ValueOrDie();
+  size_t edges_before = db.schema_graph().num_edges();
+  ASSERT_GT(edges_before, db.foreign_keys().size());  // the L-PS joins
+  FASTQRE_CHECK_OK(SaveDatabase(db, dir_.string()));
+  Database loaded = LoadDatabase(dir_.string()).ValueOrDie();
+  EXPECT_EQ(loaded.schema_graph().num_edges(), edges_before);
+  EXPECT_EQ(loaded.foreign_keys().size(), db.foreign_keys().size());
+}
+
+}  // namespace
+}  // namespace fastqre

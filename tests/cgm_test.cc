@@ -1,0 +1,220 @@
+// Unit tests for direct column coherence / CGM discovery (Section 4.2,
+// Examples 2.2 and Figure 8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "qre/cgm.h"
+#include "qre/column_cover.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+struct CgmFixture {
+  Database db;
+  Table rout;
+  ColumnCover cover;
+  CgmSet cgms;
+  QreStats stats;
+};
+
+CgmFixture Discover(Database db, Table rout, QreOptions opts = QreOptions()) {
+  CgmFixture f{std::move(db), std::move(rout), {}, {}, {}};
+  f.cover = ComputeColumnCover(f.db, f.rout, opts, &f.stats);
+  f.cgms = DiscoverCgms(f.db, f.rout, f.cover, opts, &f.stats);
+  return f;
+}
+
+// Example 2.2 toy database (Figure 4), including table R3.
+Database ToyDb() {
+  Database db;
+  TableId r1 = db.AddTable("R1").ValueOrDie();
+  Table& t1 = db.table(r1);
+  EXPECT_TRUE(t1.AddColumn("A", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AddColumn("B", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AddColumn("C", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{1})}).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{2}), Value(int64_t{4}), Value(int64_t{3})}).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{3}), Value(int64_t{6}), Value(int64_t{5})}).ok());
+  TableId r2 = db.AddTable("R2").ValueOrDie();
+  Table& t2 = db.table(r2);
+  EXPECT_TRUE(t2.AddColumn("D", ValueType::kInt64).ok());
+  EXPECT_TRUE(t2.AddColumn("E", ValueType::kString).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{1}), Value("a7")}).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{2}), Value("a2")}).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{3}), Value("a1")}).ok());
+  TableId r3 = db.AddTable("R3").ValueOrDie();
+  Table& t3 = db.table(r3);
+  EXPECT_TRUE(t3.AddColumn("F", ValueType::kInt64).ok());
+  EXPECT_TRUE(t3.AddColumn("G", ValueType::kString).ok());
+  EXPECT_TRUE(t3.AppendRow({Value(int64_t{1}), Value("b5")}).ok());
+  EXPECT_TRUE(t3.AppendRow({Value(int64_t{2}), Value("b3")}).ok());
+  EXPECT_TRUE(db.AddForeignKey("R2", "D", "R1", "A").ok());
+  EXPECT_TRUE(db.AddForeignKey("R3", "F", "R1", "A").ok());
+  return db;
+}
+
+// True if some CGM of `table` maps exactly the given (out name, db name)
+// pairs (as a subset is NOT enough: exact match).
+bool HasCgm(const CgmFixture& f, const std::string& table,
+            std::vector<std::pair<std::string, std::string>> pairs) {
+  for (const Cgm& g : f.cgms.cgms) {
+    if (f.db.table(g.table).name() != table) continue;
+    if (g.mapping.size() != pairs.size()) continue;
+    bool all = true;
+    for (const auto& [out_name, db_name] : pairs) {
+      bool found = false;
+      for (const auto& [oc, dc] : g.mapping) {
+        if (f.rout.column(oc).name() == out_name &&
+            f.db.table(g.table).column(dc).name() == db_name) {
+          found = true;
+        }
+      }
+      if (!found) all = false;
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(Cgm, Example22CoherentPair) {
+  // R_out(X, Y) from R1(C, B): the pair (C, B) is the only coherent pair of
+  // R1 w.r.t. (X, Y) — per the paper, "(C and B) is the only coherent pair".
+  Database db = ToyDb();
+  Table rout =
+      LoadCsvString("X,Y\n1,2\n3,4\n", "rout", db.dictionary()).ValueOrDie();
+  CgmFixture f = Discover(std::move(db), std::move(rout));
+  EXPECT_TRUE(HasCgm(f, "R1", {{"X", "C"}, {"Y", "B"}}));
+  // (A, B) is not coherent: tuple (3, 4) is absent from R1(A, B).
+  EXPECT_FALSE(HasCgm(f, "R1", {{"X", "A"}, {"Y", "B"}}));
+  EXPECT_FALSE(HasCgm(f, "R1", {{"X", "D"}, {"Y", "B"}}));  // cross-table
+}
+
+TEST(Cgm, MaximalityAbsorbsSubsets) {
+  // In any discovered set, no CGM may be a subset of another (Definition
+  // 4.3).
+  Database db = ToyDb();
+  Table rout = LoadCsvString("X,Y,Z,W\n1,2,a7,b5\n3,4,a2,b3\n", "rout",
+                             db.dictionary())
+                   .ValueOrDie();
+  CgmFixture f = Discover(std::move(db), std::move(rout));
+  for (size_t i = 0; i < f.cgms.cgms.size(); ++i) {
+    for (size_t j = 0; j < f.cgms.cgms.size(); ++j) {
+      if (i == j) continue;
+      const Cgm& a = f.cgms.cgms[i];
+      const Cgm& b = f.cgms.cgms[j];
+      if (a.table != b.table) continue;
+      bool a_subset_b =
+          std::includes(b.mapping.begin(), b.mapping.end(), a.mapping.begin(),
+                        a.mapping.end());
+      EXPECT_FALSE(a_subset_b) << a.ToString(f.db, f.rout) << " subset of "
+                               << b.ToString(f.db, f.rout);
+    }
+  }
+}
+
+TEST(Cgm, OfOutColumnIndexConsistent) {
+  Database db = ToyDb();
+  Table rout = LoadCsvString("X,Y,Z,W\n1,2,a7,b5\n3,4,a2,b3\n", "rout",
+                             db.dictionary())
+                   .ValueOrDie();
+  CgmFixture f = Discover(std::move(db), std::move(rout));
+  ASSERT_EQ(f.cgms.of_out_column.size(), 4u);
+  for (ColumnId c = 0; c < 4; ++c) {
+    for (int idx : f.cgms.of_out_column[c]) {
+      EXPECT_GE(f.cgms.cgms[idx].DbColumnFor(c), 0);
+    }
+  }
+  // Every CGM is indexed under each of its out columns.
+  for (size_t i = 0; i < f.cgms.cgms.size(); ++i) {
+    for (const auto& [oc, dc] : f.cgms.cgms[i].mapping) {
+      const auto& lst = f.cgms.of_out_column[oc];
+      EXPECT_NE(std::find(lst.begin(), lst.end(), static_cast<int>(i)),
+                lst.end());
+    }
+  }
+}
+
+TEST(Cgm, Figure8TwoSupplierCgms) {
+  // R_out of paper Query 1 has columns A..E; (A, B) and (D, E) must each map
+  // to supplier(s_suppkey, s_name) as two distinct maximal CGMs (Figure 8).
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 42}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout = ExecuteToTable(db, q1, "rout", {"A", "B", "C", "D", "E"})
+                   .ValueOrDie();
+  CgmFixture f = Discover(std::move(db), std::move(rout));
+  EXPECT_TRUE(HasCgm(f, "supplier", {{"A", "s_suppkey"}, {"B", "s_name"}}));
+  EXPECT_TRUE(HasCgm(f, "supplier", {{"D", "s_suppkey"}, {"E", "s_name"}}));
+  // B and E are 1-match name columns whose db column is a key: the paper's
+  // Section 4.3.1 argument makes both CGMs certain.
+  bool ab_certain = false, de_certain = false;
+  for (const Cgm& g : f.cgms.cgms) {
+    if (f.db.table(g.table).name() != "supplier") continue;
+    if (g.mapping.size() == 2 && g.certain) {
+      if (f.rout.column(g.mapping[0].first).name() == "A") ab_certain = true;
+      if (f.rout.column(g.mapping[0].first).name() == "D") de_certain = true;
+    }
+  }
+  EXPECT_TRUE(ab_certain);
+  EXPECT_TRUE(de_certain);
+}
+
+TEST(Cgm, OneToOneWithinACgm) {
+  Database db = ToyDb();
+  Table rout = LoadCsvString("X,Y,Z,W\n1,2,a7,b5\n3,4,a2,b3\n", "rout",
+                             db.dictionary())
+                   .ValueOrDie();
+  CgmFixture f = Discover(std::move(db), std::move(rout));
+  for (const Cgm& g : f.cgms.cgms) {
+    std::set<ColumnId> outs, dbs;
+    for (const auto& [oc, dc] : g.mapping) {
+      EXPECT_TRUE(outs.insert(oc).second) << "duplicate out column";
+      EXPECT_TRUE(dbs.insert(dc).second) << "duplicate db column";
+    }
+  }
+}
+
+TEST(Cgm, CgmGroupsAreActuallyCoherent) {
+  // Soundness: for every discovered CGM, pi_Cout(R_out) ⊆ pi_C(R).
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 9}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  const auto& wq = workload[3];  // L04
+  CgmFixture f = Discover(std::move(db), wq.rout);
+  for (const Cgm& g : f.cgms.cgms) {
+    TupleSet group = ProjectToTupleSet(f.db.table(g.table), g.DbColumns());
+    TupleSet out = ProjectToTupleSet(f.rout, g.OutColumns());
+    EXPECT_TRUE(IsSubsetOf(out, group)) << g.ToString(f.db, f.rout);
+  }
+}
+
+TEST(Cgm, SizeCapRespected) {
+  Database db = ToyDb();
+  Table rout = LoadCsvString("X,Y\n1,2\n3,4\n", "rout", db.dictionary())
+                   .ValueOrDie();
+  QreOptions opts;
+  opts.max_cgm_columns = 1;
+  CgmFixture f = Discover(std::move(db), std::move(rout), opts);
+  for (const Cgm& g : f.cgms.cgms) {
+    EXPECT_EQ(g.mapping.size(), 1u);
+  }
+}
+
+TEST(Cgm, ToStringMentionsTableAndColumns) {
+  Database db = ToyDb();
+  Table rout =
+      LoadCsvString("X,Y\n1,2\n3,4\n", "rout", db.dictionary()).ValueOrDie();
+  CgmFixture f = Discover(std::move(db), std::move(rout));
+  ASSERT_FALSE(f.cgms.cgms.empty());
+  std::string s = f.cgms.cgms[0].ToString(f.db, f.rout);
+  EXPECT_NE(s.find("{"), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastqre

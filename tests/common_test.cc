@@ -1,0 +1,264 @@
+// Unit tests for src/common: Status, Result, strings, rng, hashing,
+// duration/count formatting, table printing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace fastqre {
+namespace {
+
+// ---------- Status ----------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(Status, AllConstructorsMapToCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Status, CopyIsCheapAndEqualityWorks) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == Status::OK());
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto f = [](bool fail) -> Status {
+    FASTQRE_RETURN_NOT_OK(fail ? Status::IOError("disk") : Status::OK());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_TRUE(f(true).IsIOError());
+  EXPECT_TRUE(f(false).IsInvalidArgument());
+}
+
+TEST(Status, CodeToStringCoversAll) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+// ---------- Result ----------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("x");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    FASTQRE_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+// ---------- strings ---------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("x", ','), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"one", "two", "three"};
+  EXPECT_EQ(SplitString(JoinStrings(parts, "|"), '|'), parts);
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(TrimString("  hi  "), "hi");
+  EXPECT_EQ(TrimString("hi"), "hi");
+  EXPECT_EQ(TrimString("   "), "");
+  EXPECT_EQ(TrimString("\t a b \n"), "a b");
+}
+
+TEST(Strings, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("-5", &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(Strings, ToLowerAndFormat) {
+  EXPECT_EQ(ToLower("MiXeD 42"), "mixed 42");
+  EXPECT_EQ(StringFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringFormat("%05d", 42), "00042");
+}
+
+// ---------- rng -------------------------------------------------------------
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversDomain) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, StringIsLowercaseAsciiOfRequestedLength) {
+  Rng rng(3);
+  std::string s = rng.String(32);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+// ---------- hash ------------------------------------------------------------
+
+TEST(Hash, IdTupleHashDistinguishesOrderAndLength) {
+  std::vector<uint32_t> a{1, 2, 3}, b{3, 2, 1}, c{1, 2}, d{1, 2, 3};
+  IdTupleHash h;
+  EXPECT_EQ(h(a), h(d));
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+}
+
+TEST(Hash, HashStringStable) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(Hash, SplitMix64Mixes) {
+  EXPECT_NE(SplitMix64(0), SplitMix64(1));
+  EXPECT_NE(SplitMix64(0), 0u);
+}
+
+// ---------- timer / printing -------------------------------------------------
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMicros(), 0);
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(FormatDuration(0.0000032), "3.2us");
+  EXPECT_EQ(FormatDuration(0.014), "14.0ms");
+  EXPECT_EQ(FormatDuration(2.51), "2.51s");
+  EXPECT_EQ(FormatDuration(252.0), "4m12s");
+  EXPECT_EQ(FormatDuration(-1.0), "-");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t("demo", {"a", "long_header"});
+  t.AddRow({"xxxx", "1"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| a    | long_header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxx | 1           |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastqre

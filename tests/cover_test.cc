@@ -1,0 +1,203 @@
+// Unit tests for column patterns and column-cover computation (the
+// preprocessing module, Section 4.1 / Example 2.2).
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "qre/column_cover.h"
+#include "storage/pattern.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+// The toy database of Example 2.2 (Figure 4).
+Database ToyDb() {
+  Database db;
+  TableId r1 = db.AddTable("R1").ValueOrDie();
+  Table& t1 = db.table(r1);
+  EXPECT_TRUE(t1.AddColumn("A", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AddColumn("B", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AddColumn("C", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{1})}).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{2}), Value(int64_t{4}), Value(int64_t{3})}).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{3}), Value(int64_t{6}), Value(int64_t{5})}).ok());
+  TableId r2 = db.AddTable("R2").ValueOrDie();
+  Table& t2 = db.table(r2);
+  EXPECT_TRUE(t2.AddColumn("D", ValueType::kInt64).ok());
+  EXPECT_TRUE(t2.AddColumn("E", ValueType::kString).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{1}), Value("a7")}).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{2}), Value("a2")}).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{3}), Value("a1")}).ok());
+  EXPECT_TRUE(db.AddForeignKey("R2", "D", "R1", "A").ok());
+  return db;
+}
+
+ColumnPattern Pattern(const Database& db, const char* table, const char* col) {
+  const Table& t = db.table(*db.FindTable(table));
+  return ComputeColumnPattern(t.column(*t.FindColumn(col)), *db.dictionary());
+}
+
+TEST(Patterns, CapturesTypeRangeDistinct) {
+  Database db = ToyDb();
+  ColumnPattern p = Pattern(db, "R1", "A");
+  EXPECT_EQ(p.type, ValueType::kInt64);
+  EXPECT_EQ(p.num_distinct, 3u);
+  EXPECT_FALSE(p.has_nulls);
+  EXPECT_EQ(p.min_value, Value(int64_t{1}));
+  EXPECT_EQ(p.max_value, Value(int64_t{3}));
+}
+
+TEST(Patterns, StringColumn) {
+  Database db = ToyDb();
+  ColumnPattern p = Pattern(db, "R2", "E");
+  EXPECT_EQ(p.type, ValueType::kString);
+  EXPECT_EQ(p.min_value, Value("a1"));
+  EXPECT_EQ(p.max_value, Value("a7"));
+}
+
+TEST(Patterns, NullHandling) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ColumnPattern all_null = ComputeColumnPattern(t.column(0), *dict);
+  EXPECT_EQ(all_null.type, ValueType::kNull);
+  EXPECT_TRUE(all_null.has_nulls);
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{5})}).ok());
+  ColumnPattern mixed = ComputeColumnPattern(t.column(0), *dict);
+  EXPECT_EQ(mixed.type, ValueType::kInt64);
+  EXPECT_TRUE(mixed.has_nulls);
+  EXPECT_EQ(mixed.num_distinct, 2u);  // includes NULL
+}
+
+TEST(Patterns, CompatibilityRules) {
+  ColumnPattern small{ValueType::kInt64, 2, false, Value(int64_t{5}),
+                      Value(int64_t{8})};
+  ColumnPattern big{ValueType::kInt64, 10, false, Value(int64_t{0}),
+                    Value(int64_t{100})};
+  EXPECT_TRUE(PatternCompatible(small, big));
+  EXPECT_FALSE(PatternCompatible(big, small));  // more distinct values
+  ColumnPattern str{ValueType::kString, 2, false, Value("a"), Value("b")};
+  EXPECT_FALSE(PatternCompatible(small, str));  // type mismatch
+  ColumnPattern shifted{ValueType::kInt64, 10, false, Value(int64_t{6}),
+                        Value(int64_t{100})};
+  EXPECT_FALSE(PatternCompatible(small, shifted));  // min below super's min
+  ColumnPattern with_null = small;
+  with_null.has_nulls = true;
+  with_null.num_distinct = 3;
+  EXPECT_FALSE(PatternCompatible(with_null, big));  // super lacks nulls
+  ColumnPattern big_null = big;
+  big_null.has_nulls = true;
+  EXPECT_TRUE(PatternCompatible(with_null, big_null));
+}
+
+TEST(Patterns, AllNullSubNeedsNullInSuper) {
+  ColumnPattern all_null;
+  all_null.has_nulls = true;
+  all_null.num_distinct = 1;
+  ColumnPattern no_null{ValueType::kInt64, 5, false, Value(int64_t{0}),
+                        Value(int64_t{9})};
+  EXPECT_FALSE(PatternCompatible(all_null, no_null));
+  ColumnPattern yes_null = no_null;
+  yes_null.has_nulls = true;
+  EXPECT_TRUE(PatternCompatible(all_null, yes_null));
+}
+
+TEST(Cover, Example22Covers) {
+  // From the paper: S_X = {A, C, D}, S_Y = {B}, S_Z = {E} for the R_out of
+  // Example 2.2 (column W / table R3 omitted in this fixture).
+  Database db = ToyDb();
+  Table rout = LoadCsvString("X,Y,Z\n1,2,a7\n3,4,a2\n", "rout",
+                             db.dictionary())
+                   .ValueOrDie();
+  QreOptions opts;
+  QreStats stats;
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &stats);
+  auto names_of = [&](ColumnId c) {
+    std::vector<std::string> names;
+    for (const auto& e : cover.covers[c]) {
+      names.push_back(db.table(e.table).column(e.column).name());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(names_of(0), (std::vector<std::string>{"A", "C", "D"}));
+  EXPECT_EQ(names_of(1), (std::vector<std::string>{"B"}));
+  EXPECT_EQ(names_of(2), (std::vector<std::string>{"E"}));
+  EXPECT_FALSE(cover.HasEmptyCover());
+}
+
+TEST(Cover, EmptyCoverDetected) {
+  Database db = ToyDb();
+  Table rout =
+      LoadCsvString("X\n999\n", "rout", db.dictionary()).ValueOrDie();
+  QreOptions opts;
+  QreStats stats;
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &stats);
+  EXPECT_TRUE(cover.HasEmptyCover());
+}
+
+TEST(Cover, JaccardIsContainmentRatio) {
+  Database db = ToyDb();
+  // X = {1, 3} against A = {1, 2, 3}: jaccard 2/3; same for D.
+  Table rout =
+      LoadCsvString("X\n1\n3\n", "rout", db.dictionary()).ValueOrDie();
+  QreOptions opts;
+  QreStats stats;
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &stats);
+  double j_a = -1, j_d = -1;
+  for (const auto& e : cover.covers[0]) {
+    std::string name = db.table(e.table).column(e.column).name();
+    if (name == "A") j_a = e.jaccard;
+    if (name == "D") j_d = e.jaccard;
+  }
+  EXPECT_NEAR(j_a, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(j_d, 2.0 / 3.0, 1e-9);
+}
+
+TEST(Cover, PatternPruningPreservesResult) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 11}).ValueOrDie();
+  const Table& sup = db.table(*db.FindTable("supplier"));
+  // R_out = pi_{s_name, s_nationkey}(supplier) prefix.
+  Table rout("rout", db.dictionary());
+  ASSERT_TRUE(rout.AddColumn("x", ValueType::kString).ok());
+  ASSERT_TRUE(rout.AddColumn("y", ValueType::kInt64).ok());
+  for (RowId r = 0; r < 5; ++r) {
+    rout.AppendRowIds({sup.column(1).at(r), sup.column(3).at(r)});
+  }
+  QreOptions with, without;
+  with.use_pattern_pruning = true;
+  without.use_pattern_pruning = false;
+  QreStats s1, s2;
+  ColumnCover c1 = ComputeColumnCover(db, rout, with, &s1);
+  ColumnCover c2 = ComputeColumnCover(db, rout, without, &s2);
+  ASSERT_EQ(c1.covers.size(), c2.covers.size());
+  for (size_t i = 0; i < c1.covers.size(); ++i) {
+    ASSERT_EQ(c1.covers[i].size(), c2.covers[i].size()) << i;
+    for (size_t j = 0; j < c1.covers[i].size(); ++j) {
+      EXPECT_EQ(c1.covers[i][j].table, c2.covers[i][j].table);
+      EXPECT_EQ(c1.covers[i][j].column, c2.covers[i][j].column);
+    }
+  }
+  // Pruning must actually prune and must never prune a checked pair into
+  // existence: checked + pruned == total.
+  EXPECT_GT(s1.cover_pairs_pruned, 0u);
+  EXPECT_EQ(s1.cover_pairs_checked + s1.cover_pairs_pruned, s1.cover_pairs_total);
+  EXPECT_EQ(s2.cover_pairs_pruned, 0u);
+  EXPECT_LT(s1.cover_pairs_checked, s2.cover_pairs_checked);
+}
+
+TEST(Cover, ValueAbsentFromDictionary) {
+  // An R_out value never seen by the database cannot be covered even though
+  // it is interned into the shared dictionary at load time.
+  Database db = ToyDb();
+  Table rout = LoadCsvString("Y\n2\n4\n12345\n", "rout", db.dictionary())
+                   .ValueOrDie();
+  QreOptions opts;
+  QreStats stats;
+  ColumnCover cover = ComputeColumnCover(db, rout, opts, &stats);
+  EXPECT_TRUE(cover.covers[0].empty());
+}
+
+}  // namespace
+}  // namespace fastqre

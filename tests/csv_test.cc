@@ -1,0 +1,154 @@
+// Unit tests for CSV ingestion/export (the "Parsing Data" component).
+#include <gtest/gtest.h>
+
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(Csv, BasicParseWithHeader) {
+  Table t = LoadCsvString("a,b\n1,x\n2,y\n", "t", Dict()).ValueOrDie();
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).name(), "a");
+  EXPECT_EQ(t.column(0).type(), ValueType::kInt64);
+  EXPECT_EQ(t.column(1).type(), ValueType::kString);
+  EXPECT_EQ(t.RowValues(1)[0], Value(int64_t{2}));
+  EXPECT_EQ(t.RowValues(1)[1], Value("y"));
+}
+
+TEST(Csv, NoHeaderNamesColumns) {
+  CsvOptions opts;
+  opts.has_header = false;
+  Table t = LoadCsvString("1,2\n3,4\n", "t", Dict(), opts).ValueOrDie();
+  EXPECT_EQ(t.column(0).name(), "c0");
+  EXPECT_EQ(t.column(1).name(), "c1");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Csv, TypeInferenceWidening) {
+  // ints -> double once a decimal appears; -> string once non-numeric.
+  Table t =
+      LoadCsvString("i,d,s\n1,1,1\n2,2.5,x\n", "t", Dict()).ValueOrDie();
+  EXPECT_EQ(t.column(0).type(), ValueType::kInt64);
+  EXPECT_EQ(t.column(1).type(), ValueType::kDouble);
+  EXPECT_EQ(t.column(2).type(), ValueType::kString);
+  // The int-looking cell of a double column parses as double.
+  EXPECT_EQ(t.RowValues(0)[1], Value(1.0));
+  EXPECT_EQ(t.RowValues(0)[2], Value("1"));
+}
+
+TEST(Csv, EmptyCellsBecomeNull) {
+  Table t = LoadCsvString("a,b\n1,\n,x\n", "t", Dict()).ValueOrDie();
+  EXPECT_TRUE(t.RowValues(0)[1].is_null());
+  EXPECT_TRUE(t.RowValues(1)[0].is_null());
+  EXPECT_EQ(t.column(0).type(), ValueType::kInt64);
+}
+
+TEST(Csv, CustomNullToken) {
+  CsvOptions opts;
+  opts.null_token = "NA";
+  Table t = LoadCsvString("a\n1\nNA\n", "t", Dict(), opts).ValueOrDie();
+  EXPECT_TRUE(t.RowValues(1)[0].is_null());
+}
+
+TEST(Csv, AllNullColumnIsString) {
+  Table t = LoadCsvString("a,b\n1,\n2,\n", "t", Dict()).ValueOrDie();
+  EXPECT_EQ(t.column(1).type(), ValueType::kString);
+}
+
+TEST(Csv, QuotedFields) {
+  Table t = LoadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n", "t", Dict())
+                .ValueOrDie();
+  EXPECT_EQ(t.RowValues(0)[0], Value("x,y"));
+  EXPECT_EQ(t.RowValues(0)[1], Value("he said \"hi\""));
+}
+
+TEST(Csv, CrLfLineEndings) {
+  Table t = LoadCsvString("a\r\n1\r\n2\r\n", "t", Dict()).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).type(), ValueType::kInt64);
+}
+
+TEST(Csv, CustomSeparator) {
+  CsvOptions opts;
+  opts.separator = ';';
+  Table t = LoadCsvString("a;b\n1;2\n", "t", Dict(), opts).ValueOrDie();
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.RowValues(0)[1], Value(int64_t{2}));
+}
+
+TEST(Csv, Errors) {
+  EXPECT_TRUE(LoadCsvString("", "t", Dict()).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      LoadCsvString("a,b\n1\n", "t", Dict()).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      LoadCsvFile("/no/such/file.csv", "t", Dict()).status().IsIOError());
+}
+
+TEST(Csv, NegativeAndScientificNumbers) {
+  Table t = LoadCsvString("a,b\n-5,1e3\n7,-2.5e-1\n", "t", Dict()).ValueOrDie();
+  EXPECT_EQ(t.column(0).type(), ValueType::kInt64);
+  EXPECT_EQ(t.column(1).type(), ValueType::kDouble);
+  EXPECT_EQ(t.RowValues(0)[0], Value(int64_t{-5}));
+  EXPECT_DOUBLE_EQ(t.RowValues(1)[1].AsDouble(), -0.25);
+}
+
+TEST(Csv, RoundTripThroughExport) {
+  Table t = LoadCsvString("k,name,price\n1,widget,9.5\n2,\"a,b\",0.25\n", "t",
+                          Dict())
+                .ValueOrDie();
+  std::string csv = TableToCsv(t);
+  Table t2 = LoadCsvString(csv, "t2", t.dictionary()).ValueOrDie();
+  ASSERT_EQ(t2.num_rows(), t.num_rows());
+  ASSERT_EQ(t2.num_columns(), t.num_columns());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(t.RowValues(r), t2.RowValues(r));
+  }
+}
+
+TEST(Csv, ExportRendersNullAsEmpty) {
+  Table t = LoadCsvString("a,b\n1,\n", "t", Dict()).ValueOrDie();
+  EXPECT_EQ(TableToCsv(t), "a,b\n1,\n");
+}
+
+TEST(Csv, DeclaredTypesOverrideInference) {
+  CsvOptions opts;
+  opts.column_types = {ValueType::kString, ValueType::kDouble};
+  Table t = LoadCsvString("code,amount\n05,2\n007,1.5\n", "t", Dict(), opts)
+                .ValueOrDie();
+  EXPECT_EQ(t.column(0).type(), ValueType::kString);
+  EXPECT_EQ(t.RowValues(0)[0], Value("05"));   // not narrowed to 5
+  EXPECT_EQ(t.RowValues(1)[0], Value("007"));
+  EXPECT_EQ(t.RowValues(0)[1], Value(2.0));    // parsed as double
+}
+
+TEST(Csv, DeclaredTypesMismatchErrors) {
+  CsvOptions opts;
+  opts.column_types = {ValueType::kInt64};
+  EXPECT_TRUE(LoadCsvString("a\nnot-a-number\n", "t", Dict(), opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.column_types = {ValueType::kInt64, ValueType::kInt64};
+  EXPECT_TRUE(
+      LoadCsvString("a\n1\n", "t", Dict(), opts).status().IsInvalidArgument());
+}
+
+TEST(Csv, InteriorEmptyLineIsANullRow) {
+  Table t = LoadCsvString("a\n\n7\n", "t", Dict()).ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_TRUE(t.RowValues(0)[0].is_null());
+  EXPECT_EQ(t.RowValues(1)[0], Value(int64_t{7}));
+}
+
+TEST(Csv, SharedDictionaryEncoding) {
+  auto dict = Dict();
+  ValueId pre = dict->Intern(Value("shared"));
+  Table t = LoadCsvString("a\nshared\n", "t", dict).ValueOrDie();
+  EXPECT_EQ(t.column(0).at(0), pre);  // same id as the pre-interned value
+}
+
+}  // namespace
+}  // namespace fastqre

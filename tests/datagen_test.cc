@@ -1,0 +1,200 @@
+// Unit tests for src/datagen: TPC-H generator, random databases, workloads.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/randomdb.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+
+namespace fastqre {
+namespace {
+
+// Referential integrity: every fk value must exist among parent pk values.
+void ExpectFkIntegrity(const Database& db) {
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    const auto& parent_set =
+        db.table(fk.parent_table).column(fk.parent_column).DistinctSet();
+    for (ValueId v :
+         db.table(fk.child_table).column(fk.child_column).DistinctSet()) {
+      EXPECT_TRUE(parent_set.count(v) > 0)
+          << db.table(fk.child_table).name() << " -> "
+          << db.table(fk.parent_table).name();
+    }
+  }
+}
+
+TEST(Tpch, SchemaShape) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 1}).ValueOrDie();
+  EXPECT_EQ(db.num_tables(), 8u);
+  for (const char* name : {"region", "nation", "supplier", "part", "partsupp",
+                           "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(db.FindTable(name).ok()) << name;
+  }
+  // 9 fks + 2 extra L-PS parallel join edges (Figure 1).
+  EXPECT_EQ(db.foreign_keys().size(), 9u);
+  EXPECT_EQ(db.schema_graph().num_edges(), 11u);
+}
+
+TEST(Tpch, RowCountsScale) {
+  Database small = BuildTpch({.scale_factor = 0.001, .seed = 1}).ValueOrDie();
+  Database large = BuildTpch({.scale_factor = 0.004, .seed = 1}).ValueOrDie();
+  TableId s = *small.FindTable("supplier");
+  EXPECT_EQ(small.table(s).num_rows(), 10u);
+  EXPECT_EQ(large.table(s).num_rows(), 40u);
+  EXPECT_EQ(small.table(*small.FindTable("region")).num_rows(), 5u);
+  EXPECT_EQ(small.table(*small.FindTable("nation")).num_rows(), 25u);
+  TableId ps = *small.FindTable("partsupp");
+  TableId p = *small.FindTable("part");
+  EXPECT_EQ(small.table(ps).num_rows(), 4 * small.table(p).num_rows());
+}
+
+TEST(Tpch, ForeignKeyIntegrity) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  ExpectFkIntegrity(db);
+}
+
+TEST(Tpch, KeysAreUniqueAndNamesDetermineKeys) {
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 5}).ValueOrDie();
+  for (const char* spec : {"supplier:s_suppkey", "part:p_partkey",
+                           "customer:c_custkey", "orders:o_orderkey",
+                           "nation:n_nationkey", "region:r_regionkey"}) {
+    std::string s(spec);
+    auto colon = s.find(':');
+    const Table& t = db.table(*db.FindTable(s.substr(0, colon)));
+    const Column& key = t.column(*t.FindColumn(s.substr(colon + 1)));
+    EXPECT_TRUE(key.IsUnique()) << spec;
+  }
+  // name <-> key 1:1 (the property the paper's certainty rule exploits).
+  const Table& sup = db.table(*db.FindTable("supplier"));
+  EXPECT_TRUE(sup.column(*sup.FindColumn("s_name")).IsUnique());
+}
+
+TEST(Tpch, DeterministicForEqualSeeds) {
+  Database a = BuildTpch({.scale_factor = 0.001, .seed = 7}).ValueOrDie();
+  Database b = BuildTpch({.scale_factor = 0.001, .seed = 7}).ValueOrDie();
+  for (TableId t = 0; t < a.num_tables(); ++t) {
+    ASSERT_EQ(a.table(t).num_rows(), b.table(t).num_rows());
+    for (RowId r = 0; r < a.table(t).num_rows(); ++r) {
+      ASSERT_EQ(a.table(t).RowValues(r), b.table(t).RowValues(r)) << t;
+    }
+  }
+}
+
+TEST(Tpch, PartsuppPairsUnique) {
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 2}).ValueOrDie();
+  const Table& ps = db.table(*db.FindTable("partsupp"));
+  EXPECT_EQ(ProjectToTupleSet(ps, {0, 1}).size(), ps.num_rows());
+}
+
+TEST(RandomDb, ConnectedAndIntegrity) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RandomDbOptions opts;
+    opts.seed = seed;
+    opts.num_tables = 5;
+    Database db = BuildRandomDb(opts).ValueOrDie();
+    EXPECT_EQ(db.num_tables(), 5u);
+    ExpectFkIntegrity(db);
+    // Spanning-tree construction => at least num_tables-1 edges.
+    EXPECT_GE(db.schema_graph().num_edges(), 4u);
+    // Schema graph connectivity via union-find over edges.
+    std::vector<int> parent(db.num_tables());
+    for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+      return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    for (const auto& e : db.schema_graph().edges()) {
+      parent[find(e.table[0])] = find(e.table[1]);
+    }
+    for (size_t i = 1; i < parent.size(); ++i) EXPECT_EQ(find(i), find(0));
+  }
+}
+
+TEST(RandomDb, KeyColumnsUnique) {
+  Database db = BuildRandomDb({.seed = 9, .num_tables = 3}).ValueOrDie();
+  for (TableId t = 0; t < db.num_tables(); ++t) {
+    EXPECT_TRUE(db.table(t).column(0).IsUnique());
+  }
+}
+
+TEST(RandomDb, SingleTable) {
+  RandomDbOptions opts;
+  opts.num_tables = 1;
+  Database db = BuildRandomDb(opts).ValueOrDie();
+  EXPECT_EQ(db.num_tables(), 1u);
+  EXPECT_EQ(db.schema_graph().num_edges(), 0u);
+}
+
+TEST(RandomDb, InvalidOptions) {
+  RandomDbOptions opts;
+  opts.num_tables = 0;
+  EXPECT_TRUE(BuildRandomDb(opts).status().IsInvalidArgument());
+}
+
+TEST(Workload, PaperQueriesMatchFigure2) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 1}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  EXPECT_EQ(q1.num_instances(), 6u);
+  EXPECT_EQ(q1.joins().size(), 6u);
+  EXPECT_EQ(q1.projections().size(), 5u);
+  EXPECT_TRUE(q1.IsConnected());
+  PJQuery q2 = BuildPaperQuery2(db).ValueOrDie();
+  EXPECT_EQ(q2.projections().size(), 4u);
+  // Query 2's result is the projection of Query 1's without availqty.
+  Table r1 = ExecuteToTable(db, q1, "r1").ValueOrDie();
+  Table r2 = ExecuteToTable(db, q2, "r2").ValueOrDie();
+  TupleSet r1_proj = ProjectToTupleSet(r1, {0, 1, 3, 4});
+  EXPECT_EQ(r1_proj, TableToTupleSet(r2));
+}
+
+TEST(Workload, LadderHasIncreasingComplexityAndNonEmptyOutputs) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 1}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  ASSERT_EQ(workload.size(), 10u);
+  for (const auto& wq : workload) {
+    EXPECT_GT(wq.rout.num_rows(), 0u) << wq.name;
+    EXPECT_TRUE(wq.query.IsConnected()) << wq.name;
+    // R_out really is the query's output.
+    Table regen = ExecuteToTable(db, wq.query, "regen").ValueOrDie();
+    EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(wq.rout)) << wq.name;
+  }
+  EXPECT_LE(workload.front().query.num_instances(),
+            workload.back().query.num_instances());
+}
+
+TEST(Workload, RandomCpjQueryProducesValidEntries) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 1}).ValueOrDie();
+  Rng rng(77);
+  RandomQueryOptions opts;
+  opts.num_instances = 3;
+  for (int i = 0; i < 10; ++i) {
+    WorkloadQuery wq = RandomCpjQuery(db, &rng, opts).ValueOrDie();
+    EXPECT_TRUE(wq.query.IsConnected());
+    EXPECT_EQ(wq.query.num_instances(), 3u);
+    EXPECT_GE(wq.rout.num_rows(), opts.min_rout_rows);
+    EXPECT_LE(wq.rout.num_rows(), opts.max_rout_rows);
+    // project_every_instance: each instance appears in some projection.
+    std::unordered_set<InstanceId> projected;
+    for (const auto& p : wq.query.projections()) projected.insert(p.instance);
+    EXPECT_EQ(projected.size(), wq.query.num_instances());
+  }
+}
+
+TEST(Workload, RandomQueryRespectsRowBounds) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 1}).ValueOrDie();
+  Rng rng(5);
+  RandomQueryOptions opts;
+  opts.num_instances = 2;
+  opts.max_rout_rows = 30;
+  for (int i = 0; i < 5; ++i) {
+    auto wq = RandomCpjQuery(db, &rng, opts);
+    if (wq.ok()) {
+      EXPECT_LE(wq->rout.num_rows(), 30u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastqre

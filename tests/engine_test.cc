@@ -1,0 +1,471 @@
+// Unit tests for src/engine: PJQuery, QueryBuilder, SQL rendering, the
+// progressive executor, result comparison and the cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/block_executor.h"
+#include "engine/builder.h"
+#include "engine/compare.h"
+#include "engine/cost.h"
+#include "engine/executor.h"
+#include "engine/query.h"
+#include "storage/database.h"
+
+namespace fastqre {
+namespace {
+
+// Fixture database:
+//   person(id, name, manager_id)   -- manager_id is a self-referencing fk
+//   city(id, cname)
+//   lives(person_id, city_id)      -- m:n bridge
+Database BuildFixture() {
+  Database db;
+  TableId person = db.AddTable("person").ValueOrDie();
+  Table& p = db.table(person);
+  EXPECT_TRUE(p.AddColumn("id", ValueType::kInt64).ok());
+  EXPECT_TRUE(p.AddColumn("name", ValueType::kString).ok());
+  EXPECT_TRUE(p.AddColumn("manager_id", ValueType::kInt64).ok());
+  // 1 alice  (manager 3)
+  // 2 bob    (manager 3)
+  // 3 carol  (manager 3; her own manager)
+  EXPECT_TRUE(p.AppendRow({Value(int64_t{1}), Value("alice"), Value(int64_t{3})}).ok());
+  EXPECT_TRUE(p.AppendRow({Value(int64_t{2}), Value("bob"), Value(int64_t{3})}).ok());
+  EXPECT_TRUE(p.AppendRow({Value(int64_t{3}), Value("carol"), Value(int64_t{3})}).ok());
+
+  TableId city = db.AddTable("city").ValueOrDie();
+  Table& c = db.table(city);
+  EXPECT_TRUE(c.AddColumn("id", ValueType::kInt64).ok());
+  EXPECT_TRUE(c.AddColumn("cname", ValueType::kString).ok());
+  EXPECT_TRUE(c.AppendRow({Value(int64_t{10}), Value("oslo")}).ok());
+  EXPECT_TRUE(c.AppendRow({Value(int64_t{11}), Value("lima")}).ok());
+
+  TableId lives = db.AddTable("lives").ValueOrDie();
+  Table& l = db.table(lives);
+  EXPECT_TRUE(l.AddColumn("person_id", ValueType::kInt64).ok());
+  EXPECT_TRUE(l.AddColumn("city_id", ValueType::kInt64).ok());
+  EXPECT_TRUE(l.AppendRow({Value(int64_t{1}), Value(int64_t{10})}).ok());
+  EXPECT_TRUE(l.AppendRow({Value(int64_t{2}), Value(int64_t{10})}).ok());
+  EXPECT_TRUE(l.AppendRow({Value(int64_t{2}), Value(int64_t{11})}).ok());
+  EXPECT_TRUE(l.AppendRow({Value(int64_t{3}), Value(int64_t{11})}).ok());
+
+  EXPECT_TRUE(db.AddForeignKey("lives", "person_id", "person", "id").ok());
+  EXPECT_TRUE(db.AddForeignKey("lives", "city_id", "city", "id").ok());
+  EXPECT_TRUE(db.AddForeignKey("person", "manager_id", "person", "id").ok());
+  return db;
+}
+
+TupleSet RunToSet(const Database& db, const PJQuery& q) {
+  return TableToTupleSet(ExecuteToTable(db, q, "out").ValueOrDie());
+}
+
+std::vector<ValueId> Ids(const Database& db, std::vector<Value> vals) {
+  std::vector<ValueId> out;
+  for (const auto& v : vals) out.push_back(db.dictionary()->Find(v));
+  return out;
+}
+
+// ---------- PJQuery ---------------------------------------------------------
+
+TEST(PJQuery, IsConnected) {
+  PJQuery q;
+  InstanceId a = q.AddInstance(0);
+  InstanceId b = q.AddInstance(1);
+  EXPECT_FALSE(q.IsConnected());
+  q.AddJoin(a, 0, b, 0);
+  EXPECT_TRUE(q.IsConnected());
+  q.AddInstance(2);
+  EXPECT_FALSE(q.IsConnected());
+}
+
+TEST(PJQuery, SingleInstanceIsConnected) {
+  PJQuery q;
+  q.AddInstance(0);
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(PJQuery, DescriptionComplexity) {
+  PJQuery q;
+  InstanceId a = q.AddInstance(0);
+  InstanceId b = q.AddInstance(1);
+  q.AddJoin(a, 0, b, 0);
+  EXPECT_DOUBLE_EQ(q.DescriptionComplexity(), 3.0);  // 2 nodes + 1 edge
+}
+
+TEST(PJQuery, ToSqlRendersAliasesJoinsAndSelections) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId p1 = b.Instance("person");
+  InstanceId p2 = b.Instance("person");
+  b.Join(p1, "manager_id", p2, "id");
+  b.Project(p1, "name");
+  b.Project(p2, "name");
+  b.Select(p2, "name", Value("carol"));
+  PJQuery q = b.Build().ValueOrDie();
+  std::string sql = q.ToSql(db);
+  EXPECT_EQ(sql,
+            "SELECT person1.name, person2.name "
+            "FROM person person1, person person2 "
+            "WHERE person1.manager_id=person2.id AND person2.name='carol'");
+}
+
+TEST(QueryBuilder, ReportsFirstNameError) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId x = b.Instance("no_such_table");
+  b.Project(x, "also_missing");
+  EXPECT_TRUE(b.Build().status().IsNotFound());
+}
+
+// ---------- Executor --------------------------------------------------------
+
+TEST(Executor, SingleTableScanProjectsAndDedupes) {
+  Database db = BuildFixture();
+  PJQuery q;
+  InstanceId p = q.AddInstance(0);
+  q.AddProjection(p, 2);  // manager_id: all rows are 3
+  Table out = ExecuteToTable(db, q, "out").ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 1u);  // set semantics
+  EXPECT_EQ(out.RowValues(0)[0], Value(int64_t{3}));
+}
+
+TEST(Executor, TwoWayJoin) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "city_id", c, "id");
+  b.Project(l, "person_id");
+  b.Project(c, "cname");
+  TupleSet out = RunToSet(db, b.Build().ValueOrDie());
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out.count(Ids(db, {Value(int64_t{2}), Value("lima")})));
+  EXPECT_FALSE(out.count(Ids(db, {Value(int64_t{1}), Value("lima")})));
+}
+
+TEST(Executor, ThreeWayJoinThroughBridge) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId p = b.Instance("person");
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "person_id", p, "id");
+  b.Join(l, "city_id", c, "id");
+  b.Project(p, "name");
+  b.Project(c, "cname");
+  TupleSet out = RunToSet(db, b.Build().ValueOrDie());
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out.count(Ids(db, {Value("alice"), Value("oslo")})));
+  EXPECT_TRUE(out.count(Ids(db, {Value("carol"), Value("lima")})));
+  EXPECT_FALSE(out.count(Ids(db, {Value("alice"), Value("lima")})));
+}
+
+TEST(Executor, SelfJoinWithTwoInstances) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId emp = b.Instance("person");
+  InstanceId mgr = b.Instance("person");
+  b.Join(emp, "manager_id", mgr, "id");
+  b.Project(emp, "name");
+  b.Project(mgr, "name");
+  TupleSet out = RunToSet(db, b.Build().ValueOrDie());
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out.count(Ids(db, {Value("alice"), Value("carol")})));
+  EXPECT_TRUE(out.count(Ids(db, {Value("carol"), Value("carol")})));
+}
+
+TEST(Executor, SameInstanceJoinIsAFilter) {
+  Database db = BuildFixture();
+  PJQuery q;
+  InstanceId p = q.AddInstance(0);
+  q.AddJoin(p, 0, p, 2);  // id = manager_id: only carol
+  q.AddProjection(p, 1);
+  TupleSet out = RunToSet(db, q);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.count(Ids(db, {Value("carol")})));
+}
+
+TEST(Executor, SelectionsRestrictResults) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "city_id", c, "id");
+  b.Project(l, "person_id");
+  b.Select(c, "cname", Value("oslo"));
+  TupleSet out = RunToSet(db, b.Build().ValueOrDie());
+  EXPECT_EQ(out.size(), 2u);  // persons 1 and 2
+}
+
+TEST(Executor, SelectionOnNonStartInstance) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId p = b.Instance("person");
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "person_id", p, "id");
+  b.Join(l, "city_id", c, "id");
+  b.Project(c, "cname");
+  b.Select(p, "name", Value("bob"));
+  TupleSet out = RunToSet(db, b.Build().ValueOrDie());
+  EXPECT_EQ(out.size(), 2u);  // bob lives in both cities
+}
+
+TEST(Executor, DisconnectedQueryIsRejected) {
+  Database db = BuildFixture();
+  PJQuery q;
+  q.AddInstance(0);
+  q.AddInstance(1);
+  q.AddProjection(0, 0);
+  auto cursor = QueryCursor::Create(db, q);
+  EXPECT_TRUE(cursor.status().IsInvalidArgument());
+}
+
+TEST(Executor, EmptyQueryIsRejected) {
+  Database db = BuildFixture();
+  PJQuery q;
+  auto cursor = QueryCursor::Create(db, q);
+  EXPECT_TRUE(cursor.status().IsInvalidArgument());
+}
+
+TEST(Executor, NoProjectionIsRejectedByExecuteToTable) {
+  Database db = BuildFixture();
+  PJQuery q;
+  q.AddInstance(0);
+  EXPECT_TRUE(ExecuteToTable(db, q, "out").status().IsInvalidArgument());
+}
+
+TEST(Executor, ProgressiveNextYieldsOneRowAtATime) {
+  Database db = BuildFixture();
+  PJQuery q;
+  InstanceId p = q.AddInstance(0);
+  q.AddProjection(p, 0);
+  auto cursor = QueryCursor::Create(db, q).ValueOrDie();
+  std::vector<ValueId> row;
+  int count = 0;
+  while (cursor->Next(&row)) {
+    ++count;
+    EXPECT_EQ(row.size(), 1u);
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(cursor->Next(&row));  // stays exhausted
+  EXPECT_GE(cursor->rows_examined(), 3u);
+}
+
+TEST(Executor, EmptyJoinResult) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "city_id", c, "id");
+  b.Project(c, "cname");
+  b.Select(c, "cname", Value("atlantis"));
+  TupleSet out = RunToSet(db, b.Build().ValueOrDie());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Executor, NullsJoinAsValues) {
+  // Our set-semantics engine treats NULL as an ordinary value (documented in
+  // value.h); two NULL cells are equal.
+  Database db;
+  TableId t1 = db.AddTable("a").ValueOrDie();
+  ASSERT_TRUE(db.table(t1).AddColumn("x", ValueType::kInt64).ok());
+  ASSERT_TRUE(db.table(t1).AppendRow({Value::Null()}).ok());
+  TableId t2 = db.AddTable("b").ValueOrDie();
+  ASSERT_TRUE(db.table(t2).AddColumn("y", ValueType::kInt64).ok());
+  ASSERT_TRUE(db.table(t2).AppendRow({Value::Null()}).ok());
+  PJQuery q;
+  InstanceId a = q.AddInstance(t1);
+  InstanceId b = q.AddInstance(t2);
+  q.AddJoin(a, 0, b, 0);
+  q.AddProjection(a, 0);
+  EXPECT_EQ(RunToSet(db, q).size(), 1u);
+}
+
+TEST(Executor, DuplicateColumnNamesAreDisambiguated) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId p1 = b.Instance("person");
+  InstanceId p2 = b.Instance("person");
+  b.Join(p1, "manager_id", p2, "id");
+  b.Project(p1, "name");
+  b.Project(p2, "name");
+  Table out = ExecuteToTable(db, b.Build().ValueOrDie(), "out").ValueOrDie();
+  EXPECT_EQ(out.column(0).name(), "name");
+  EXPECT_EQ(out.column(1).name(), "name_");
+}
+
+TEST(Executor, ExplicitColumnNames) {
+  Database db = BuildFixture();
+  PJQuery q;
+  InstanceId p = q.AddInstance(0);
+  q.AddProjection(p, 1);
+  Table out = ExecuteToTable(db, q, "out", {"who"}).ValueOrDie();
+  EXPECT_EQ(out.column(0).name(), "who");
+}
+
+// ---------- block executor ---------------------------------------------------
+
+TEST(BlockExecutor, MatchesPipelinedExecutor) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId p = b.Instance("person");
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "person_id", p, "id");
+  b.Join(l, "city_id", c, "id");
+  b.Project(p, "name");
+  b.Project(c, "cname");
+  PJQuery q = b.Build().ValueOrDie();
+  Table block = ExecuteBlock(db, q, "block").ValueOrDie();
+  Table piped = ExecuteToTable(db, q, "piped").ValueOrDie();
+  EXPECT_EQ(TableToTupleSet(block), TableToTupleSet(piped));
+  EXPECT_EQ(block.num_rows(), 4u);
+}
+
+TEST(BlockExecutor, HandlesSelfJoinAndFilters) {
+  Database db = BuildFixture();
+  PJQuery q;
+  InstanceId p = q.AddInstance(0);
+  q.AddJoin(p, 0, p, 2);  // id = manager_id
+  q.AddProjection(p, 1);
+  Table out = ExecuteBlock(db, q, "out").ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.RowValues(0)[0], Value("carol"));
+}
+
+TEST(BlockExecutor, RejectsBadQueries) {
+  Database db = BuildFixture();
+  PJQuery empty;
+  EXPECT_TRUE(ExecuteBlock(db, empty, "x").status().IsInvalidArgument());
+  PJQuery cross;
+  cross.AddInstance(0);
+  cross.AddInstance(1);
+  cross.AddProjection(0, 0);
+  EXPECT_TRUE(ExecuteBlock(db, cross, "x").status().IsInvalidArgument());
+  PJQuery no_proj;
+  no_proj.AddInstance(0);
+  EXPECT_TRUE(ExecuteBlock(db, no_proj, "x").status().IsInvalidArgument());
+}
+
+TEST(BlockExecutor, SelectionsApply) {
+  Database db = BuildFixture();
+  QueryBuilder b(&db);
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "city_id", c, "id");
+  b.Project(l, "person_id");
+  b.Select(c, "cname", Value("oslo"));
+  Table out = ExecuteBlock(db, b.Build().ValueOrDie(), "out").ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 2u);
+}
+
+// ---------- compare ---------------------------------------------------------
+
+TEST(Compare, ProjectToTupleSet) {
+  Database db = BuildFixture();
+  TupleSet s = ProjectToTupleSet(db.table(0), {2});  // manager_id
+  EXPECT_EQ(s.size(), 1u);
+  TupleSet s2 = ProjectToTupleSet(db.table(0), {0, 2});
+  EXPECT_EQ(s2.size(), 3u);
+}
+
+TEST(Compare, SubsetChecks) {
+  Database db = BuildFixture();
+  TupleSet small = ProjectToTupleSet(db.table(0), {2});
+  TupleSet big = ProjectToTupleSet(db.table(0), {0});
+  EXPECT_TRUE(IsSubsetOf(small, big));  // {3} subset of {1,2,3}
+  EXPECT_FALSE(IsSubsetOf(big, small));
+  EXPECT_TRUE(ProjectionSubsetOf(db.table(0), {2}, big));
+  EXPECT_FALSE(ProjectionSubsetOf(db.table(0), {0}, small));
+}
+
+TEST(Compare, TableToTupleSetCollapsesDuplicates) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1})}).ok());
+  EXPECT_EQ(TableToTupleSet(t).size(), 1u);
+}
+
+// ---------- cost ------------------------------------------------------------
+
+TEST(Cost, SingleTableCostIsRowCount) {
+  Database db = BuildFixture();
+  CostEstimator est(&db);
+  PJQuery q;
+  q.AddInstance(0);
+  EXPECT_DOUBLE_EQ(est.EstimateCost(q), 3.0);
+}
+
+TEST(Cost, JoinCostExceedsScanCost) {
+  Database db = BuildFixture();
+  CostEstimator est(&db);
+  PJQuery scan;
+  scan.AddInstance(2);
+  PJQuery join;
+  InstanceId l = join.AddInstance(2);
+  InstanceId c = join.AddInstance(1);
+  join.AddJoin(l, 1, c, 0);
+  EXPECT_GT(est.EstimateCost(join), est.EstimateCost(scan));
+}
+
+TEST(Cost, MoreJoinsCostMore) {
+  Database db = BuildFixture();
+  CostEstimator est(&db);
+  QueryBuilder b2(&db);
+  InstanceId l = b2.Instance("lives");
+  InstanceId c = b2.Instance("city");
+  b2.Join(l, "city_id", c, "id");
+  PJQuery two = b2.Build().ValueOrDie();
+
+  QueryBuilder b3(&db);
+  InstanceId p3 = b3.Instance("person");
+  InstanceId l3 = b3.Instance("lives");
+  InstanceId c3 = b3.Instance("city");
+  b3.Join(l3, "person_id", p3, "id");
+  b3.Join(l3, "city_id", c3, "id");
+  PJQuery three = b3.Build().ValueOrDie();
+  EXPECT_GT(est.EstimateCost(three), est.EstimateCost(two));
+}
+
+TEST(Cost, DisconnectedModeledAsCrossProduct) {
+  Database db = BuildFixture();
+  CostEstimator est(&db);
+  PJQuery q;
+  q.AddInstance(0);
+  q.AddInstance(1);
+  EXPECT_DOUBLE_EQ(est.EstimateCost(q), 6.0);  // 3 * 2
+}
+
+TEST(Cost, NormalizedCostIsLogScale) {
+  Database db = BuildFixture();
+  CostEstimator est(&db);
+  PJQuery q;
+  q.AddInstance(0);
+  EXPECT_NEAR(est.NormalizedCost(q), std::log10(4.0), 1e-9);
+}
+
+TEST(Cost, EstimateMatchesExecutionOrderOfMagnitude) {
+  Database db = BuildFixture();
+  CostEstimator est(&db);
+  QueryBuilder b(&db);
+  InstanceId l = b.Instance("lives");
+  InstanceId c = b.Instance("city");
+  b.Join(l, "city_id", c, "id");
+  b.Project(l, "person_id");
+  b.Project(c, "cname");
+  PJQuery q = b.Build().ValueOrDie();
+  auto cursor = QueryCursor::Create(db, q).ValueOrDie();
+  std::vector<ValueId> row;
+  uint64_t rows = 0;
+  while (cursor->Next(&row)) ++rows;
+  double cost = est.EstimateCost(q);
+  EXPECT_GE(cost, static_cast<double>(rows));
+  EXPECT_LE(cost, 100.0 * rows);
+}
+
+}  // namespace
+}  // namespace fastqre

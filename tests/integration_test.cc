@@ -1,0 +1,170 @@
+// Cross-module integration tests: the full analyst workflows the examples
+// demonstrate, exercised end-to-end with assertions (CSV file round trips,
+// persistence + reverse + SQL-parse + re-run pipelines, trace coverage).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/block_executor.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "engine/sql_parser.h"
+#include "qre/fastqre.h"
+#include "storage/catalog_io.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fastqre_flow_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(WorkflowTest, FullAnalystLoop) {
+  // 1. A database exists on disk.
+  Database original = BuildTpch({.scale_factor = 0.001, .seed = 9}).ValueOrDie();
+  FASTQRE_CHECK_OK(SaveDatabase(original, (dir_ / "db").string()));
+
+  // 2. Someone exports a report (L04) to CSV and walks away.
+  auto workload = StandardTpchWorkload(original).ValueOrDie();
+  {
+    std::ofstream out(dir_ / "report.csv");
+    out << TableToCsv(workload[3].rout);
+  }
+
+  // 3. Later: load the database, ingest the report, reverse engineer.
+  Database db = LoadDatabase((dir_ / "db").string()).ValueOrDie();
+  Table rout = LoadCsvFile((dir_ / "report.csv").string(), "report",
+                           db.dictionary())
+                   .ValueOrDie();
+  FastQre engine(&db);
+  QreAnswer a = engine.Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+
+  // 4. The recovered SQL survives a text round trip and regenerates the
+  // report on the *re-loaded* database.
+  PJQuery reparsed = ParsePJQuery(db, a.sql).ValueOrDie();
+  Table regen = ExecuteToTable(db, reparsed, "regen").ValueOrDie();
+  EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(rout)) << a.sql;
+
+  // 5. Both executors agree on the recovered query.
+  Table block = ExecuteBlock(db, reparsed, "block").ValueOrDie();
+  EXPECT_EQ(TableToTupleSet(block), TableToTupleSet(regen));
+}
+
+TEST_F(WorkflowTest, SupersetFromHandWrittenSample) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 9}).ValueOrDie();
+  // Two sample rows the analyst "knows": nation/region pairs.
+  Table rout = LoadCsvString(
+                   "nation,region\nFRANCE,EUROPE\nCHINA,ASIA\n", "sample",
+                   db.dictionary())
+                   .ValueOrDie();
+  QreOptions opts;
+  opts.variant = QreVariant::kSuperset;
+  FastQre engine(&db, opts);
+  QreAnswer a = engine.Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  Table result = ExecuteToTable(db, a.query, "result").ValueOrDie();
+  EXPECT_TRUE(IsSubsetOf(TableToTupleSet(rout), TableToTupleSet(result)))
+      << a.sql;
+}
+
+TEST_F(WorkflowTest, AugmentRecoveredQuery) {
+  // Recover, then add a projection column and re-run — the
+  // spreadsheet_reverse example's payoff, with assertions.
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 9}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  FastQre engine(&db);
+  QreAnswer a = engine.Reverse(workload[1].rout).ValueOrDie();  // L02
+  ASSERT_TRUE(a.found);
+
+  PJQuery augmented = a.query;
+  bool added = false;
+  for (InstanceId i = 0; i < augmented.num_instances() && !added; ++i) {
+    const Table& t = db.table(augmented.instance_table(i));
+    if (t.name() == "supplier") {
+      augmented.AddProjection(i, *t.FindColumn("s_phone"));
+      added = true;
+    }
+  }
+  ASSERT_TRUE(added);
+  Table more = ExecuteToTable(db, augmented, "augmented").ValueOrDie();
+  EXPECT_EQ(more.num_columns(), workload[1].rout.num_columns() + 1);
+  // Projecting away the new column recovers the original result.
+  std::vector<ColumnId> original_cols;
+  for (size_t c = 0; c + 1 < more.num_columns(); ++c) {
+    original_cols.push_back(static_cast<ColumnId>(c));
+  }
+  EXPECT_EQ(ProjectToTupleSet(more, original_cols),
+            TableToTupleSet(workload[1].rout));
+}
+
+TEST_F(WorkflowTest, ReverseAcrossIndependentDatabaseCopies) {
+  // The same seed regenerates an identical database; a report exported from
+  // one copy reverse engineers against the other (values, not ids, carry).
+  Database db1 = BuildTpch({.scale_factor = 0.001, .seed = 4}).ValueOrDie();
+  Database db2 = BuildTpch({.scale_factor = 0.001, .seed = 4}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db1).ValueOrDie();
+  FastQre engine(&db2);
+  QreAnswer a = engine.Reverse(workload[2].rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  Table regen = ExecuteToTable(db2, a.query, "regen").ValueOrDie();
+  // Compare by values (dictionaries differ across the two databases).
+  ASSERT_EQ(regen.num_rows(), workload[2].rout.num_rows());
+}
+
+TEST_F(WorkflowTest, DifferentSeedsAreDifferentDatabases) {
+  Database db1 = BuildTpch({.scale_factor = 0.001, .seed = 4}).ValueOrDie();
+  Database db2 = BuildTpch({.scale_factor = 0.001, .seed = 5}).ValueOrDie();
+  const Table& s1 = db1.table(*db1.FindTable("supplier"));
+  const Table& s2 = db2.table(*db2.FindTable("supplier"));
+  bool differs = false;
+  for (RowId r = 0; r < s1.num_rows() && !differs; ++r) {
+    if (s1.RowValues(r) != s2.RowValues(r)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(WorkflowTest, RecoveredSqlIsValidAgainstParser) {
+  // Every answer the engine ever prints must be re-parseable (the textual
+  // contract between ToSql and ParsePJQuery).
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 9}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  FastQre engine(&db);
+  for (int i : {0, 2, 4, 8}) {
+    QreAnswer a = engine.Reverse(workload[i].rout).ValueOrDie();
+    ASSERT_TRUE(a.found) << workload[i].name;
+    auto reparsed = ParsePJQuery(db, a.sql);
+    ASSERT_TRUE(reparsed.ok()) << a.sql << "\n" << reparsed.status();
+    EXPECT_EQ(reparsed->ToSql(db), a.sql);
+  }
+}
+
+TEST_F(WorkflowTest, StatsPhaseAttributionAddsUp) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 9}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  FastQre engine(&db);
+  QreAnswer a = engine.Reverse(workload[9].rout).ValueOrDie();  // L10
+  ASSERT_TRUE(a.found);
+  const QreStats& s = a.stats;
+  EXPECT_EQ(s.validation_rows,
+            s.probe_rows + s.coherence_rows + s.alltuple_rows + s.fullscan_rows);
+  EXPECT_EQ(s.cover_pairs_total, s.cover_pairs_checked + s.cover_pairs_pruned);
+}
+
+}  // namespace
+}  // namespace fastqre

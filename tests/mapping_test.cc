@@ -1,0 +1,206 @@
+// Unit tests for ranked column-mapping enumeration (Section 4.3).
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/builder.h"
+#include "engine/executor.h"
+#include "qre/cgm.h"
+#include "qre/column_cover.h"
+#include "qre/mapping.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+struct MappingFixture {
+  Database db;
+  Table rout;
+  QreOptions opts;
+  QreStats stats;
+  ColumnCover cover;
+  CgmSet cgms;
+
+  MappingFixture(Database d, Table r, QreOptions o = QreOptions())
+      : db(std::move(d)), rout(std::move(r)), opts(o) {
+    cover = ComputeColumnCover(db, rout, opts, &stats);
+    cgms = DiscoverCgms(db, rout, cover, opts, &stats);
+  }
+
+  std::vector<ColumnMapping> Enumerate(int limit) {
+    MappingEnumerator e(&db, &rout, &cover,
+                        opts.use_cgm_ranking ? &cgms : nullptr, &opts);
+    std::vector<ColumnMapping> out;
+    ColumnMapping m;
+    while (static_cast<int>(out.size()) < limit && e.Next(&m)) {
+      out.push_back(m);
+    }
+    return out;
+  }
+};
+
+// A two-table fixture where the correct mapping is unambiguous.
+MappingFixture SupplierNationFixture() {
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 13}).ValueOrDie();
+  QueryBuilder b(&db);
+  InstanceId s = b.Instance("supplier");
+  InstanceId n = b.Instance("nation");
+  b.Join(s, "s_nationkey", n, "n_nationkey");
+  b.Project(s, "s_name");
+  b.Project(n, "n_name");
+  PJQuery q = b.Build().ValueOrDie();
+  Table rout = ExecuteToTable(db, q, "rout", {"c0", "c1"}).ValueOrDie();
+  return MappingFixture(std::move(db), std::move(rout));
+}
+
+TEST(Mapping, FirstMappingIsCorrectForUnambiguousCase) {
+  MappingFixture f = SupplierNationFixture();
+  auto mappings = f.Enumerate(1);
+  ASSERT_EQ(mappings.size(), 1u);
+  const ColumnMapping& m = mappings[0];
+  ASSERT_EQ(m.NumInstances(), 2u);
+  // c0 -> supplier.s_name, c1 -> nation.n_name.
+  const auto& [i0, col0] = m.slots[0];
+  const auto& [i1, col1] = m.slots[1];
+  EXPECT_EQ(f.db.table(m.instances[i0].table).name(), "supplier");
+  EXPECT_EQ(f.db.table(m.instances[i0].table).column(col0).name(), "s_name");
+  EXPECT_EQ(f.db.table(m.instances[i1].table).name(), "nation");
+  EXPECT_EQ(f.db.table(m.instances[i1].table).column(col1).name(), "n_name");
+}
+
+// An ambiguous fixture: small-integer key columns are contained in many
+// database columns, so many mappings exist.
+MappingFixture KeysFixture() {
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 13}).ValueOrDie();
+  QueryBuilder b(&db);
+  InstanceId n = b.Instance("nation");
+  b.Project(n, "n_nationkey");
+  b.Project(n, "n_regionkey");
+  PJQuery q = b.Build().ValueOrDie();
+  Table rout = ExecuteToTable(db, q, "rout", {"c0", "c1"}).ValueOrDie();
+  return MappingFixture(std::move(db), std::move(rout));
+}
+
+TEST(Mapping, SingleMatchColumnsYieldOneMapping) {
+  // s_name / n_name are 1-match columns: exactly one mapping exists.
+  MappingFixture f = SupplierNationFixture();
+  EXPECT_EQ(f.Enumerate(20).size(), 1u);
+}
+
+TEST(Mapping, RankedByInstanceCountThenScore) {
+  MappingFixture f = KeysFixture();
+  auto mappings = f.Enumerate(20);
+  ASSERT_GT(mappings.size(), 1u);
+  for (size_t i = 1; i < mappings.size(); ++i) {
+    EXPECT_LE(mappings[i - 1].NumInstances(), mappings[i].NumInstances());
+    if (mappings[i - 1].NumInstances() == mappings[i].NumInstances()) {
+      EXPECT_GE(mappings[i - 1].score + 1e-9, mappings[i].score);
+    }
+  }
+}
+
+TEST(Mapping, EmittedMappingsAreDistinct) {
+  MappingFixture f = SupplierNationFixture();
+  auto mappings = f.Enumerate(30);
+  std::set<std::vector<std::pair<int, ColumnId>>> sigs;
+  for (const auto& m : mappings) {
+    EXPECT_TRUE(sigs.insert(m.slots).second) << "duplicate mapping emitted";
+  }
+}
+
+TEST(Mapping, SlotsCoverEveryColumnConsistently) {
+  MappingFixture f = SupplierNationFixture();
+  for (const auto& m : f.Enumerate(10)) {
+    ASSERT_EQ(m.slots.size(), f.rout.num_columns());
+    for (ColumnId c = 0; c < m.slots.size(); ++c) {
+      const auto& [inst, db_col] = m.slots[c];
+      ASSERT_GE(inst, 0);
+      ASSERT_LT(static_cast<size_t>(inst), m.instances.size());
+      // The instance's own column list must agree with the slot.
+      bool found = false;
+      for (const auto& [oc, dc] : m.instances[inst].columns) {
+        if (oc == c && dc == db_col) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Mapping, PaperQuery1NeedsThreeInstancesFirst) {
+  // For paper Query 1's R_out, the top-ranked mapping must use three
+  // projection table instances (S, S2, PS) with the two certain supplier
+  // CGMs — the paper's Section 4.3 walkthrough.
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 42}).ValueOrDie();
+  PJQuery q1 = BuildPaperQuery1(db).ValueOrDie();
+  Table rout =
+      ExecuteToTable(db, q1, "rout", {"A", "B", "C", "D", "E"}).ValueOrDie();
+  MappingFixture f(std::move(db), std::move(rout));
+  auto mappings = f.Enumerate(1);
+  ASSERT_EQ(mappings.size(), 1u);
+  const ColumnMapping& m = mappings[0];
+  EXPECT_EQ(m.NumInstances(), 3u);
+  int suppliers = 0, partsupps = 0;
+  for (const auto& inst : m.instances) {
+    std::string name = f.db.table(inst.table).name();
+    if (name == "supplier") ++suppliers;
+    if (name == "partsupp") ++partsupps;
+  }
+  EXPECT_EQ(suppliers, 2);
+  EXPECT_EQ(partsupps, 1);
+  // Column C (availqty) maps to partsupp.ps_availqty — the paper notes the
+  // Jaccard criterion picks it over custkey/partkey options.
+  const auto& [ci, cc] = m.slots[2];
+  EXPECT_EQ(f.db.table(m.instances[ci].table).name(), "partsupp");
+  EXPECT_EQ(f.db.table(m.instances[ci].table).column(cc).name(),
+            "ps_availqty");
+}
+
+TEST(Mapping, GroupingRequiresACgm) {
+  // Two R_out columns generated from two *different* instances of the same
+  // table must not be grouped into one instance when no CGM supports it.
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 21}).ValueOrDie();
+  PJQuery q2 = BuildPaperQuery2(db).ValueOrDie();
+  Table rout =
+      ExecuteToTable(db, q2, "rout", {"A", "B", "D", "E"}).ValueOrDie();
+  MappingFixture f(std::move(db), std::move(rout));
+  auto mappings = f.Enumerate(1);
+  ASSERT_EQ(mappings.size(), 1u);
+  // (A,B) and (D,E) are suppkey/name pairs of two distinct suppliers; a
+  // single instance cannot generate all four columns.
+  EXPECT_EQ(mappings[0].NumInstances(), 2u);
+  EXPECT_NE(mappings[0].slots[0].first, mappings[0].slots[2].first);
+}
+
+TEST(Mapping, NaiveModeEnumeratesWithoutCgms) {
+  MappingFixture f = SupplierNationFixture();
+  f.opts.use_cgm_ranking = false;
+  auto mappings = f.Enumerate(5);
+  ASSERT_GT(mappings.size(), 0u);
+  for (const auto& m : f.Enumerate(5)) {
+    for (const auto& inst : m.instances) {
+      EXPECT_EQ(inst.cgm_index, -1);
+    }
+  }
+}
+
+TEST(Mapping, StateBudgetStopsEnumeration) {
+  MappingFixture f = SupplierNationFixture();
+  f.opts.max_mapping_states = 1;
+  MappingEnumerator e(&f.db, &f.rout, &f.cover, &f.cgms, &f.opts);
+  ColumnMapping m;
+  int produced = 0;
+  while (e.Next(&m)) ++produced;
+  EXPECT_EQ(produced, 0);
+  EXPECT_EQ(e.states_expanded(), 1u);
+}
+
+TEST(Mapping, ToStringIsInformative) {
+  MappingFixture f = SupplierNationFixture();
+  auto mappings = f.Enumerate(1);
+  std::string s = mappings[0].ToString(f.db, f.rout);
+  EXPECT_NE(s.find("supplier"), std::string::npos);
+  EXPECT_NE(s.find("score="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastqre

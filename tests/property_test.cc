@@ -1,0 +1,160 @@
+// Property-based tests: invariants that must hold across many random
+// database shapes and random CPJ queries (parameterized over seeds).
+//
+//  * Round-trip completeness: for R_out produced by a CPJ query with no
+//    intermediate instances, FastQRE finds a query regenerating R_out
+//    exactly.
+//  * Soundness: whenever Reverse reports found, the answer regenerates
+//    R_out exactly (checked by independent re-execution).
+//  * Superset soundness: in superset mode the answer's output contains
+//    R_out.
+//  * Engine self-consistency: mapping/CGM invariants on random data.
+#include <gtest/gtest.h>
+
+#include "datagen/randomdb.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "qre/cgm.h"
+#include "qre/column_cover.h"
+#include "qre/fastqre.h"
+
+namespace fastqre {
+namespace {
+
+class RoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripProperty, RandomDbRandomQueryExact) {
+  const uint64_t seed = GetParam();
+  RandomDbOptions db_opts;
+  db_opts.seed = seed;
+  db_opts.num_tables = 4;
+  db_opts.extra_fk_edges = static_cast<int>(seed % 3);
+  Database db = BuildRandomDb(db_opts).ValueOrDie();
+
+  Rng rng(seed * 31 + 7);
+  RandomQueryOptions q_opts;
+  q_opts.num_instances = 2 + static_cast<int>(seed % 3);
+  q_opts.num_projections = 3;
+  q_opts.max_rout_rows = 20000;
+  auto wq = RandomCpjQuery(db, &rng, q_opts);
+  if (!wq.ok()) GTEST_SKIP() << "no non-empty random query for this seed";
+
+  QreOptions opts;
+  opts.time_budget_seconds = 60.0;
+  FastQre engine(&db, opts);
+  QreAnswer a = engine.Reverse(wq->rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << "seed " << seed << ": " << a.failure_reason
+                       << "\nquery: " << wq->query.ToSql(db);
+  Table regen = ExecuteToTable(db, a.query, "regen").ValueOrDie();
+  EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(wq->rout))
+      << "seed " << seed << "\nwanted: " << wq->query.ToSql(db)
+      << "\nfound:  " << a.sql;
+}
+
+TEST_P(RoundTripProperty, RandomDbRandomQuerySuperset) {
+  const uint64_t seed = GetParam();
+  Database db = BuildRandomDb({.seed = seed, .num_tables = 3}).ValueOrDie();
+  Rng rng(seed * 17 + 3);
+  RandomQueryOptions q_opts;
+  q_opts.num_instances = 2;
+  auto wq = RandomCpjQuery(db, &rng, q_opts);
+  if (!wq.ok()) GTEST_SKIP();
+
+  // Sample roughly half the rows.
+  Table sample("sample", db.dictionary());
+  for (size_t c = 0; c < wq->rout.num_columns(); ++c) {
+    ASSERT_TRUE(sample
+                    .AddColumn(wq->rout.column(c).name(),
+                               wq->rout.column(c).type())
+                    .ok());
+  }
+  for (RowId r = 0; r < wq->rout.num_rows(); r += 2) {
+    sample.AppendRowIds(wq->rout.RowIds(r));
+  }
+  if (sample.num_rows() == 0) GTEST_SKIP();
+
+  QreOptions opts;
+  opts.variant = QreVariant::kSuperset;
+  opts.time_budget_seconds = 60.0;
+  FastQre engine(&db, opts);
+  QreAnswer a = engine.Reverse(sample).ValueOrDie();
+  ASSERT_TRUE(a.found) << "seed " << seed << ": " << a.failure_reason;
+  Table result = ExecuteToTable(db, a.query, "result").ValueOrDie();
+  EXPECT_TRUE(IsSubsetOf(TableToTupleSet(sample), TableToTupleSet(result)))
+      << "seed " << seed << ": " << a.sql;
+}
+
+TEST_P(RoundTripProperty, TpchRandomQueryExact) {
+  const uint64_t seed = GetParam();
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = seed}).ValueOrDie();
+  Rng rng(seed ^ 0xabcdef);
+  RandomQueryOptions q_opts;
+  q_opts.num_instances = 3;
+  q_opts.num_projections = 3;
+  q_opts.max_rout_rows = 20000;
+  auto wq = RandomCpjQuery(db, &rng, q_opts);
+  if (!wq.ok()) GTEST_SKIP();
+
+  QreOptions opts;
+  opts.time_budget_seconds = 60.0;
+  FastQre engine(&db, opts);
+  QreAnswer a = engine.Reverse(wq->rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << "seed " << seed << ": " << a.failure_reason
+                       << "\nquery: " << wq->query.ToSql(db);
+  Table regen = ExecuteToTable(db, a.query, "regen").ValueOrDie();
+  EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(wq->rout))
+      << "seed " << seed << "\nwanted: " << wq->query.ToSql(db)
+      << "\nfound:  " << a.sql;
+}
+
+TEST_P(RoundTripProperty, CgmInvariantsOnRandomData) {
+  const uint64_t seed = GetParam();
+  Database db = BuildRandomDb({.seed = seed, .num_tables = 3}).ValueOrDie();
+  Rng rng(seed + 99);
+  auto wq = RandomCpjQuery(db, &rng, RandomQueryOptions{});
+  if (!wq.ok()) GTEST_SKIP();
+
+  QreOptions opts;
+  QreStats stats;
+  ColumnCover cover = ComputeColumnCover(db, wq->rout, opts, &stats);
+  CgmSet cgms = DiscoverCgms(db, wq->rout, cover, opts, &stats);
+  for (const Cgm& g : cgms.cgms) {
+    // Soundness: every CGM's group really is coherent.
+    TupleSet group = ProjectToTupleSet(db.table(g.table), g.DbColumns());
+    TupleSet out = ProjectToTupleSet(wq->rout, g.OutColumns());
+    EXPECT_TRUE(IsSubsetOf(out, group)) << "seed " << seed;
+    // Every (out, db) pair must appear in the cover.
+    for (const auto& [oc, dc] : g.mapping) {
+      bool in_cover = false;
+      for (const auto& e : cover.covers[oc]) {
+        if (e.table == g.table && e.column == dc) in_cover = true;
+      }
+      EXPECT_TRUE(in_cover) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(RoundTripProperty, CoverPruningEquivalenceOnRandomData) {
+  const uint64_t seed = GetParam();
+  Database db = BuildRandomDb({.seed = seed, .num_tables = 4}).ValueOrDie();
+  Rng rng(seed + 5);
+  auto wq = RandomCpjQuery(db, &rng, RandomQueryOptions{});
+  if (!wq.ok()) GTEST_SKIP();
+  QreOptions with, without;
+  without.use_pattern_pruning = false;
+  QreStats s1, s2;
+  ColumnCover c1 = ComputeColumnCover(db, wq->rout, with, &s1);
+  ColumnCover c2 = ComputeColumnCover(db, wq->rout, without, &s2);
+  ASSERT_EQ(c1.covers.size(), c2.covers.size());
+  for (size_t i = 0; i < c1.covers.size(); ++i) {
+    ASSERT_EQ(c1.covers[i].size(), c2.covers[i].size()) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace fastqre

@@ -1,0 +1,230 @@
+// End-to-end invariants of the FastQRE pipeline beyond simple round trips:
+// pruning must not lose answers, every enumerated answer must be generating,
+// structural edge cases of R_out must work, and the L knob trades
+// completeness for search-space size in the documented way.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/randomdb.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/builder.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "qre/fastqre.h"
+
+namespace fastqre {
+namespace {
+
+bool Regenerates(const Database& db, const QreAnswer& a, const Table& rout) {
+  if (!a.found) return false;
+  Table regen = ExecuteToTable(db, a.query, "regen").ValueOrDie();
+  return TableToTupleSet(regen) == TableToTupleSet(rout);
+}
+
+class QreInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QreInvariants, FeedbackPruningNeverLosesAnswers) {
+  // The dead-set argument (results shrink monotonically along the lattice)
+  // implies pruning is lossless: with and without feedback, Reverse must
+  // agree on solvability and both answers must regenerate R_out.
+  const uint64_t seed = GetParam();
+  Database db = BuildRandomDb({.seed = seed, .num_tables = 4}).ValueOrDie();
+  Rng rng(seed * 3 + 1);
+  auto wq = RandomCpjQuery(db, &rng, RandomQueryOptions{});
+  if (!wq.ok()) GTEST_SKIP();
+
+  QreOptions with, without;
+  without.use_feedback_pruning = false;
+  with.time_budget_seconds = without.time_budget_seconds = 60.0;
+  QreAnswer a_with = FastQre(&db, with).Reverse(wq->rout).ValueOrDie();
+  QreAnswer a_without = FastQre(&db, without).Reverse(wq->rout).ValueOrDie();
+  ASSERT_EQ(a_with.found, a_without.found) << "seed " << seed;
+  if (a_with.found) {
+    EXPECT_TRUE(Regenerates(db, a_with, wq->rout)) << "seed " << seed;
+    EXPECT_TRUE(Regenerates(db, a_without, wq->rout)) << "seed " << seed;
+  }
+}
+
+TEST_P(QreInvariants, AllEnumeratedAnswersAreGenerating) {
+  const uint64_t seed = GetParam();
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = seed}).ValueOrDie();
+  Rng rng(seed + 17);
+  RandomQueryOptions q_opts;
+  q_opts.num_instances = 2;
+  auto wq = RandomCpjQuery(db, &rng, q_opts);
+  if (!wq.ok()) GTEST_SKIP();
+
+  QreOptions opts;
+  opts.time_budget_seconds = 60.0;
+  auto answers = FastQre(&db, opts).ReverseAll(wq->rout, 4).ValueOrDie();
+  ASSERT_FALSE(answers.empty());
+  std::set<std::string> sqls;
+  for (const auto& a : answers) {
+    ASSERT_TRUE(a.found) << "seed " << seed << ": " << a.failure_reason;
+    EXPECT_TRUE(Regenerates(db, a, wq->rout)) << "seed " << seed << "\n"
+                                              << a.sql;
+    EXPECT_TRUE(sqls.insert(a.sql).second) << "duplicate: " << a.sql;
+  }
+}
+
+TEST_P(QreInvariants, ExactAnswerIsAlsoSupersetValid) {
+  const uint64_t seed = GetParam();
+  Database db = BuildRandomDb({.seed = seed, .num_tables = 3}).ValueOrDie();
+  Rng rng(seed * 7 + 5);
+  auto wq = RandomCpjQuery(db, &rng, RandomQueryOptions{});
+  if (!wq.ok()) GTEST_SKIP();
+  QreOptions opts;
+  opts.time_budget_seconds = 60.0;
+  QreAnswer exact = FastQre(&db, opts).Reverse(wq->rout).ValueOrDie();
+  if (!exact.found) GTEST_SKIP();
+  Table result = ExecuteToTable(db, exact.query, "r").ValueOrDie();
+  EXPECT_TRUE(IsSubsetOf(TableToTupleSet(wq->rout), TableToTupleSet(result)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QreInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------- structural edge cases -------------------------------------------
+
+class QreEdgeCases : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  }
+  Database db_;
+};
+
+TEST_F(QreEdgeCases, DuplicateProjectionColumns) {
+  // R_out projects the same database column twice: the mapping machinery
+  // must place the two identical output columns without merging them into
+  // one 1-to-1 CGM slot.
+  QueryBuilder b(&db_);
+  InstanceId n = b.Instance("nation");
+  b.Project(n, "n_name");
+  b.Project(n, "n_name");
+  Table rout =
+      ExecuteToTable(db_, b.Build().ValueOrDie(), "rout").ValueOrDie();
+  ASSERT_EQ(rout.num_columns(), 2u);
+  QreAnswer a = FastQre(&db_).Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  EXPECT_TRUE(Regenerates(db_, a, rout)) << a.sql;
+}
+
+TEST_F(QreEdgeCases, SingleRowRout) {
+  // One tuple of (supplier name, nation name): exact QRE on a 1-row table.
+  // With so little evidence many queries generate supersets, but exact
+  // equality still constrains heavily; whatever is found must regenerate.
+  QueryBuilder b(&db_);
+  InstanceId s = b.Instance("supplier");
+  InstanceId n = b.Instance("nation");
+  b.Join(s, "s_nationkey", n, "n_nationkey");
+  b.Project(s, "s_name");
+  b.Project(n, "n_name");
+  b.Select(s, "s_suppkey", Value(int64_t{1}));
+  Table rout =
+      ExecuteToTable(db_, b.Build().ValueOrDie(), "rout").ValueOrDie();
+  ASSERT_EQ(rout.num_rows(), 1u);
+  // The selection is outside the PJ class, so exact QRE may legitimately
+  // fail; superset QRE must succeed.
+  QreOptions opts;
+  opts.variant = QreVariant::kSuperset;
+  QreAnswer a = FastQre(&db_, opts).Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  Table result = ExecuteToTable(db_, a.query, "r").ValueOrDie();
+  EXPECT_TRUE(IsSubsetOf(TableToTupleSet(rout), TableToTupleSet(result)));
+}
+
+TEST_F(QreEdgeCases, DoubleTypedColumns) {
+  QueryBuilder b(&db_);
+  InstanceId s = b.Instance("supplier");
+  b.Project(s, "s_name");
+  b.Project(s, "s_acctbal");
+  Table rout =
+      ExecuteToTable(db_, b.Build().ValueOrDie(), "rout").ValueOrDie();
+  QreAnswer a = FastQre(&db_).Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  EXPECT_TRUE(Regenerates(db_, a, rout)) << a.sql;
+}
+
+TEST_F(QreEdgeCases, PermutedColumnOrder) {
+  // The same data with columns in a different order is a different R_out;
+  // both orders must resolve, with mappings matching their own order.
+  for (bool swap : {false, true}) {
+    QueryBuilder b(&db_);
+    InstanceId s = b.Instance("supplier");
+    InstanceId n = b.Instance("nation");
+    b.Join(s, "s_nationkey", n, "n_nationkey");
+    if (swap) {
+      b.Project(n, "n_name");
+      b.Project(s, "s_name");
+    } else {
+      b.Project(s, "s_name");
+      b.Project(n, "n_name");
+    }
+    Table rout =
+        ExecuteToTable(db_, b.Build().ValueOrDie(), "rout").ValueOrDie();
+    QreAnswer a = FastQre(&db_).Reverse(rout).ValueOrDie();
+    ASSERT_TRUE(a.found) << "swap=" << swap;
+    EXPECT_TRUE(Regenerates(db_, a, rout)) << "swap=" << swap << "\n" << a.sql;
+  }
+}
+
+TEST_F(QreEdgeCases, WholeTableIdentity) {
+  // R_out = an entire table: the identity projection must be recovered as a
+  // single-instance query.
+  const Table& region = db_.table(*db_.FindTable("region"));
+  Table rout("rout", db_.dictionary());
+  for (size_t c = 0; c < region.num_columns(); ++c) {
+    ASSERT_TRUE(
+        rout.AddColumn(region.column(c).name(), region.column(c).type()).ok());
+  }
+  for (RowId r = 0; r < region.num_rows(); ++r) {
+    rout.AppendRowIds(region.RowIds(r));
+  }
+  QreAnswer a = FastQre(&db_).Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(a.found) << a.failure_reason;
+  EXPECT_EQ(a.num_instances, 1u);
+  EXPECT_TRUE(Regenerates(db_, a, rout)) << a.sql;
+}
+
+TEST_F(QreEdgeCases, WalkLengthKnobGovernsCompleteness) {
+  // L05 (supplier-part pairs) has no direct supplier-part edge: connecting
+  // the two projection instances needs the length-2 walk S-PS-P. With
+  // max_walk_length = 1 the instances cannot be connected and the search
+  // must fail honestly; with 2 it succeeds.
+  auto workload = StandardTpchWorkload(db_).ValueOrDie();
+  const auto& wq = workload[4];  // L05
+  for (int L : {1, 2}) {
+    QreOptions opts;
+    opts.max_walk_length = L;
+    opts.time_budget_seconds = 30.0;
+    QreAnswer a = FastQre(&db_, opts).Reverse(wq.rout).ValueOrDie();
+    if (L == 1) {
+      EXPECT_FALSE(a.found) << a.sql;
+    } else {
+      EXPECT_TRUE(a.found) << a.failure_reason;
+    }
+  }
+}
+
+TEST_F(QreEdgeCases, RoutLargerThanAnyGeneratableSetFails) {
+  // A tuple mixing values from unrelated rows: covers and CGMs exist, but
+  // no PJ query can produce it together with real rows. The search must
+  // exhaust and report not-found (not hang, not mis-answer).
+  QueryBuilder b(&db_);
+  InstanceId n = b.Instance("nation");
+  b.Project(n, "n_nationkey");
+  b.Project(n, "n_name");
+  Table rout =
+      ExecuteToTable(db_, b.Build().ValueOrDie(), "rout").ValueOrDie();
+  // Append a scrambled pair (key of nation 0 with name of nation 1).
+  rout.AppendRowIds({rout.column(0).at(0), rout.column(1).at(1)});
+  QreOptions opts;
+  opts.time_budget_seconds = 30.0;
+  QreAnswer a = FastQre(&db_, opts).Reverse(rout).ValueOrDie();
+  EXPECT_FALSE(a.found) << a.sql;
+}
+
+}  // namespace
+}  // namespace fastqre

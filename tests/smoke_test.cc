@@ -1,0 +1,89 @@
+// End-to-end smoke tests: the toy database of Example 2.2 and the TPC-H
+// running example (Queries 1 and 2) round-trip through FastQRE.
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "qre/fastqre.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+// The toy database D_toy of Example 2.2 / Figure 4.
+Database BuildToyDb() {
+  Database db;
+  TableId r1 = db.AddTable("R1").ValueOrDie();
+  Table& t1 = db.table(r1);
+  EXPECT_TRUE(t1.AddColumn("A", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AddColumn("B", ValueType::kInt64).ok());
+  EXPECT_TRUE(t1.AddColumn("C", ValueType::kInt64).ok());
+  // A is the pk; (C, B) is the coherent pair w.r.t. (X, Y) of R_out.
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{10}), Value(int64_t{2}), Value(int64_t{1})}).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{11}), Value(int64_t{4}), Value(int64_t{3})}).ok());
+  EXPECT_TRUE(t1.AppendRow({Value(int64_t{12}), Value(int64_t{6}), Value(int64_t{5})}).ok());
+
+  TableId r2 = db.AddTable("R2").ValueOrDie();
+  Table& t2 = db.table(r2);
+  EXPECT_TRUE(t2.AddColumn("D", ValueType::kInt64).ok());
+  EXPECT_TRUE(t2.AddColumn("E", ValueType::kString).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{10}), Value("a7")}).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{11}), Value("a2")}).ok());
+  EXPECT_TRUE(t2.AppendRow({Value(int64_t{12}), Value("a1")}).ok());
+
+  TableId r3 = db.AddTable("R3").ValueOrDie();
+  Table& t3 = db.table(r3);
+  EXPECT_TRUE(t3.AddColumn("F", ValueType::kInt64).ok());
+  EXPECT_TRUE(t3.AddColumn("G", ValueType::kString).ok());
+  EXPECT_TRUE(t3.AppendRow({Value(int64_t{10}), Value("b3")}).ok());
+  EXPECT_TRUE(t3.AppendRow({Value(int64_t{11}), Value("b5")}).ok());
+
+  EXPECT_TRUE(db.AddForeignKey("R2", "D", "R1", "A").ok());
+  EXPECT_TRUE(db.AddForeignKey("R3", "F", "R1", "A").ok());
+  return db;
+}
+
+TEST(Smoke, ToyExampleRoundTrip) {
+  Database db = BuildToyDb();
+  // Q_gen: SELECT R1.C, R1.B, R2.E, R3.G FROM R1, R2, R3
+  //        WHERE R2.D = R1.A AND R3.F = R1.A
+  PJQuery q;
+  InstanceId i1 = q.AddInstance(0);
+  InstanceId i2 = q.AddInstance(1);
+  InstanceId i3 = q.AddInstance(2);
+  q.AddJoin(i2, 0, i1, 0);
+  q.AddJoin(i3, 0, i1, 0);
+  q.AddProjection(i1, 2);  // C as X
+  q.AddProjection(i1, 1);  // B as Y
+  q.AddProjection(i2, 1);  // E as Z
+  q.AddProjection(i3, 1);  // G as W
+  Table rout = ExecuteToTable(db, q, "rout", {"X", "Y", "Z", "W"}).ValueOrDie();
+  ASSERT_GT(rout.num_rows(), 0u);
+
+  FastQre engine(&db);
+  QreAnswer answer = engine.Reverse(rout).ValueOrDie();
+  ASSERT_TRUE(answer.found) << answer.failure_reason;
+  // The found query must regenerate R_out exactly.
+  Table regen = ExecuteToTable(db, answer.query, "regen").ValueOrDie();
+  EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(rout)) << answer.sql;
+}
+
+TEST(Smoke, TpchLadderRoundTrip) {
+  Database db = BuildTpch({.scale_factor = 0.0005, .seed = 1}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  ASSERT_EQ(workload.size(), 10u);
+  for (const auto& wq : workload) {
+    SCOPED_TRACE(wq.name + ": " + wq.description);
+    FastQre engine(&db);
+    QreAnswer answer = engine.Reverse(wq.rout).ValueOrDie();
+    ASSERT_TRUE(answer.found) << answer.failure_reason << "\n"
+                              << answer.stats.ToString();
+    Table regen = ExecuteToTable(db, answer.query, "regen").ValueOrDie();
+    EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(wq.rout)) << answer.sql;
+  }
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -1,0 +1,157 @@
+// Unit tests for the PJ-fragment SQL parser, including ToSql round trips.
+#include <gtest/gtest.h>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/compare.h"
+#include "engine/executor.h"
+#include "engine/sql_parser.h"
+
+namespace fastqre {
+namespace {
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  }
+  Database db_;
+};
+
+TEST_F(SqlParserTest, SimpleSelect) {
+  PJQuery q =
+      ParsePJQuery(db_, "SELECT n.n_name FROM nation n").ValueOrDie();
+  EXPECT_EQ(q.num_instances(), 1u);
+  EXPECT_EQ(q.projections().size(), 1u);
+  EXPECT_TRUE(q.joins().empty());
+  Table out = ExecuteToTable(db_, q, "out").ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 25u);
+}
+
+TEST_F(SqlParserTest, JoinAndDefaultAlias) {
+  // Without an explicit alias, the table name is the alias.
+  PJQuery q = ParsePJQuery(db_,
+                           "SELECT supplier.s_name, nation.n_name "
+                           "FROM supplier, nation "
+                           "WHERE supplier.s_nationkey = nation.n_nationkey")
+                  .ValueOrDie();
+  EXPECT_EQ(q.num_instances(), 2u);
+  EXPECT_EQ(q.joins().size(), 1u);
+  Table out = ExecuteToTable(db_, q, "out").ValueOrDie();
+  EXPECT_GT(out.num_rows(), 0u);
+}
+
+TEST_F(SqlParserTest, KeywordsAreCaseInsensitive) {
+  PJQuery q = ParsePJQuery(db_,
+                           "select n.n_name from nation n where "
+                           "n.n_regionkey = 0")
+                  .ValueOrDie();
+  EXPECT_EQ(q.selections().size(), 1u);
+  Table out = ExecuteToTable(db_, q, "out").ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 5u);  // five nations per region
+}
+
+TEST_F(SqlParserTest, SelfJoinWithAliases) {
+  PJQuery q = ParsePJQuery(
+                  db_,
+                  "SELECT s1.s_name, s2.s_name FROM supplier s1, supplier s2 "
+                  "WHERE s1.s_nationkey = s2.s_nationkey")
+                  .ValueOrDie();
+  EXPECT_EQ(q.num_instances(), 2u);
+  EXPECT_EQ(q.instance_table(0), q.instance_table(1));
+}
+
+TEST_F(SqlParserTest, StringLiteralSelection) {
+  PJQuery q = ParsePJQuery(db_,
+                           "SELECT n.n_nationkey FROM nation n WHERE "
+                           "n.n_name = 'FRANCE'")
+                  .ValueOrDie();
+  Table out = ExecuteToTable(db_, q, "out").ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.RowValues(0)[0], Value(int64_t{6}));
+}
+
+TEST_F(SqlParserTest, QuotedLiteralEscapes) {
+  // '' inside a string literal is a single quote.
+  Database db;
+  TableId t = db.AddTable("t").ValueOrDie();
+  ASSERT_TRUE(db.table(t).AddColumn("s", ValueType::kString).ok());
+  ASSERT_TRUE(db.table(t).AppendRow({Value("it's")}).ok());
+  PJQuery q =
+      ParsePJQuery(db, "SELECT t.s FROM t WHERE t.s = 'it''s'").ValueOrDie();
+  Table out = ExecuteToTable(db, q, "out").ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 1u);
+}
+
+TEST_F(SqlParserTest, NumericLiteralMatchesColumnType) {
+  // "= 2" against a double column must intern 2.0, not int64 2.
+  PJQuery q = ParsePJQuery(db_,
+                           "SELECT s.s_name FROM supplier s WHERE "
+                           "s.s_acctbal = 2")
+                  .ValueOrDie();
+  ASSERT_EQ(q.selections().size(), 1u);
+  const Value& v = db_.dictionary()->Get(q.selections()[0].value);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+}
+
+TEST_F(SqlParserTest, RoundTripsLadderQueries) {
+  auto workload = StandardTpchWorkload(db_).ValueOrDie();
+  for (const auto& wq : workload) {
+    SCOPED_TRACE(wq.name);
+    std::string sql = wq.query.ToSql(db_);
+    PJQuery reparsed = ParsePJQuery(db_, sql).ValueOrDie();
+    EXPECT_EQ(reparsed.ToSql(db_), sql);  // textual fixpoint
+    Table out = ExecuteToTable(db_, reparsed, "out").ValueOrDie();
+    EXPECT_EQ(TableToTupleSet(out), TableToTupleSet(wq.rout));
+  }
+}
+
+TEST_F(SqlParserTest, SyntaxErrors) {
+  EXPECT_TRUE(ParsePJQuery(db_, "").status().IsInvalidArgument());
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParsePJQuery(db_, "SELECT x FROM nation").status().IsInvalidArgument());
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT n.n_name nation n")
+                  .status()
+                  .IsInvalidArgument());  // missing FROM
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT n.n_name FROM nation n WHERE")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT n.n_name FROM nation n trailing x")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT n.n_name FROM nation n WHERE "
+                                "n.n_name = 'unterminated")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SqlParserTest, ResolutionErrors) {
+  EXPECT_TRUE(
+      ParsePJQuery(db_, "SELECT g.x FROM ghost g").status().IsNotFound());
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT n.ghost_col FROM nation n")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT z.n_name FROM nation n")
+                  .status()
+                  .IsNotFound());  // unknown alias
+  EXPECT_TRUE(ParsePJQuery(db_, "SELECT n.n_name FROM nation n, region n")
+                  .status()
+                  .IsInvalidArgument());  // duplicate alias
+}
+
+TEST_F(SqlParserTest, SameInstanceEqualityIsAFilter) {
+  PJQuery q = ParsePJQuery(db_,
+                           "SELECT n.n_name FROM nation n WHERE "
+                           "n.n_nationkey = n.n_regionkey")
+                  .ValueOrDie();
+  ASSERT_EQ(q.joins().size(), 1u);
+  EXPECT_EQ(q.joins()[0].a, q.joins()[0].b);
+  Table out = ExecuteToTable(db_, q, "out").ValueOrDie();
+  // Nations 0..4 have nationkey==regionkey only when the official mapping
+  // says so; just assert execution works and is a subset of all nations.
+  EXPECT_LE(out.num_rows(), 25u);
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -1,0 +1,296 @@
+// Unit tests for src/storage: Value, Dictionary, Column, Table, Database,
+// SchemaGraph, HashIndex.
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/dictionary.h"
+#include "storage/index.h"
+#include "storage/schema_graph.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace fastqre {
+namespace {
+
+// ---------- Value -----------------------------------------------------------
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(Value, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // int64 1 != double 1.0
+  EXPECT_NE(Value(int64_t{1}), Value("1"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+}
+
+TEST(Value, OrderingIsTotalWithinAndAcrossTypes) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross-type: ordered by type index (null < int64 < double < string).
+  EXPECT_LT(Value::Null(), Value(int64_t{-100}));
+  EXPECT_LT(Value(int64_t{100}), Value(0.1));
+  EXPECT_LT(Value(9e9), Value(""));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("s").ToString(), "s");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(Value, SqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value(int64_t{3}).ToSqlLiteral(), "3");
+  EXPECT_EQ(Value("a'b").ToSqlLiteral(), "'a''b'");
+  EXPECT_EQ(Value("plain").ToSqlLiteral(), "'plain'");
+}
+
+// ---------- Dictionary ------------------------------------------------------
+
+TEST(Dictionary, NullIsIdZero) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern(Value::Null()), kNullValueId);
+  EXPECT_EQ(d.Find(Value::Null()), kNullValueId);
+  EXPECT_TRUE(d.Get(kNullValueId).is_null());
+}
+
+TEST(Dictionary, InternIsIdempotent) {
+  Dictionary d;
+  ValueId a = d.Intern(Value(int64_t{5}));
+  ValueId b = d.Intern(Value(int64_t{5}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 2u);  // NULL + one value
+}
+
+TEST(Dictionary, DistinctValuesGetDistinctIds) {
+  Dictionary d;
+  ValueId a = d.Intern(Value(int64_t{1}));
+  ValueId b = d.Intern(Value(1.0));
+  ValueId c = d.Intern(Value("1"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(d.Get(a), Value(int64_t{1}));
+  EXPECT_EQ(d.Get(c), Value("1"));
+}
+
+TEST(Dictionary, FindDoesNotIntern) {
+  Dictionary d;
+  EXPECT_EQ(d.Find(Value("absent")), Dictionary::kNotInterned);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+// ---------- Table / Column --------------------------------------------------
+
+TEST(Table, AddColumnRules) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  EXPECT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  EXPECT_TRUE(t.AddColumn("a", ValueType::kInt64).IsAlreadyExists());
+  EXPECT_TRUE(t.AddColumn("n", ValueType::kNull).IsInvalidArgument());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1})}).ok());
+  EXPECT_TRUE(t.AddColumn("late", ValueType::kInt64).IsInvalidArgument());
+}
+
+TEST(Table, AppendRowChecksArityAndTypes) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("b", ValueType::kString).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1})}).IsInvalidArgument());
+  EXPECT_TRUE(
+      t.AppendRow({Value("wrong"), Value("ok")}).IsInvalidArgument());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value("x")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());  // nulls ok
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RowRoundTrip) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("b", ValueType::kString).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{42}), Value("hello")}).ok());
+  auto vals = t.RowValues(0);
+  EXPECT_EQ(vals[0], Value(int64_t{42}));
+  EXPECT_EQ(vals[1], Value("hello"));
+  auto ids = t.RowIds(0);
+  EXPECT_EQ(dict->Get(ids[1]), Value("hello"));
+}
+
+TEST(Table, FindColumn) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  EXPECT_EQ(*t.FindColumn("a"), 0u);
+  EXPECT_TRUE(t.FindColumn("zz").status().IsNotFound());
+}
+
+TEST(Column, DistinctSetAndUniqueness) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  for (int64_t v : {1, 2, 2, 3, 3, 3}) {
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  }
+  EXPECT_EQ(t.column(0).NumDistinct(), 3u);
+  EXPECT_FALSE(t.column(0).IsUnique());
+  EXPECT_FALSE(t.column(0).HasNulls());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  EXPECT_TRUE(t.column(0).HasNulls());  // cache invalidated by append
+  EXPECT_EQ(t.column(0).NumDistinct(), 4u);
+}
+
+TEST(Column, UniqueColumn) {
+  auto dict = std::make_shared<Dictionary>();
+  Table t("t", dict);
+  ASSERT_TRUE(t.AddColumn("k", ValueType::kInt64).ok());
+  for (int64_t v = 0; v < 10; ++v) ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  EXPECT_TRUE(t.column(0).IsUnique());
+}
+
+// ---------- SchemaGraph -----------------------------------------------------
+
+TEST(SchemaGraph, EdgesAndAdjacency) {
+  SchemaGraph g;
+  EdgeId e0 = g.AddEdge(0, 1, 1, 0);
+  EdgeId e1 = g.AddEdge(1, 2, 2, 0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.EdgesOf(0), (std::vector<EdgeId>{e0}));
+  EXPECT_EQ(g.EdgesOf(1), (std::vector<EdgeId>{e0, e1}));
+  EXPECT_EQ(g.EdgesOf(2), (std::vector<EdgeId>{e1}));
+  EXPECT_TRUE(g.EdgesOf(99).empty());
+}
+
+TEST(SchemaGraph, ParallelEdgesAndSelfLoops) {
+  SchemaGraph g;
+  g.AddEdge(0, 0, 1, 0);
+  g.AddEdge(0, 1, 1, 1);  // parallel edge, different columns
+  EdgeId loop = g.AddEdge(2, 0, 2, 1);
+  EXPECT_EQ(g.EdgesOf(0).size(), 2u);
+  EXPECT_TRUE(g.edge(loop).IsSelfLoop());
+  // Self-loops appear once in the adjacency list.
+  EXPECT_EQ(g.EdgesOf(2).size(), 1u);
+}
+
+TEST(SchemaGraph, SideOf) {
+  SchemaGraph g;
+  EdgeId e = g.AddEdge(3, 7, 5, 2);
+  EXPECT_EQ(g.edge(e).SideOf(3), 0);
+  EXPECT_EQ(g.edge(e).SideOf(5), 1);
+}
+
+// ---------- Database --------------------------------------------------------
+
+Database TwoTableDb() {
+  Database db;
+  TableId parent = db.AddTable("parent").ValueOrDie();
+  EXPECT_TRUE(db.table(parent).AddColumn("pk", ValueType::kInt64).ok());
+  EXPECT_TRUE(db.table(parent).AddColumn("name", ValueType::kString).ok());
+  TableId child = db.AddTable("child").ValueOrDie();
+  EXPECT_TRUE(db.table(child).AddColumn("fk", ValueType::kInt64).ok());
+  for (int64_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(db.table(parent)
+                    .AppendRow({Value(k), Value("p" + std::to_string(k))})
+                    .ok());
+  }
+  for (int64_t k : {0, 0, 1, 2, 2, 2}) {
+    EXPECT_TRUE(db.table(child).AppendRow({Value(k)}).ok());
+  }
+  EXPECT_TRUE(db.AddForeignKey("child", "fk", "parent", "pk").ok());
+  return db;
+}
+
+TEST(Database, TableManagement) {
+  Database db = TwoTableDb();
+  EXPECT_EQ(db.num_tables(), 2u);
+  EXPECT_EQ(*db.FindTable("parent"), 0u);
+  EXPECT_TRUE(db.FindTable("nope").status().IsNotFound());
+  EXPECT_TRUE(db.AddTable("parent").status().IsAlreadyExists());
+  EXPECT_EQ(db.TotalRows(), 9u);
+}
+
+TEST(Database, ForeignKeyBuildsSchemaEdge) {
+  Database db = TwoTableDb();
+  ASSERT_EQ(db.foreign_keys().size(), 1u);
+  const ForeignKey& fk = db.foreign_keys()[0];
+  EXPECT_EQ(db.table(fk.child_table).name(), "child");
+  EXPECT_EQ(db.table(fk.parent_table).name(), "parent");
+  ASSERT_EQ(db.schema_graph().num_edges(), 1u);
+  const SchemaEdge& e = db.schema_graph().edge(0);
+  EXPECT_EQ(e.table[0], fk.child_table);
+  EXPECT_EQ(e.table[1], fk.parent_table);
+}
+
+TEST(Database, ForeignKeyNameResolutionErrors) {
+  Database db = TwoTableDb();
+  EXPECT_TRUE(db.AddForeignKey("nope", "fk", "parent", "pk").IsNotFound());
+  EXPECT_TRUE(db.AddForeignKey("child", "zz", "parent", "pk").IsNotFound());
+}
+
+TEST(Database, IndexCacheReuses) {
+  Database db = TwoTableDb();
+  const HashIndex& i1 = db.GetOrBuildIndex(0, {0});
+  const HashIndex& i2 = db.GetOrBuildIndex(0, {0});
+  EXPECT_EQ(&i1, &i2);
+  EXPECT_EQ(db.index_stats().indexes_built, 1u);
+  EXPECT_EQ(db.index_stats().cache_hits, 1u);
+  db.GetOrBuildIndex(0, {0, 1});
+  EXPECT_EQ(db.index_stats().indexes_built, 2u);
+}
+
+// ---------- HashIndex -------------------------------------------------------
+
+TEST(HashIndex, SingleColumnLookup) {
+  Database db = TwoTableDb();
+  const Table& child = db.table(1);
+  HashIndex index(child, {0});
+  ValueId two = db.dictionary()->Find(Value(int64_t{2}));
+  ASSERT_NE(two, Dictionary::kNotInterned);
+  EXPECT_EQ(index.Lookup1(two).size(), 3u);
+  EXPECT_EQ(index.Lookup({two}).size(), 3u);
+  ValueId missing = db.dictionary()->Intern(Value(int64_t{999}));
+  EXPECT_TRUE(index.Lookup1(missing).empty());
+  EXPECT_EQ(index.num_keys(), 3u);
+}
+
+TEST(HashIndex, MultiColumnLookup) {
+  Database db = TwoTableDb();
+  const Table& parent = db.table(0);
+  HashIndex index(parent, {0, 1});
+  ValueId k1 = db.dictionary()->Find(Value(int64_t{1}));
+  ValueId p1 = db.dictionary()->Find(Value("p1"));
+  ValueId p2 = db.dictionary()->Find(Value("p2"));
+  EXPECT_EQ(index.Lookup({k1, p1}).size(), 1u);
+  EXPECT_TRUE(index.Lookup({k1, p2}).empty());  // mismatched pair
+  EXPECT_EQ(index.num_keys(), 3u);
+}
+
+TEST(HashIndex, RowIdsPointBack) {
+  Database db = TwoTableDb();
+  const Table& child = db.table(1);
+  HashIndex index(child, {0});
+  ValueId zero = db.dictionary()->Find(Value(int64_t{0}));
+  for (RowId r : index.Lookup1(zero)) {
+    EXPECT_EQ(child.column(0).at(r), zero);
+  }
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -1,0 +1,72 @@
+// Unit tests for the semi-automated alpha calibration (Section 4.4.2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/tpch.h"
+#include "qre/tuning.h"
+
+namespace fastqre {
+namespace {
+
+TEST(TuneAlpha, ReturnsACandidateWithTimings) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  TuneAlphaOptions topts;
+  topts.candidates = {0.25, 0.75};
+  topts.num_test_queries = 2;
+  topts.per_run_budget_seconds = 10.0;
+  TuneAlphaResult result = TuneAlpha(db, QreOptions(), topts).ValueOrDie();
+  EXPECT_TRUE(result.best_alpha == 0.25 || result.best_alpha == 0.75);
+  ASSERT_EQ(result.total_seconds.size(), 2u);
+  ASSERT_EQ(result.alphas.size(), 2u);
+  for (double t : result.total_seconds) EXPECT_GE(t, 0.0);
+  // best_alpha is the argmin of total_seconds.
+  size_t best_idx = static_cast<size_t>(
+      std::min_element(result.total_seconds.begin(), result.total_seconds.end()) -
+      result.total_seconds.begin());
+  EXPECT_DOUBLE_EQ(result.best_alpha, result.alphas[best_idx]);
+}
+
+TEST(TuneAlpha, EmptyCandidatesRejected) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  TuneAlphaOptions topts;
+  topts.candidates = {};
+  EXPECT_TRUE(TuneAlpha(db, QreOptions(), topts).status().IsInvalidArgument());
+}
+
+TEST(TuneAlpha, DeterministicForFixedSeed) {
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  TuneAlphaOptions topts;
+  topts.candidates = {0.5};
+  topts.num_test_queries = 2;
+  topts.seed = 11;
+  auto a = TuneAlpha(db, QreOptions(), topts).ValueOrDie();
+  auto b = TuneAlpha(db, QreOptions(), topts).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.best_alpha, b.best_alpha);
+}
+
+TEST(TuneAlpha, SingleTableDatabase) {
+  Database db;
+  TableId t = db.AddTable("solo").ValueOrDie();
+  ASSERT_TRUE(db.table(t).AddColumn("k", ValueType::kInt64).ok());
+  ASSERT_TRUE(db.table(t).AddColumn("v", ValueType::kString).ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        db.table(t).AppendRow({Value(i), Value("v" + std::to_string(i))}).ok());
+  }
+  TuneAlphaOptions topts;
+  topts.test_query_instances = 1;
+  topts.num_test_queries = 1;
+  auto result = TuneAlpha(db, QreOptions(), topts);
+  // Either calibrates on single-instance queries or reports NotFound; both
+  // are acceptable (no join paths exist to rank).
+  if (result.ok()) {
+    EXPECT_GE(result->best_alpha, 0.0);
+    EXPECT_LE(result->best_alpha, 1.0);
+  } else {
+    EXPECT_TRUE(result.status().IsNotFound());
+  }
+}
+
+}  // namespace
+}  // namespace fastqre

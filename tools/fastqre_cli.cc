@@ -1,0 +1,254 @@
+// fastqre — command-line front end.
+//
+//   fastqre gen-tpch --out DIR [--scale S] [--seed N]
+//       Generate a TPC-H database directory.
+//   fastqre info --db DIR
+//       Print schema, row counts and the pk-fk graph.
+//   fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv
+//       Materialize a ladder query's output as a CSV "report" to reverse.
+//   fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]
+//                   [--alpha A] [--all K] [--stats] [--verify] [--trace]
+//       Reverse engineer a generating query for the report.
+//   fastqre run --db DIR --sql "SELECT a.x FROM t a WHERE ..." [--limit N]
+//       Execute a PJ query and print its (distinct) result rows.
+//   fastqre tune --db DIR
+//       Calibrate alpha on self-generated test queries (Section 4.4.2).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table_printer.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "engine/executor.h"
+#include "engine/sql_parser.h"
+#include "qre/fastqre.h"
+#include "qre/tuning.h"
+#include "storage/catalog_io.h"
+#include "storage/csv.h"
+
+using namespace fastqre;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fastqre gen-tpch --out DIR [--scale S] [--seed N]\n"
+      "  fastqre info --db DIR\n"
+      "  fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv\n"
+      "  fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]\n"
+      "                  [--alpha A] [--all K] [--stats] [--verify] [--trace]\n"
+      "  fastqre run --db DIR --sql QUERY [--limit N]\n"
+      "  fastqre tune --db DIR\n");
+  return 2;
+}
+
+// Tiny flag parser: --name value and boolean --name.
+struct Flags {
+  std::map<std::string, std::string> values;
+  bool Has(const std::string& name) const { return values.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& fallback = "") const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    double out = fallback;
+    if (Has(name)) (void)ParseDouble(Get(name), &out);
+    return out;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    int64_t out = fallback;
+    if (Has(name)) (void)ParseInt64(Get(name), &out);
+    return out;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string name = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags.values[name] = argv[++i];
+    } else {
+      flags.values[name] = "true";
+    }
+  }
+  return flags;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGenTpch(const Flags& flags) {
+  if (!flags.Has("out")) return Usage();
+  TpchOptions opts;
+  opts.scale_factor = flags.GetDouble("scale", 0.002);
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto db = BuildTpch(opts);
+  if (!db.ok()) return Fail(db.status());
+  Status st = SaveDatabase(*db, flags.Get("out"));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote TPC-H (scale=%.4g, %zu rows) to %s\n", opts.scale_factor,
+              db->TotalRows(), flags.Get("out").c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (!flags.Has("db")) return Usage();
+  auto db = LoadDatabase(flags.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  TablePrinter tables("tables", {"table", "rows", "columns"});
+  for (TableId t = 0; t < db->num_tables(); ++t) {
+    std::vector<std::string> cols;
+    for (ColumnId c = 0; c < db->table(t).num_columns(); ++c) {
+      cols.push_back(db->table(t).column(c).name());
+    }
+    tables.AddRow({db->table(t).name(), FormatCount(db->table(t).num_rows()),
+                   JoinStrings(cols, ", ")});
+  }
+  tables.Print();
+  TablePrinter edges("schema graph", {"edge", "join condition"});
+  for (const auto& e : db->schema_graph().edges()) {
+    edges.AddRow({StringFormat("e%u", e.id),
+                  db->table(e.table[0]).name() + "." +
+                      db->table(e.table[0]).column(e.column[0]).name() + " = " +
+                      db->table(e.table[1]).name() + "." +
+                      db->table(e.table[1]).column(e.column[1]).name()});
+  }
+  edges.Print();
+  return 0;
+}
+
+int CmdDemoRout(const Flags& flags) {
+  if (!flags.Has("db") || !flags.Has("query") || !flags.Has("out")) {
+    return Usage();
+  }
+  auto db = LoadDatabase(flags.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto workload = StandardTpchWorkload(*db);
+  if (!workload.ok()) return Fail(workload.status());
+  for (const auto& wq : *workload) {
+    if (wq.name != flags.Get("query")) continue;
+    std::FILE* f = std::fopen(flags.Get("out").c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("cannot write " + flags.Get("out")));
+    }
+    std::string csv = TableToCsv(wq.rout);
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu rows of %s (%s) to %s\nsecret query was:\n  %s\n",
+                wq.rout.num_rows(), wq.name.c_str(), wq.description.c_str(),
+                flags.Get("out").c_str(), wq.query.ToSql(*db).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown query '%s' (expect L01..L10)\n",
+               flags.Get("query").c_str());
+  return 1;
+}
+
+int CmdReverse(const Flags& flags) {
+  if (!flags.Has("db") || !flags.Has("rout")) return Usage();
+  auto db = LoadDatabase(flags.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto rout = LoadCsvFile(flags.Get("rout"), "rout", db->dictionary());
+  if (!rout.ok()) return Fail(rout.status());
+
+  QreOptions opts;
+  if (flags.Has("superset")) opts.variant = QreVariant::kSuperset;
+  opts.time_budget_seconds = flags.GetDouble("budget", 0.0);
+  opts.alpha = flags.GetDouble("alpha", opts.alpha);
+  opts.collect_trace = flags.Has("trace");
+  int limit = static_cast<int>(flags.GetInt("all", 1));
+
+  FastQre engine(&*db, opts);
+  auto answers = engine.ReverseAll(*rout, limit);
+  if (!answers.ok()) return Fail(answers.status());
+
+  int rc = 1;
+  for (const auto& a : *answers) {
+    if (a.found) {
+      std::printf("%s\n", a.sql.c_str());
+      rc = 0;
+      if (flags.Has("verify")) {
+        auto regen = ExecuteToTable(*db, a.query, "regen");
+        if (!regen.ok()) return Fail(regen.status());
+        std::printf("verify: query yields %zu distinct rows; R_out has %zu\n",
+                    regen->num_rows(), rout->num_rows());
+      }
+    } else {
+      std::printf("no generating query: %s\n", a.failure_reason.c_str());
+    }
+    if (flags.Has("stats")) {
+      std::printf("%s\n", a.stats.ToString().c_str());
+    }
+    if (flags.Has("trace")) {
+      std::printf("%s", a.trace.ToString().c_str());
+    }
+  }
+  return rc;
+}
+
+int CmdRun(const Flags& flags) {
+  if (!flags.Has("db") || !flags.Has("sql")) return Usage();
+  auto db = LoadDatabase(flags.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto query = ParsePJQuery(*db, flags.Get("sql"));
+  if (!query.ok()) return Fail(query.status());
+  auto result = ExecuteToTable(*db, *query, "result");
+  if (!result.ok()) return Fail(result.status());
+  int64_t limit = flags.GetInt("limit", 20);
+  std::string csv = TableToCsv(*result);
+  // Print header + up to `limit` rows.
+  size_t printed = 0, pos = 0;
+  while (pos < csv.size() && printed <= static_cast<size_t>(limit)) {
+    size_t nl = csv.find('\n', pos);
+    if (nl == std::string::npos) break;
+    std::printf("%.*s\n", static_cast<int>(nl - pos), csv.data() + pos);
+    pos = nl + 1;
+    ++printed;
+  }
+  if (result->num_rows() > static_cast<size_t>(limit)) {
+    std::printf("... (%zu rows total)\n", result->num_rows());
+  }
+  return 0;
+}
+
+int CmdTune(const Flags& flags) {
+  if (!flags.Has("db")) return Usage();
+  auto db = LoadDatabase(flags.Get("db"));
+  if (!db.ok()) return Fail(db.status());
+  auto result = TuneAlpha(*db, QreOptions());
+  if (!result.ok()) return Fail(result.status());
+  TablePrinter table("alpha calibration", {"alpha", "total time"});
+  for (size_t i = 0; i < result->alphas.size(); ++i) {
+    table.AddRow({StringFormat("%.2f", result->alphas[i]),
+                  FormatDuration(result->total_seconds[i])});
+  }
+  table.Print();
+  std::printf("best alpha: %.2f\n", result->best_alpha);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Flags flags = ParseFlags(argc, argv, 2);
+  if (cmd == "gen-tpch") return CmdGenTpch(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "demo-rout") return CmdDemoRout(flags);
+  if (cmd == "reverse") return CmdReverse(flags);
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "tune") return CmdTune(flags);
+  return Usage();
+}
