@@ -1,0 +1,76 @@
+// Relaxed atomic counters that stay drop-in compatible with plain integral
+// (resp. floating) struct fields: copyable, assignable, implicitly
+// convertible, with ++ / +=. Used for statistics that are incremented from
+// concurrent validation workers and read after the workers have joined (or
+// merely approximately while they run) — relaxed ordering is sufficient
+// because the counters never guard other data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fastqre {
+
+/// \brief A copyable uint64 counter with relaxed atomic increments.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) noexcept : v_(v) {}  // NOLINT: implicit
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  operator uint64_t() const noexcept { return value(); }  // NOLINT: implicit
+
+  uint64_t operator++() noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  uint64_t operator++(int) noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+/// \brief A copyable double accumulator with relaxed atomic adds.
+class RelaxedDouble {
+ public:
+  RelaxedDouble(double v = 0.0) noexcept : v_(v) {}  // NOLINT: implicit
+  RelaxedDouble(const RelaxedDouble& o) noexcept : v_(o.value()) {}
+  RelaxedDouble& operator=(const RelaxedDouble& o) noexcept {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedDouble& operator=(double v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  operator double() const noexcept { return value(); }  // NOLINT: implicit
+
+  RelaxedDouble& operator+=(double d) noexcept {
+    // fetch_add on atomic<double> is C++20; use a CAS loop for portability
+    // with libstdc++ versions that lack the floating-point overload.
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+    return *this;
+  }
+
+ private:
+  std::atomic<double> v_;
+};
+
+}  // namespace fastqre

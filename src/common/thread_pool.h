@@ -1,0 +1,151 @@
+// Minimal threading primitives for the parallel validation pipeline:
+//
+//  * BoundedQueue<T> — a blocking bounded MPMC queue. The composer thread
+//    pushes ranked candidates; validation workers pop them. The bound
+//    provides back-pressure so the composer never races arbitrarily far
+//    ahead of validation (candidate queries hold materialized PJQuery
+//    objects and the whole point of ranking is to validate the front of
+//    the order first).
+//  * ThreadPool — a fixed set of workers draining a task queue, with
+//    Wait() to quiesce. Used by stress tests and benchmarks; the QRE
+//    driver itself spawns dedicated per-run workers because their
+//    lifetime matches one mapping's validation phase exactly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fastqre {
+
+/// \brief Blocking bounded multi-producer multi-consumer FIFO queue.
+///
+/// Close() wakes all blocked producers and consumers: pending Push() calls
+/// return false, Pop() keeps draining buffered items and returns false once
+/// the queue is empty. All methods are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) if the
+  /// queue was closed before space became available.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns false only when the
+  /// queue is closed *and* drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Idempotent. After Close(), producers fail fast and consumers drain.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// \brief Fixed-size pool of worker threads draining an unbounded task queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 1) num_threads = 1;
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (the task queue is unbounded).
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+      ++pending_;
+    }
+    work_ready_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_ready_.wait(lock, [&] { return !tasks_.empty() || stopping_; });
+        if (tasks_.empty()) return;  // stopping_ && drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  size_t pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fastqre

@@ -1,8 +1,14 @@
 #include "qre/fastqre.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/compare.h"
 #include "qre/cgm.h"
@@ -41,6 +47,153 @@ Result<Table> NormalizeRout(const Database& db, const Table& rout) {
     if (seen.insert(ids).second) out.AppendRowIds(ids);
   }
   return out;
+}
+
+// ---- Parallel candidate validation ------------------------------------------
+//
+// With QreOptions::validation_threads > 1, the composer stays on the calling
+// thread and feeds ranked candidates (tagged with a rank sequence number)
+// into a bounded queue drained by N workers, each validating with its own
+// QueryCursor against the shared thread-safe Database caches and Feedback.
+//
+// Determinism protocol (DESIGN.md §8): the answer must be byte-identical to
+// a serial run, so a generating verdict at rank s is only *accepted* after
+// every rank < s has completed non-generating (the rank barrier, enforced at
+// finalization by scanning outcomes in rank order). Conversely, once the
+// `need`-th generating candidate is known at rank f, candidates ranked below
+// it (seq > f) are cancelled: queued ones are dropped, in-flight ones are
+// interrupted through the executor's interrupt callback. Feedback published
+// by workers is conservative (it only ever dismisses provably non-generating
+// subtrees), so sharing it across threads reorders *work*, never *answers*.
+
+// One validated (or cancelled) candidate, tagged with its rank.
+struct RankedOutcome {
+  uint64_t seq = 0;
+  CandidateQuery cand;
+  CandidateOutcome outcome = CandidateOutcome::kError;
+  // True if validation was skipped or interrupted because a better-ranked
+  // generating candidate had already won (not a real budget expiry).
+  bool cancelled = false;
+};
+
+struct ParallelMappingResult {
+  std::vector<RankedOutcome> outcomes;  // sorted by rank
+  bool budget_exhausted = false;
+};
+
+// Runs one mapping's candidate stream through the validation worker pool.
+// `need_answers` is how many more generating queries the caller wants; the
+// pool cancels candidates ranked below the need_answers-th generating one.
+ParallelMappingResult RunMappingParallel(
+    const Database* db, const Table* rout, const TupleSet* rout_set,
+    const ColumnMapping* mapping, const std::vector<Walk>* walks,
+    const QreOptions* options, Feedback* feedback, QreStats* stats,
+    const std::function<bool()>& budget_exceeded, RankedComposer* composer,
+    int need_answers) {
+  struct Item {
+    uint64_t seq;
+    CandidateQuery cand;
+  };
+  constexpr uint64_t kNoFloor = std::numeric_limits<uint64_t>::max();
+  const int num_workers = std::max(1, options->validation_threads);
+  const size_t capacity =
+      options->validation_queue_capacity > 0
+          ? static_cast<size_t>(options->validation_queue_capacity)
+          : static_cast<size_t>(2 * num_workers);
+  BoundedQueue<Item> queue(capacity);
+
+  // Ranks strictly greater than cancel_floor can no longer affect the
+  // answer set and are cancelled.
+  std::atomic<uint64_t> cancel_floor{kNoFloor};
+  std::atomic<bool> hard_abort{false};  // real time-budget expiry
+  std::mutex mu;                        // guards outcomes + generating_seqs
+  ParallelMappingResult result;
+  std::vector<uint64_t> generating_seqs;  // sorted ranks of generating hits
+
+  auto worker = [&] {
+    Item item;
+    while (queue.Pop(&item)) {
+      const uint64_t seq = item.seq;
+      if (hard_abort.load(std::memory_order_relaxed) ||
+          seq > cancel_floor.load(std::memory_order_relaxed)) {
+        ++stats->candidates_cancelled;
+        std::lock_guard<std::mutex> lock(mu);
+        result.outcomes.push_back(RankedOutcome{
+            seq, std::move(item.cand), CandidateOutcome::kBudgetExhausted,
+            /*cancelled=*/true});
+        continue;
+      }
+      auto interrupt = [&, seq] {
+        return hard_abort.load(std::memory_order_relaxed) ||
+               seq > cancel_floor.load(std::memory_order_relaxed) ||
+               (budget_exceeded && budget_exceeded());
+      };
+      Validator validator(db, rout, rout_set, mapping, walks, options,
+                          feedback, stats, interrupt);
+      CandidateOutcome outcome = validator.Validate(item.cand);
+      bool cancelled = false;
+      if (outcome == CandidateOutcome::kBudgetExhausted) {
+        if (budget_exceeded && budget_exceeded()) {
+          hard_abort.store(true, std::memory_order_relaxed);
+        } else {
+          cancelled = true;  // interrupted by the rank-cancellation signal
+          ++stats->candidates_cancelled;
+        }
+      } else {
+        ++stats->candidates_validated;
+        if (outcome == CandidateOutcome::kMissingTuples &&
+            options->use_feedback_pruning && !item.cand.walk_ids.empty()) {
+          feedback->AddDeadSet(item.cand.walk_ids);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (outcome == CandidateOutcome::kGenerating) {
+        generating_seqs.insert(
+            std::upper_bound(generating_seqs.begin(), generating_seqs.end(),
+                             seq),
+            seq);
+        if (generating_seqs.size() >= static_cast<size_t>(need_answers)) {
+          uint64_t floor = generating_seqs[need_answers - 1];
+          uint64_t cur = cancel_floor.load(std::memory_order_relaxed);
+          while (floor < cur && !cancel_floor.compare_exchange_weak(
+                                    cur, floor, std::memory_order_relaxed)) {
+          }
+        }
+      }
+      result.outcomes.push_back(
+          RankedOutcome{seq, std::move(item.cand), outcome, cancelled});
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) threads.emplace_back(worker);
+
+  // Producer: drain the composer in rank order until the candidate cap, the
+  // budget, the cancellation floor, or lattice exhaustion stops it.
+  CandidateQuery cand;
+  uint64_t seq = 0;
+  while (seq < options->max_candidates_per_mapping &&
+         !hard_abort.load(std::memory_order_relaxed) &&
+         cancel_floor.load(std::memory_order_relaxed) == kNoFloor &&
+         composer->Next(&cand)) {
+    ++stats->candidates_generated;
+    if (budget_exceeded && budget_exceeded()) {
+      hard_abort.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (!queue.Push(Item{seq, std::move(cand)})) break;
+    ++seq;
+  }
+  queue.Close();
+  for (auto& t : threads) t.join();
+
+  result.budget_exhausted = hard_abort.load(std::memory_order_relaxed);
+  std::sort(result.outcomes.begin(), result.outcomes.end(),
+            [](const RankedOutcome& a, const RankedOutcome& b) {
+              return a.seq < b.seq;
+            });
+  return result;
 }
 
 }  // namespace
@@ -137,6 +290,60 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
     Feedback feedback(walks.size());
     RankedComposer composer(db_, &mapping, &walks, &options_, &feedback,
                             budget_exceeded);
+
+    if (options_.validation_threads > 1) {
+      // ---- Parallel validation path --------------------------------------
+      const int need = limit - static_cast<int>(answers.size());
+      ParallelMappingResult pr = RunMappingParallel(
+          db_, &norm_rout, &rout_set, &mapping, &walks, &options_, &feedback,
+          &stats, budget_exceeded, &composer, need);
+      stats.candidates_pruned_dead += composer.sets_pruned_dead();
+      stats.walk_sets_expanded += composer.sets_expanded();
+
+      // Finalize in rank order. An outcome counts toward the answer only
+      // while the rank prefix is complete (every lower rank finished
+      // non-generating) — the rank barrier that makes the answer identical
+      // to a serial run's.
+      if (options_.collect_trace) {
+        for (const auto& ro : pr.outcomes) {
+          trace.candidates.push_back(QreTrace::Candidate{
+              m, ro.cand.query.ToSql(*db_), ro.cand.dc, ro.cand.alpha_cost,
+              ro.cancelled ? "cancelled"
+                           : CandidateOutcomeToString(ro.outcome)});
+        }
+      }
+      bool prefix_complete = true;
+      uint64_t expected_seq = 0;
+      for (const auto& ro : pr.outcomes) {
+        if (ro.seq != expected_seq) prefix_complete = false;
+        expected_seq = ro.seq + 1;
+        if (!prefix_complete) break;
+        if (ro.cancelled || ro.outcome == CandidateOutcome::kBudgetExhausted) {
+          prefix_complete = false;
+          break;
+        }
+        if (ro.outcome == CandidateOutcome::kGenerating &&
+            static_cast<int>(answers.size()) < limit) {
+          QreAnswer a;
+          a.found = true;
+          a.query = ro.cand.query;
+          a.sql = ro.cand.query.ToSql(*db_);
+          a.num_instances = ro.cand.query.num_instances();
+          a.num_joins = ro.cand.query.joins().size();
+          a.trace = trace;
+          a.stats = stats;
+          a.stats.total_seconds = total_timer.ElapsedSeconds();
+          answers.push_back(std::move(a));
+        }
+      }
+      if (static_cast<int>(answers.size()) >= limit) return answers;
+      if (pr.budget_exhausted || !prefix_complete) {
+        return not_found("time budget exceeded");
+      }
+      continue;  // next mapping
+    }
+
+    // ---- Serial validation path (validation_threads == 1) ----------------
     Validator validator(db_, &norm_rout, &rout_set, &mapping, &walks,
                         &options_, &feedback, &stats, budget_exceeded);
 
@@ -149,6 +356,9 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
       if (budget_exceeded()) return not_found("time budget exceeded");
 
       CandidateOutcome outcome = validator.Validate(candidate);
+      if (outcome != CandidateOutcome::kBudgetExhausted) {
+        ++stats.candidates_validated;
+      }
       if (options_.collect_trace) {
         trace.candidates.push_back(QreTrace::Candidate{
             m, candidate.query.ToSql(*db_), candidate.dc, candidate.alpha_cost,

@@ -34,9 +34,12 @@ struct QreTrace {
     std::string sql;
     double dc;
     double alpha_cost;
-    /// "generating", "missing-tuples", "extra-tuples", "incoherent-walk", ...
+    /// "generating", "missing-tuples", "extra-tuples", "incoherent-walk",
+    /// "cancelled" (parallel runs: a better-ranked candidate won first), ...
     std::string outcome;
   };
+  /// In candidate rank order; parallel runs re-sort completion-order results
+  /// back into rank order before the trace is published.
   std::vector<Candidate> candidates;
 
   /// Multi-line rendering for logs / the CLI.
@@ -67,9 +70,13 @@ struct QreAnswer {
 
 /// \brief The FastQRE engine.
 ///
-/// Not thread-safe, and the underlying Database's lazy caches mutate during
-/// a run — concurrent Reverse() calls need fully separate Database
-/// instances, not just separate FastQre objects.
+/// Reverse()/ReverseAll() are const and thread-safe: the Database's lazy
+/// caches build each entry exactly once under internal synchronization, so
+/// concurrent Reverse() calls may share one Database instance. With
+/// QreOptions::validation_threads > 1 a single Reverse() call additionally
+/// validates candidates on a worker pool; the answer is deterministic
+/// (byte-identical SQL) regardless of thread count — see DESIGN.md §8 for
+/// the rank-barrier protocol.
 class FastQre {
  public:
   /// `db` must outlive the engine.

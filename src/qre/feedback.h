@@ -8,10 +8,20 @@
 //    hence every superset of a missing-tuple-failed walk set is dead too.
 // The composer consults this state to dismiss queued candidates and to avoid
 // generating dead subtrees in the first place.
+//
+// Thread-safety: with parallel validation (QreOptions::validation_threads),
+// multiple workers publish verdicts while the composer thread reads them.
+// Per-walk verdicts are atomics; dead sets are guarded by a reader-writer
+// lock. Sharing is *conservative*: a verdict landing late only means a dead
+// candidate gets validated (and dismissed) instead of pruned — it can never
+// suppress a generating candidate, which is what keeps parallel runs
+// answer-deterministic (see DESIGN.md §8).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 namespace fastqre {
@@ -20,18 +30,20 @@ namespace fastqre {
 /// one column mapping (walk ids are mapping-scoped).
 class Feedback {
  public:
-  explicit Feedback(size_t num_walks)
-      : walk_state_(num_walks, kUnknown) {}
+  explicit Feedback(size_t num_walks) : walk_state_(num_walks) {
+    for (auto& s : walk_state_) s.store(kUnknown, std::memory_order_relaxed);
+  }
 
   /// Memoized indirect-coherence verdict for a walk, if checked.
   std::optional<bool> WalkCoherence(int walk_id) const {
-    int8_t s = walk_state_[walk_id];
+    int8_t s = walk_state_[walk_id].load(std::memory_order_acquire);
     if (s == kUnknown) return std::nullopt;
     return s == kCoherent;
   }
 
   void SetWalkCoherence(int walk_id, bool coherent) {
-    walk_state_[walk_id] = coherent ? kCoherent : kIncoherent;
+    walk_state_[walk_id].store(coherent ? kCoherent : kIncoherent,
+                               std::memory_order_release);
   }
 
   /// Registers a walk set whose supersets are all non-generating.
@@ -39,9 +51,10 @@ class Feedback {
   void AddDeadSet(std::vector<int> sorted_ids) {
     if (sorted_ids.size() == 1) {
       // Single-walk dead sets are folded into the fast per-walk bitmap.
-      walk_state_[sorted_ids[0]] = kIncoherent;
+      walk_state_[sorted_ids[0]].store(kIncoherent, std::memory_order_release);
       return;
     }
+    std::unique_lock<std::shared_mutex> lock(dead_mu_);
     dead_sets_.push_back(std::move(sorted_ids));
   }
 
@@ -49,15 +62,21 @@ class Feedback {
   /// any registered dead set.
   bool IsDead(const std::vector<int>& sorted_ids) const {
     for (int id : sorted_ids) {
-      if (walk_state_[id] == kIncoherent) return true;
+      if (walk_state_[id].load(std::memory_order_acquire) == kIncoherent) {
+        return true;
+      }
     }
+    std::shared_lock<std::shared_mutex> lock(dead_mu_);
     for (const auto& dead : dead_sets_) {
       if (IsSubset(dead, sorted_ids)) return true;
     }
     return false;
   }
 
-  size_t num_dead_sets() const { return dead_sets_.size(); }
+  size_t num_dead_sets() const {
+    std::shared_lock<std::shared_mutex> lock(dead_mu_);
+    return dead_sets_.size();
+  }
 
  private:
   static bool IsSubset(const std::vector<int>& sub, const std::vector<int>& sup) {
@@ -74,7 +93,9 @@ class Feedback {
   static constexpr int8_t kIncoherent = 0;
   static constexpr int8_t kCoherent = 1;
 
-  std::vector<int8_t> walk_state_;
+  // Sized at construction, never resized: element-wise atomic access is safe.
+  std::vector<std::atomic<int8_t>> walk_state_;
+  mutable std::shared_mutex dead_mu_;
   std::vector<std::vector<int>> dead_sets_;
 };
 

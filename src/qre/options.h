@@ -53,6 +53,20 @@ struct QreOptions {
   /// Reverse returns ResourceExhausted with the statistics gathered so far.
   double time_budget_seconds = 0.0;
 
+  /// Number of threads validating candidate queries concurrently. 1 (the
+  /// default) keeps the exact serial pipeline; N > 1 runs the composer on
+  /// the calling thread feeding a bounded queue drained by N workers, each
+  /// with its own QueryCursor. Answers are deterministic regardless of N:
+  /// a generating candidate is only accepted once every higher-ranked
+  /// candidate has completed non-generating (the rank barrier), so the SQL
+  /// returned is byte-identical to a serial run.
+  int validation_threads = 1;
+
+  /// Capacity of the composer→worker candidate queue per mapping; 0 derives
+  /// 2 × validation_threads. The bound back-pressures the composer so it
+  /// never runs arbitrarily far ahead of the rank frontier.
+  int validation_queue_capacity = 0;
+
   /// Number of R_out tuples bound by probing queries per candidate
   /// (the basic probing mechanism of Section 4.1; 0 disables).
   int probe_tuples = 2;

@@ -23,6 +23,9 @@ std::string QreStats::ToString() const {
   out += StringFormat("candidates generated:  %llu (%llu walk sets expanded)\n",
                       static_cast<unsigned long long>(candidates_generated),
                       static_cast<unsigned long long>(walk_sets_expanded));
+  out += StringFormat("candidates validated:  %llu (%llu cancelled)\n",
+                      static_cast<unsigned long long>(candidates_validated),
+                      static_cast<unsigned long long>(candidates_cancelled));
   out += StringFormat("  pruned (dead sets):  %llu\n",
                       static_cast<unsigned long long>(candidates_pruned_dead));
   out += StringFormat("  dismissed by probe:  %llu\n",
@@ -52,6 +55,8 @@ void QreStats::Accumulate(const QreStats& other) {
   mappings_tried += other.mappings_tried;
   walks_discovered += other.walks_discovered;
   candidates_generated += other.candidates_generated;
+  candidates_validated += other.candidates_validated;
+  candidates_cancelled += other.candidates_cancelled;
   walk_sets_expanded += other.walk_sets_expanded;
   candidates_pruned_dead += other.candidates_pruned_dead;
   candidates_dismissed_probe += other.candidates_dismissed_probe;

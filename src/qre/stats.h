@@ -5,35 +5,45 @@
 #include <cstdint>
 #include <string>
 
+#include "common/counters.h"
+
 namespace fastqre {
 
 /// \brief Counters and timings for one Reverse() run.
+///
+/// Search counters are relaxed atomics (RelaxedCounter): with
+/// QreOptions::validation_threads > 1 they are bumped concurrently from
+/// validation workers. They stay copyable and implicitly convertible to
+/// uint64_t, so single-threaded call sites are unchanged.
 struct QreStats {
-  // Preprocessing.
+  // Preprocessing (single-threaded phase).
   double cover_seconds = 0.0;
   double cgm_seconds = 0.0;
-  uint64_t cover_pairs_total = 0;    // candidate (c, R.a) pairs considered
-  uint64_t cover_pairs_pruned = 0;   // dismissed by pattern compatibility
-  uint64_t cover_pairs_checked = 0;  // full set-containment checks run
-  uint64_t cgm_candidates_checked = 0;
-  uint64_t num_cgms = 0;
+  RelaxedCounter cover_pairs_total = 0;    // candidate (c, R.a) pairs considered
+  RelaxedCounter cover_pairs_pruned = 0;   // dismissed by pattern compatibility
+  RelaxedCounter cover_pairs_checked = 0;  // full set-containment checks run
+  RelaxedCounter cgm_candidates_checked = 0;
+  RelaxedCounter num_cgms = 0;
 
   // Search.
-  uint64_t mappings_tried = 0;
-  uint64_t walks_discovered = 0;
-  uint64_t candidates_generated = 0;     // popped from PQ2 (or single queue)
-  uint64_t walk_sets_expanded = 0;       // PQ1 pops across all composers
-  uint64_t candidates_pruned_dead = 0;   // skipped via feedback dead sets
-  uint64_t candidates_dismissed_probe = 0;
-  uint64_t candidates_dismissed_walk = 0;  // via indirect coherence
-  uint64_t walk_coherence_checks = 0;
-  uint64_t full_validations = 0;         // candidates reaching the full check
-  uint64_t validation_rows = 0;          // result rows streamed during checks
+  RelaxedCounter mappings_tried = 0;
+  RelaxedCounter walks_discovered = 0;
+  RelaxedCounter candidates_generated = 0;     // popped from PQ2 (or single queue)
+  RelaxedCounter candidates_validated = 0;     // validations run to completion
+  RelaxedCounter candidates_cancelled = 0;     // abandoned: a better-ranked
+                                               // candidate already won
+  RelaxedCounter walk_sets_expanded = 0;       // PQ1 pops across all composers
+  RelaxedCounter candidates_pruned_dead = 0;   // skipped via feedback dead sets
+  RelaxedCounter candidates_dismissed_probe = 0;
+  RelaxedCounter candidates_dismissed_walk = 0;  // via indirect coherence
+  RelaxedCounter walk_coherence_checks = 0;
+  RelaxedCounter full_validations = 0;         // candidates reaching the full check
+  RelaxedCounter validation_rows = 0;          // result rows streamed during checks
   // Phase attribution of validation_rows:
-  uint64_t probe_rows = 0;       // quick 2-tuple + partial probes
-  uint64_t coherence_rows = 0;   // walk-coherence streams
-  uint64_t alltuple_rows = 0;    // per-R_out-tuple membership probes
-  uint64_t fullscan_rows = 0;    // extra-tuple hunting streams
+  RelaxedCounter probe_rows = 0;       // quick 2-tuple + partial probes
+  RelaxedCounter coherence_rows = 0;   // walk-coherence streams
+  RelaxedCounter alltuple_rows = 0;    // per-R_out-tuple membership probes
+  RelaxedCounter fullscan_rows = 0;    // extra-tuple hunting streams
 
   double total_seconds = 0.0;
 

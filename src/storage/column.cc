@@ -3,20 +3,31 @@
 namespace fastqre {
 
 const std::unordered_set<ValueId>& Column::DistinctSet() const {
-  if (!distinct_.has_value()) {
+  std::lock_guard<std::mutex> lock(stats_->mu);
+  if (!stats_->distinct.has_value()) {
     std::unordered_set<ValueId> s;
     s.reserve(data_.size());
     for (ValueId id : data_) s.insert(id);
-    distinct_ = std::move(s);
+    stats_->distinct = std::move(s);
   }
-  return *distinct_;
+  // The reference stays valid: the optional is only reset by InvalidateStats,
+  // which only runs during the single-threaded load phase.
+  return *stats_->distinct;
 }
 
 bool Column::HasNulls() const {
-  if (!has_nulls_.has_value()) {
-    has_nulls_ = DistinctSet().count(kNullValueId) > 0;
+  std::lock_guard<std::mutex> lock(stats_->mu);
+  if (!stats_->has_nulls.has_value()) {
+    bool has = false;
+    for (ValueId id : data_) {
+      if (id == kNullValueId) {
+        has = true;
+        break;
+      }
+    }
+    stats_->has_nulls = has;
   }
-  return *has_nulls_;
+  return *stats_->has_nulls;
 }
 
 }  // namespace fastqre

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "storage/dictionary.h"
@@ -20,10 +22,38 @@ using RowId = uint32_t;
 
 /// \brief One column of a Table. Values are ValueIds into the owning
 /// Database's Dictionary; NULL cells store kNullValueId.
+///
+/// Appending is single-threaded (load phase); once the data is sealed, the
+/// lazily computed statistics are safe to request from concurrent readers
+/// (build-once under an internal mutex).
 class Column {
  public:
   Column(std::string name, ValueType type)
       : name_(std::move(name)), type_(type) {}
+
+  // Copies duplicate the data and start with a fresh (empty) stats cache;
+  // moves steal the cache and leave the source with a fresh one.
+  Column(const Column& o)
+      : name_(o.name_), type_(o.type_), data_(o.data_) {}
+  Column& operator=(const Column& o) {
+    name_ = o.name_;
+    type_ = o.type_;
+    data_ = o.data_;
+    stats_ = std::make_unique<LazyStats>();
+    return *this;
+  }
+  Column(Column&& o) noexcept
+      : name_(std::move(o.name_)),
+        type_(o.type_),
+        data_(std::move(o.data_)),
+        stats_(std::exchange(o.stats_, std::make_unique<LazyStats>())) {}
+  Column& operator=(Column&& o) noexcept {
+    name_ = std::move(o.name_);
+    type_ = o.type_;
+    data_ = std::move(o.data_);
+    stats_ = std::exchange(o.stats_, std::make_unique<LazyStats>());
+    return *this;
+  }
 
   const std::string& name() const { return name_; }
 
@@ -53,16 +83,23 @@ class Column {
   bool HasNulls() const;
 
  private:
+  // Stats live behind a pointer so Column stays movable despite the mutex.
+  struct LazyStats {
+    std::mutex mu;
+    std::optional<std::unordered_set<ValueId>> distinct;
+    std::optional<bool> has_nulls;
+  };
+
   void InvalidateStats() {
-    distinct_.reset();
-    has_nulls_.reset();
+    std::lock_guard<std::mutex> lock(stats_->mu);
+    stats_->distinct.reset();
+    stats_->has_nulls.reset();
   }
 
   std::string name_;
   ValueType type_;
   std::vector<ValueId> data_;
-  mutable std::optional<std::unordered_set<ValueId>> distinct_;
-  mutable std::optional<bool> has_nulls_;
+  mutable std::unique_ptr<LazyStats> stats_ = std::make_unique<LazyStats>();
 };
 
 }  // namespace fastqre

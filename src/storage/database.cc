@@ -37,27 +37,41 @@ Status Database::AddForeignKey(const std::string& child_table,
 
 const HashIndex& Database::GetOrBuildIndex(TableId t,
                                            std::vector<ColumnId> cols) const {
-  auto key = std::make_pair(t, cols);
-  auto it = index_cache_.find(key);
-  if (it != index_cache_.end()) {
-    ++index_stats_.cache_hits;
-    return *it->second;
+  std::shared_ptr<IndexSlot> slot;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(caches_->mu);
+    auto [pos, fresh] =
+        caches_->index_cache.try_emplace(std::make_pair(t, cols), nullptr);
+    if (fresh) pos->second = std::make_shared<IndexSlot>();
+    slot = pos->second;
+    inserted = fresh;
   }
-  Timer timer;
-  auto index = std::make_unique<HashIndex>(*tables_[t], std::move(cols));
-  index_stats_.build_seconds += timer.ElapsedSeconds();
-  ++index_stats_.indexes_built;
-  auto [pos, _] = index_cache_.emplace(std::move(key), std::move(index));
-  return *pos->second;
+  if (!inserted) ++caches_->index_stats.cache_hits;
+  // Exactly one caller per key runs the build; concurrent requesters of the
+  // same key block here until the index is ready.
+  std::call_once(slot->once, [&] {
+    Timer timer;
+    slot->index = std::make_unique<HashIndex>(*tables_[t], std::move(cols));
+    caches_->index_stats.build_seconds += timer.ElapsedSeconds();
+    ++caches_->index_stats.indexes_built;
+  });
+  return *slot->index;
 }
 
 const ColumnPattern& Database::GetColumnPattern(TableId t, ColumnId c) const {
-  auto key = std::make_pair(t, c);
-  auto it = pattern_cache_.find(key);
-  if (it != pattern_cache_.end()) return it->second;
-  auto [pos, _] = pattern_cache_.emplace(
-      key, ComputeColumnPattern(tables_[t]->column(c), *dict_));
-  return pos->second;
+  std::shared_ptr<PatternSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(caches_->mu);
+    auto [pos, fresh] =
+        caches_->pattern_cache.try_emplace(std::make_pair(t, c), nullptr);
+    if (fresh) pos->second = std::make_shared<PatternSlot>();
+    slot = pos->second;
+  }
+  std::call_once(slot->once, [&] {
+    slot->pattern = ComputeColumnPattern(tables_[t]->column(c), *dict_);
+  });
+  return slot->pattern;
 }
 
 size_t Database::TotalRows() const {

@@ -4,10 +4,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/dictionary.h"
@@ -27,27 +30,47 @@ struct ForeignKey {
 };
 
 /// \brief Counters describing on-demand index construction (the paper's
-/// "Index Creation" preprocessing component).
+/// "Index Creation" preprocessing component). Counters are relaxed atomics:
+/// they are bumped from concurrent validation workers.
 struct IndexBuildStats {
-  uint64_t indexes_built = 0;
-  uint64_t cache_hits = 0;
-  double build_seconds = 0.0;
+  RelaxedCounter indexes_built = 0;
+  RelaxedCounter cache_hits = 0;
+  RelaxedDouble build_seconds = 0.0;
 };
 
 /// \brief An in-memory relational database: tables sharing one dictionary,
 /// pk-fk constraints, the schema graph they induce, and a cache of
 /// on-demand hash indexes.
 ///
-/// Not thread-safe: the lazily-built caches (indexes, patterns, per-column
-/// distinct sets) mutate under logically-const reads, so concurrent QRE
-/// runs must use separate Database instances.
+/// Thread-safety: schema/data mutation (AddTable, AddForeignKey, appends)
+/// is single-threaded — the load phase. Once loaded, all logically-const
+/// reads, including the lazily-built index and pattern caches, are safe
+/// from any number of threads: each cache entry is built exactly once
+/// (per-key std::call_once) while other requesters of the same key block
+/// and requesters of different keys proceed.
 class Database {
  public:
   Database() : dict_(std::make_shared<Dictionary>()) {}
 
-  // Movable, not copyable (tables can be large).
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  // Movable, not copyable (tables can be large). Moves are explicit because
+  // the lazy caches hold a mutex behind a pointer; the moved-from database
+  // is left with fresh empty caches and stays destructible/usable.
+  Database(Database&& o) noexcept
+      : dict_(std::move(o.dict_)),
+        tables_(std::move(o.tables_)),
+        by_name_(std::move(o.by_name_)),
+        fks_(std::move(o.fks_)),
+        graph_(std::move(o.graph_)),
+        caches_(std::exchange(o.caches_, std::make_unique<LazyCaches>())) {}
+  Database& operator=(Database&& o) noexcept {
+    dict_ = std::move(o.dict_);
+    tables_ = std::move(o.tables_);
+    by_name_ = std::move(o.by_name_);
+    fks_ = std::move(o.fks_);
+    graph_ = std::move(o.graph_);
+    caches_ = std::exchange(o.caches_, std::make_unique<LazyCaches>());
+    return *this;
+  }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -86,7 +109,7 @@ class Database {
   /// pipeline treats the database as read-only).
   const ColumnPattern& GetColumnPattern(TableId t, ColumnId c) const;
 
-  const IndexBuildStats& index_stats() const { return index_stats_; }
+  const IndexBuildStats& index_stats() const { return caches_->index_stats; }
 
   /// Total number of rows across all tables.
   size_t TotalRows() const;
@@ -98,13 +121,32 @@ class Database {
   std::vector<ForeignKey> fks_;
   SchemaGraph graph_;
 
-  // Index cache: keyed by (table, column list). Mutable because building an
-  // index is a logically-const acceleration.
-  mutable std::map<std::pair<TableId, std::vector<ColumnId>>,
-                   std::unique_ptr<HashIndex>>
-      index_cache_;
-  mutable IndexBuildStats index_stats_;
-  mutable std::map<std::pair<TableId, ColumnId>, ColumnPattern> pattern_cache_;
+  // Lazily-built caches. Mutable because building an index / pattern is a
+  // logically-const acceleration. Each entry is a heap slot found-or-created
+  // under the map mutex, then filled under its own once_flag, so concurrent
+  // requests for the same key build exactly once (the losers block until the
+  // winner finishes) while distinct keys build in parallel. Slots are
+  // shared_ptr so a reference handed out stays valid for the Database's
+  // lifetime regardless of map rebalancing. The whole cache state lives
+  // behind a pointer to keep Database movable despite the mutex.
+  struct IndexSlot {
+    std::once_flag once;
+    std::unique_ptr<HashIndex> index;
+  };
+  struct PatternSlot {
+    std::once_flag once;
+    ColumnPattern pattern;
+  };
+  struct LazyCaches {
+    std::mutex mu;
+    std::map<std::pair<TableId, std::vector<ColumnId>>,
+             std::shared_ptr<IndexSlot>>
+        index_cache;
+    IndexBuildStats index_stats;
+    std::map<std::pair<TableId, ColumnId>, std::shared_ptr<PatternSlot>>
+        pattern_cache;
+  };
+  mutable std::unique_ptr<LazyCaches> caches_ = std::make_unique<LazyCaches>();
 };
 
 }  // namespace fastqre

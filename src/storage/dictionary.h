@@ -7,8 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "storage/value.h"
 
@@ -21,6 +22,10 @@ using ValueId = uint32_t;
 inline constexpr ValueId kNullValueId = 0;
 
 /// \brief Append-only value interner shared by all tables of a Database.
+///
+/// Thread-safe: concurrent Intern/Find/Get are allowed (reader-writer
+/// locking). Values live in a deque, so the reference returned by Get()
+/// stays valid across later Intern() calls.
 class Dictionary {
  public:
   Dictionary() {
@@ -31,7 +36,13 @@ class Dictionary {
 
   /// Returns the id of `v`, interning it if new.
   ValueId Intern(const Value& v) {
-    auto it = ids_.find(v);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(v);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(v);  // re-check: another thread may have won the race
     if (it != ids_.end()) return it->second;
     ValueId id = static_cast<ValueId>(values_.size());
     values_.push_back(v);
@@ -42,19 +53,28 @@ class Dictionary {
   /// Returns the id of `v` if already interned, else kNotInterned.
   static constexpr ValueId kNotInterned = 0xffffffffu;
   ValueId Find(const Value& v) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = ids_.find(v);
     return it == ids_.end() ? kNotInterned : it->second;
   }
 
-  /// Returns the value for an id. Precondition: id < size().
-  const Value& Get(ValueId id) const { return values_[id]; }
+  /// Returns the value for an id. Precondition: id < size(). The reference
+  /// is stable for the dictionary's lifetime (deque storage).
+  const Value& Get(ValueId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return values_[id];
+  }
 
   /// Number of interned values (including NULL).
-  size_t size() const { return values_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return values_.size();
+  }
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<Value, ValueId, ValueHash> ids_;
-  std::vector<Value> values_;
+  std::deque<Value> values_;
 };
 
 }  // namespace fastqre

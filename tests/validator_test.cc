@@ -9,6 +9,7 @@
 #include "qre/cgm.h"
 #include "qre/column_cover.h"
 #include "qre/composer.h"
+#include "qre/fastqre.h"
 #include "qre/mapping.h"
 #include "qre/validator.h"
 
@@ -240,6 +241,88 @@ TEST(Validator, StatsCountFullValidations) {
   ASSERT_EQ(v.Validate(f.DirectCandidate()), CandidateOutcome::kGenerating);
   EXPECT_EQ(f.stats.full_validations, before + 1);
   EXPECT_GT(f.stats.validation_rows, 0u);
+}
+
+// ---- Edge cases: degenerate R_out shapes -----------------------------------
+
+// Makes an empty table with the same schema as `like`.
+Table EmptySchemaCopy(const Table& like, const std::shared_ptr<Dictionary>& d) {
+  Table t("empty", d);
+  for (size_t c = 0; c < like.num_columns(); ++c) {
+    EXPECT_TRUE(t.AddColumn(like.column(c).name(), like.column(c).type()).ok());
+  }
+  return t;
+}
+
+TEST(Validator, EmptyRoutExactRejectsNonEmptyQuery) {
+  // Exact variant with R_out = ∅: any query producing a row has extra tuples.
+  ValidatorFixture f;
+  CandidateQuery cand = f.DirectCandidate();
+  f.rout = EmptySchemaCopy(f.rout, f.db.dictionary());
+  f.rout_set = TableToTupleSet(f.rout);
+  Validator v = f.MakeValidator();
+  EXPECT_EQ(v.Validate(cand), CandidateOutcome::kExtraTuples);
+}
+
+TEST(Validator, EmptyRoutSupersetAcceptsAnyQuery) {
+  // Superset variant with R_out = ∅: Q(D) ⊇ ∅ holds vacuously.
+  QreOptions opts;
+  opts.variant = QreVariant::kSuperset;
+  ValidatorFixture f(opts);
+  CandidateQuery cand = f.DirectCandidate();
+  f.rout = EmptySchemaCopy(f.rout, f.db.dictionary());
+  f.rout_set = TableToTupleSet(f.rout);
+  Validator v = f.MakeValidator();
+  EXPECT_EQ(v.Validate(cand), CandidateOutcome::kGenerating);
+}
+
+TEST(Validator, SingleRowRoutClassifiedPerVariant) {
+  // R_out shrunk to one genuine row: the generating query now over-produces
+  // — extra tuples under exact, still generating under superset.
+  for (auto variant : {QreVariant::kExact, QreVariant::kSuperset}) {
+    QreOptions opts;
+    opts.variant = variant;
+    ValidatorFixture f(opts);
+    CandidateQuery cand = f.DirectCandidate();
+    Table single = EmptySchemaCopy(f.rout, f.db.dictionary());
+    single.AppendRowIds(f.rout.RowIds(0));
+    f.rout = std::move(single);
+    f.rout_set = TableToTupleSet(f.rout);
+    Validator v = f.MakeValidator();
+    EXPECT_EQ(v.Validate(cand), variant == QreVariant::kExact
+                                    ? CandidateOutcome::kExtraTuples
+                                    : CandidateOutcome::kGenerating);
+  }
+}
+
+TEST(Validator, ReverseRejectsEmptyRoutAsInvalidInput) {
+  ValidatorFixture f;
+  Table empty = EmptySchemaCopy(f.rout, f.db.dictionary());
+  FastQre engine(&f.db);
+  auto r = engine.Reverse(empty);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Validator, AbsentValueFalsifiedWithoutExecutingAnyQuery) {
+  // An R_out value that exists in no database column falsifies containment
+  // at the column-cover level: the search must conclude without generating
+  // or executing a single candidate query, in both variants.
+  for (auto variant : {QreVariant::kExact, QreVariant::kSuperset}) {
+    ValidatorFixture f;
+    std::vector<ValueId> bogus(f.rout.num_columns());
+    for (size_t c = 0; c < f.rout.num_columns(); ++c) {
+      bogus[c] = f.db.dictionary()->Intern(Value("value-in-no-column"));
+    }
+    f.rout.AppendRowIds(bogus);
+    QreOptions opts;
+    opts.variant = variant;
+    FastQre engine(&f.db, opts);
+    QreAnswer a = engine.Reverse(f.rout).ValueOrDie();
+    EXPECT_FALSE(a.found);
+    EXPECT_EQ(static_cast<uint64_t>(a.stats.candidates_generated), 0u);
+    EXPECT_EQ(static_cast<uint64_t>(a.stats.validation_rows), 0u);
+    EXPECT_EQ(static_cast<uint64_t>(a.stats.full_validations), 0u);
+  }
 }
 
 TEST(Validator, OutcomeToStringCoversAll) {

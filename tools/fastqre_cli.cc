@@ -7,8 +7,11 @@
 //   fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv
 //       Materialize a ladder query's output as a CSV "report" to reverse.
 //   fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]
-//                   [--alpha A] [--all K] [--stats] [--verify] [--trace]
-//       Reverse engineer a generating query for the report.
+//                   [--alpha A] [--all K] [--threads N] [--stats] [--verify]
+//                   [--trace]
+//       Reverse engineer a generating query for the report. --threads N
+//       validates candidates on N worker threads; the answer is identical
+//       to a single-threaded run (rank-deterministic), just faster.
 //   fastqre run --db DIR --sql "SELECT a.x FROM t a WHERE ..." [--limit N]
 //       Execute a PJ query and print its (distinct) result rows.
 //   fastqre tune --db DIR
@@ -42,7 +45,8 @@ int Usage() {
       "  fastqre info --db DIR\n"
       "  fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv\n"
       "  fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]\n"
-      "                  [--alpha A] [--all K] [--stats] [--verify] [--trace]\n"
+      "                  [--alpha A] [--all K] [--threads N] [--stats]\n"
+      "                  [--verify] [--trace]\n"
       "  fastqre run --db DIR --sql QUERY [--limit N]\n"
       "  fastqre tune --db DIR\n");
   return 2;
@@ -167,6 +171,11 @@ int CmdReverse(const Flags& flags) {
   opts.time_budget_seconds = flags.GetDouble("budget", 0.0);
   opts.alpha = flags.GetDouble("alpha", opts.alpha);
   opts.collect_trace = flags.Has("trace");
+  opts.validation_threads = static_cast<int>(flags.GetInt("threads", 1));
+  if (opts.validation_threads < 1) {
+    std::fprintf(stderr, "error: --threads must be >= 1\n");
+    return 2;
+  }
   int limit = static_cast<int>(flags.GetInt("all", 1));
 
   FastQre engine(&*db, opts);
