@@ -6,6 +6,12 @@
 // The paper's Query 1 exhibits this naturally: several equal-Q_dc walk sets
 // route through the high-fanout lineitem table and are orders of magnitude
 // more expensive to validate than the correct set.
+//
+// E12 rides on the same workload: convoys revalidate the same few walks over
+// and over, which is exactly what the walk-materialization cache (DESIGN.md
+// §9) amortizes. Each configuration is run with the cache on and off
+// (--walk-cache-mb 0 equivalent); the final column reports the rows-examined
+// reduction the cache buys on the single-queue convoy.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -19,9 +25,10 @@ using namespace fastqre;
 int main() {
   const double budget = bench::BenchBudget(30.0);
   TablePrinter table(
-      "E6: convoy effect - two-queue (Q_alpha) vs single-queue (Q_dc)",
-      {"scale", "query", "two-queue", "validations", "rows", "single-queue",
-       "validations", "rows"});
+      "E6/E12: convoy effect - two-queue vs single-queue, walk cache on/off",
+      {"scale", "query", "2q+cache", "validations", "rows", "1q+cache",
+       "validations", "rows", "1q-nocache", "validations", "rows",
+       "cache rows x"});
 
   for (double scale : {bench::BenchScale(0.002), bench::BenchScale(0.002) * 2}) {
     Database db = BuildTpch({.scale_factor = scale, .seed = 42}).ValueOrDie();
@@ -32,17 +39,32 @@ int main() {
         if (w.name == qname) wq = &w;
       }
       std::vector<std::string> row{StringFormat("%.4g", scale), qname};
-      for (bool two_queue : {true, false}) {
+      struct Config {
+        bool two_queue;
+        bool cache;
+      };
+      uint64_t rows_cache = 0, rows_nocache = 0;
+      for (Config cfg : {Config{true, true}, Config{false, true},
+                         Config{false, false}}) {
         QreOptions opts;
-        opts.use_two_queue_composer = two_queue;
+        opts.use_two_queue_composer = cfg.two_queue;
         opts.time_budget_seconds = budget;
+        opts.walk_cache_budget_bytes = cfg.cache ? (64ull << 20) : 0;
+        opts.walk_cache_admission = 0;  // convoys re-use walks immediately
         FastQre engine(&db, opts);
         Timer t;
         QreAnswer a = engine.Reverse(wq->rout).ValueOrDie();
         row.push_back(bench::ResultCell(a.found, !a.found, t.ElapsedSeconds()));
         row.push_back(FormatCount(a.stats.full_validations));
         row.push_back(FormatCount(a.stats.validation_rows));
+        if (!cfg.two_queue) {
+          (cfg.cache ? rows_cache : rows_nocache) = a.stats.validation_rows;
+        }
       }
+      row.push_back(rows_cache > 0
+                        ? StringFormat("%.1fx", static_cast<double>(rows_nocache) /
+                                                    static_cast<double>(rows_cache))
+                        : "n/a");
       table.AddRow(std::move(row));
     }
   }
@@ -50,6 +72,8 @@ int main() {
   std::printf(
       "\nShape check vs paper (Figure 9): the single-queue composer performs\n"
       "at least as many full validations and streams more rows, because it\n"
-      "cannot defer concise-but-expensive candidates.\n");
+      "cannot defer concise-but-expensive candidates. The cache column (E12)\n"
+      "is rows(no cache)/rows(cache) for the single-queue convoy: memoized\n"
+      "walk relations replace the repeated intermediate-chain traversals.\n");
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "engine/compare.h"
+#include "engine/executor.h"
 
 namespace fastqre {
 
@@ -13,7 +14,7 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
                            std::function<bool()> interrupt) {
   uint64_t work = 0;
   auto interrupted = [&]() {
-    return (++work & 0x3ff) == 0 && interrupt && interrupt();
+    return (++work & kInterruptPollMask) == 0 && interrupt && interrupt();
   };
   // Hard cap on intermediate materialization: pathological candidate
   // queries can otherwise exhaust memory before any time budget fires.
@@ -125,7 +126,9 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
             db.table(query.instance_table(order[src_pos]));
         key[k] = src_table.column(src_col).at(binding[src_pos]);
       }
-      for (RowId match : index.Lookup(key)) {
+      const std::vector<RowId>& matches =
+          key.size() == 1 ? index.Lookup1(key[0]) : index.Lookup(key);
+      for (RowId match : matches) {
         if (interrupted()) {
           return Status::ResourceExhausted("block evaluation interrupted");
         }

@@ -9,18 +9,62 @@
 namespace fastqre {
 
 Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
-    const Database& db, const PJQuery& query, std::function<bool()> interrupt) {
+    const Database& db, const PJQuery& query, std::function<bool()> interrupt,
+    const std::vector<VirtualJoin>& virtual_joins) {
   if (query.num_instances() == 0) {
     return Status::InvalidArgument("query has no instances");
   }
-  if (!query.IsConnected()) {
-    return Status::InvalidArgument("query graph is disconnected (cross product)");
+  const size_t n = query.num_instances();
+
+  // Connectivity and frontier planning treat virtual joins exactly like
+  // physical ones: a query whose walk chains were all substituted away can
+  // be disconnected on joins() alone yet connected through the cache.
+  struct PlanEdge {
+    InstanceId a, b;
+  };
+  std::vector<PlanEdge> plan_edges;
+  for (const auto& j : query.joins()) {
+    if (j.a != j.b) plan_edges.push_back(PlanEdge{j.a, j.b});
+  }
+  for (const auto& vj : virtual_joins) {
+    if (vj.a == vj.b) {
+      return Status::InvalidArgument("virtual join endpoints coincide");
+    }
+    if (vj.a >= n || vj.b >= n) {
+      return Status::InvalidArgument("virtual join references unknown instance");
+    }
+    plan_edges.push_back(PlanEdge{vj.a, vj.b});
+  }
+  {
+    std::vector<std::vector<InstanceId>> nbr(n);
+    for (const PlanEdge& e : plan_edges) {
+      nbr[e.a].push_back(e.b);
+      nbr[e.b].push_back(e.a);
+    }
+    std::vector<bool> seen(n, false);
+    std::vector<InstanceId> stack{0};
+    seen[0] = true;
+    size_t reached = 1;
+    while (!stack.empty()) {
+      InstanceId v = stack.back();
+      stack.pop_back();
+      for (InstanceId w : nbr[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          ++reached;
+          stack.push_back(w);
+        }
+      }
+    }
+    if (reached != n) {
+      return Status::InvalidArgument(
+          "query graph is disconnected (cross product)");
+    }
   }
 
   auto cursor = std::unique_ptr<QueryCursor>(new QueryCursor());
   cursor->db_ = &db;
   cursor->interrupt_ = std::move(interrupt);
-  const size_t n = query.num_instances();
 
   // Pick the start instance: prefer one carrying selections so probing
   // queries start from an index point-lookup instead of a scan.
@@ -43,12 +87,10 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
   // frontier small — crucial for probing queries, where every projection
   // instance carries selections but naive BFS would wander through
   // high-fanout intermediates first.
-  std::vector<std::vector<size_t>> adj(n);  // instance -> join indexes
-  for (size_t ji = 0; ji < query.joins().size(); ++ji) {
-    const auto& j = query.joins()[ji];
-    if (j.a == j.b) continue;
-    adj[j.a].push_back(ji);
-    adj[j.b].push_back(ji);
+  std::vector<std::vector<size_t>> adj(n);  // instance -> plan_edges indexes
+  for (size_t ei = 0; ei < plan_edges.size(); ++ei) {
+    adj[plan_edges[ei].a].push_back(ei);
+    adj[plan_edges[ei].b].push_back(ei);
   }
   std::vector<int> sel_count(n, 0);
   for (const auto& s : query.selections()) sel_count[s.instance]++;
@@ -64,9 +106,9 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
     for (InstanceId v = 0; v < n; ++v) {
       if (pos[v] >= 0) continue;
       int joins_in = 0;
-      for (size_t ji : adj[v]) {
-        const auto& j = query.joins()[ji];
-        InstanceId other = (j.a == v) ? j.b : j.a;
+      for (size_t ei : adj[v]) {
+        const PlanEdge& e = plan_edges[ei];
+        InstanceId other = (e.a == v) ? e.b : e.a;
         if (pos[other] >= 0) ++joins_in;
       }
       if (joins_in == 0) continue;  // not on the frontier yet
@@ -116,6 +158,21 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
         KeySource{from_pos, from_col, kNullValueId});
   }
 
+  // Virtual joins attach to whichever endpoint is planned later, oriented so
+  // the reach map is read from the already-bound side. They start life as
+  // row filters; a keyless step below promotes one to its candidate driver.
+  for (const auto& vj : virtual_joins) {
+    int pa = pos[vj.a], pb = pos[vj.b];
+    int later = std::max(pa, pb);
+    bool a_is_later = (pa == later);
+    ReachSpec spec;
+    spec.from_pos = a_is_later ? pb : pa;
+    spec.from_col = a_is_later ? vj.col_b : vj.col_a;
+    spec.local_col = a_is_later ? vj.col_a : vj.col_b;
+    spec.map = a_is_later ? vj.b_to_a : vj.a_to_b;
+    cursor->steps_[later].reach_filters.push_back(spec);
+  }
+
   // Selections become index-key components (constants), so lookups return
   // only rows already satisfying them.
   std::vector<ColumnId> start_sel_cols;
@@ -136,11 +193,22 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
         &db.GetOrBuildIndex(query.instance_table(order[0]), start_sel_cols);
   }
   for (size_t p = 1; p < n; ++p) {
+    Step& step = cursor->steps_[p];
     if (key_cols[p].empty()) {
-      return Status::Internal(
-          "plan step without incoming join key in a connected query");
+      if (step.reach_filters.empty()) {
+        return Status::Internal(
+            "plan step without incoming join key in a connected query");
+      }
+      // Promote one virtual join to candidate driver: enumerate the values
+      // reachable from the bound side and probe a single-column index for
+      // each, instead of scanning the table.
+      step.reach_driver = step.reach_filters.front();
+      step.reach_filters.erase(step.reach_filters.begin());
+      step.reach_index = &db.GetOrBuildIndex(
+          query.instance_table(order[p]), {step.reach_driver->local_col});
+      continue;
     }
-    cursor->steps_[p].index =
+    step.index =
         &db.GetOrBuildIndex(query.instance_table(order[p]), key_cols[p]);
   }
 
@@ -151,6 +219,7 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
   }
 
   cursor->candidates_.resize(n, nullptr);
+  cursor->owned_candidates_.resize(n);
   cursor->cursor_.resize(n, 0);
   cursor->bound_.resize(n, 0);
   cursor->key_buf_.resize(n);
@@ -169,12 +238,43 @@ bool QueryCursor::RowPasses(const Step& step, RowId row) const {
   for (const auto& [col, val] : step.const_filters) {
     if (step.table->column(col).at(row) != val) return false;
   }
+  for (const ReachSpec& rf : step.reach_filters) {
+    ValueId u =
+        steps_[rf.from_pos].table->column(rf.from_col).at(bound_[rf.from_pos]);
+    auto it = rf.map->find(u);
+    if (it == rf.map->end()) return false;
+    ValueId v = step.table->column(rf.local_col).at(row);
+    if (!std::binary_search(it->second.begin(), it->second.end(), v)) {
+      return false;
+    }
+  }
   return true;
 }
 
 void QueryCursor::InitCandidates(size_t pos) {
   const Step& step = steps_[pos];
   cursor_[pos] = 0;
+  if (step.reach_driver.has_value()) {
+    const ReachSpec& d = *step.reach_driver;
+    std::vector<RowId>& owned = owned_candidates_[pos];
+    owned.clear();
+    candidates_[pos] = &owned;
+    ValueId u =
+        steps_[d.from_pos].table->column(d.from_col).at(bound_[d.from_pos]);
+    auto it = d.map->find(u);
+    if (it == d.map->end()) return;  // nothing reachable: empty candidates
+    for (ValueId v : it->second) {
+      ++rows_examined_;
+      if ((rows_examined_ & kInterruptPollMask) == 0 && interrupt_ &&
+          interrupt_()) {
+        interrupted_ = true;
+        return;
+      }
+      const std::vector<RowId>& rows = step.reach_index->Lookup1(v);
+      owned.insert(owned.end(), rows.begin(), rows.end());
+    }
+    return;
+  }
   if (step.index == nullptr) {
     candidates_[pos] = nullptr;  // full scan
     return;
@@ -187,7 +287,8 @@ void QueryCursor::InitCandidates(size_t pos) {
                  : steps_[ks.from_pos].table->column(ks.column).at(
                        bound_[ks.from_pos]);
   }
-  candidates_[pos] = &step.index->Lookup(key);
+  candidates_[pos] =
+      key.size() == 1 ? &step.index->Lookup1(key[0]) : &step.index->Lookup(key);
 }
 
 bool QueryCursor::Next(std::vector<ValueId>* row) {
@@ -196,6 +297,7 @@ bool QueryCursor::Next(std::vector<ValueId>* row) {
     started_ = true;
     depth_ = 0;
     InitCandidates(0);
+    if (interrupted_) return false;
   }
   const int last = static_cast<int>(steps_.size()) - 1;
   while (depth_ >= 0) {
@@ -210,7 +312,8 @@ bool QueryCursor::Next(std::vector<ValueId>* row) {
                     : static_cast<RowId>(cursor_[depth_]);
       ++cursor_[depth_];
       ++rows_examined_;
-      if ((rows_examined_ & 0xfff) == 0 && interrupt_ && interrupt_()) {
+      if ((rows_examined_ & kInterruptPollMask) == 0 && interrupt_ &&
+          interrupt_()) {
         interrupted_ = true;
         return false;
       }
@@ -234,6 +337,7 @@ bool QueryCursor::Next(std::vector<ValueId>* row) {
     }
     ++depth_;
     InitCandidates(depth_);
+    if (interrupted_) return false;
   }
   done_ = true;
   return false;

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -17,6 +19,32 @@
 #include "storage/database.h"
 
 namespace fastqre {
+
+/// \brief Interrupt-poll stride shared by the pipelined cursor, the block
+/// executor, and walk-cache materialization loops: the interrupt callback is
+/// polled every (mask + 1) work items, so a --budget-ms expiry (or a
+/// rank-cancellation signal) lands within a bounded amount of extra work.
+inline constexpr uint64_t kInterruptPollMask = 0xfff;
+
+/// \brief Reachability map of a materialized walk chain: left-endpoint join
+/// value -> sorted distinct right-endpoint join values reachable across the
+/// walk's intermediate tables (see qre/walk_cache.h).
+using ReachMap = std::unordered_map<ValueId, std::vector<ValueId>>;
+
+/// \brief A walk-substitution join: instances `a` and `b` are connected not
+/// by physical intermediate instances but by a precomputed reachability
+/// relation — row of a joins row of b iff b's col_b value is in
+/// a_to_b[a's col_a value]. Both orientations are provided so the planner
+/// can drive whichever endpoint is placed later. The maps must outlive the
+/// cursor (the walk cache pins them for the candidate's lifetime).
+struct VirtualJoin {
+  InstanceId a;
+  ColumnId col_a;
+  InstanceId b;
+  ColumnId col_b;
+  const ReachMap* a_to_b;
+  const ReachMap* b_to_a;
+};
 
 /// \brief Streaming evaluator of a connected PJQuery.
 ///
@@ -32,9 +60,17 @@ class QueryCursor {
   /// examined rows; when it returns true, Next() stops and interrupted()
   /// becomes true — a single Next() call over a pathological join space can
   /// otherwise run unboundedly.
+  /// `virtual_joins` substitutes materialized walks for join paths: each
+  /// entry connects two instances of `query` through a precomputed
+  /// reachability relation instead of physical intermediates; connectivity
+  /// is checked over physical and virtual joins combined. A virtual join
+  /// whose later-planned endpoint has no physical index key drives that
+  /// step's candidate rows from the cached endpoint set (one index probe
+  /// per reachable value); otherwise it is applied as a row filter.
   static Result<std::unique_ptr<QueryCursor>> Create(
       const Database& db, const PJQuery& query,
-      std::function<bool()> interrupt = {});
+      std::function<bool()> interrupt = {},
+      const std::vector<VirtualJoin>& virtual_joins = {});
 
   /// Produces the next *raw* result row (one ValueId per projection, in
   /// projection order). Returns false at end-of-results. Rows are NOT
@@ -56,6 +92,15 @@ class QueryCursor {
     ColumnId column;
     ValueId constant;
   };
+  struct ReachSpec {
+    // Virtual-join constraint: this step's `local_col` value must be in
+    // map[u], where u is the value of `from_col` in the row bound at the
+    // earlier plan position `from_pos`.
+    int from_pos;
+    ColumnId from_col;
+    ColumnId local_col;
+    const ReachMap* map;
+  };
   struct Step {
     InstanceId instance;
     const Table* table;
@@ -66,13 +111,20 @@ class QueryCursor {
     std::vector<std::pair<ColumnId, ColumnId>> self_filters;
     // Leftover constant filters col = value.
     std::vector<std::pair<ColumnId, ValueId>> const_filters;
+    // Virtual-join row filters (walk substitution).
+    std::vector<ReachSpec> reach_filters;
+    // When the step has no physical index key, one virtual join drives the
+    // candidate list instead: rows = ∪_{v ∈ map[u]} reach_index[local_col=v].
+    std::optional<ReachSpec> reach_driver;
+    const HashIndex* reach_index = nullptr;
   };
 
   QueryCursor() = default;
 
   bool RowPasses(const Step& step, RowId row) const;
   // Prepares the candidate row list for plan position `pos` given the rows
-  // bound at earlier positions. Returns false if the candidate list is empty.
+  // bound at earlier positions (may set interrupted_ when a reach-driven
+  // candidate build trips the interrupt callback).
   void InitCandidates(size_t pos);
 
   const Database* db_ = nullptr;
@@ -83,6 +135,7 @@ class QueryCursor {
 
   // Iteration state.
   std::vector<const std::vector<RowId>*> candidates_;  // null => full scan
+  std::vector<std::vector<RowId>> owned_candidates_;   // reach-driven lists
   std::vector<size_t> cursor_;   // next candidate index (or next RowId if scan)
   std::vector<RowId> bound_;     // currently bound row per position
   std::vector<std::vector<ValueId>> key_buf_;  // probe-key scratch per position

@@ -17,6 +17,7 @@
 #include "qre/feedback.h"
 #include "qre/mapping.h"
 #include "qre/validator.h"
+#include "qre/walk_cache.h"
 #include "qre/walks.h"
 
 namespace fastqre {
@@ -88,8 +89,8 @@ ParallelMappingResult RunMappingParallel(
     const Database* db, const Table* rout, const TupleSet* rout_set,
     const ColumnMapping* mapping, const std::vector<Walk>* walks,
     const QreOptions* options, Feedback* feedback, QreStats* stats,
-    const std::function<bool()>& budget_exceeded, RankedComposer* composer,
-    int need_answers) {
+    WalkCache* walk_cache, const std::function<bool()>& budget_exceeded,
+    RankedComposer* composer, int need_answers) {
   struct Item {
     uint64_t seq;
     CandidateQuery cand;
@@ -129,7 +130,7 @@ ParallelMappingResult RunMappingParallel(
                (budget_exceeded && budget_exceeded());
       };
       Validator validator(db, rout, rout_set, mapping, walks, options,
-                          feedback, stats, interrupt);
+                          feedback, stats, walk_cache, interrupt);
       CandidateOutcome outcome = validator.Validate(item.cand);
       bool cancelled = false;
       if (outcome == CandidateOutcome::kBudgetExhausted) {
@@ -211,7 +212,16 @@ std::string QreTrace::ToString() const {
 }
 
 FastQre::FastQre(const Database* db, QreOptions options)
-    : db_(db), options_(options) {}
+    : db_(db), options_(options) {
+  if (options_.walk_cache_budget_bytes > 0) {
+    walk_cache_ = std::make_unique<WalkCache>(options_.walk_cache_budget_bytes,
+                                              options_.walk_cache_admission);
+  }
+}
+
+FastQre::~FastQre() = default;
+FastQre::FastQre(FastQre&&) noexcept = default;
+FastQre& FastQre::operator=(FastQre&&) noexcept = default;
 
 Result<QreAnswer> FastQre::Reverse(const Table& rout) const {
   FASTQRE_ASSIGN_OR_RETURN(auto answers, ReverseAll(rout, 1));
@@ -237,6 +247,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
   };
   auto finish = [&](QreAnswer* a) {
     a->stats = stats;
+    a->stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
     a->stats.total_seconds = total_timer.ElapsedSeconds();
   };
   QreTrace* trace_ptr = nullptr;  // set below once the trace exists
@@ -296,7 +307,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
       const int need = limit - static_cast<int>(answers.size());
       ParallelMappingResult pr = RunMappingParallel(
           db_, &norm_rout, &rout_set, &mapping, &walks, &options_, &feedback,
-          &stats, budget_exceeded, &composer, need);
+          &stats, walk_cache_.get(), budget_exceeded, &composer, need);
       stats.candidates_pruned_dead += composer.sets_pruned_dead();
       stats.walk_sets_expanded += composer.sets_expanded();
 
@@ -332,6 +343,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
           a.num_joins = ro.cand.query.joins().size();
           a.trace = trace;
           a.stats = stats;
+          a.stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
           a.stats.total_seconds = total_timer.ElapsedSeconds();
           answers.push_back(std::move(a));
         }
@@ -345,7 +357,8 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
 
     // ---- Serial validation path (validation_threads == 1) ----------------
     Validator validator(db_, &norm_rout, &rout_set, &mapping, &walks,
-                        &options_, &feedback, &stats, budget_exceeded);
+                        &options_, &feedback, &stats, walk_cache_.get(),
+                        budget_exceeded);
 
     CandidateQuery candidate;
     uint64_t tried = 0;
@@ -377,6 +390,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
           a.stats = stats;
           a.stats.candidates_pruned_dead += composer.sets_pruned_dead();
           a.stats.walk_sets_expanded += composer.sets_expanded();
+          a.stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
           a.stats.total_seconds = total_timer.ElapsedSeconds();
           answers.push_back(std::move(a));
           if (static_cast<int>(answers.size()) >= limit) {

@@ -21,6 +21,8 @@
 
 namespace fastqre {
 
+class WalkCache;
+
 /// \brief Optional explanation of a Reverse() run (QreOptions::collect_trace):
 /// the ranked column mappings that were tried and every candidate query that
 /// was validated, with its verdict — the paper's decision process, replayable.
@@ -81,6 +83,10 @@ class FastQre {
  public:
   /// `db` must outlive the engine.
   explicit FastQre(const Database* db, QreOptions options = QreOptions());
+  ~FastQre();
+
+  FastQre(FastQre&&) noexcept;
+  FastQre& operator=(FastQre&&) noexcept;
 
   const QreOptions& options() const { return options_; }
 
@@ -99,6 +105,10 @@ class FastQre {
  private:
   const Database* db_;
   QreOptions options_;
+  // Walk-materialization cache (DESIGN.md §9), shared across Reverse()
+  // calls and validation workers; null when the budget is 0. Internally
+  // synchronized, so the const/thread-safety contract above still holds.
+  std::unique_ptr<WalkCache> walk_cache_;
 };
 
 }  // namespace fastqre

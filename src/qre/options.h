@@ -71,6 +71,19 @@ struct QreOptions {
   /// (the basic probing mechanism of Section 4.1; 0 disables).
   int probe_tuples = 2;
 
+  /// Byte budget of the cross-candidate walk-materialization cache
+  /// (WalkCache): materialized endpoint semi-join relations of join-path
+  /// walks, shared across candidates, mappings and validation threads, with
+  /// LRU eviction once the budget is exceeded. 0 disables the cache (every
+  /// walk stays pipelined). The cache never changes accepted answers — only
+  /// how much join work validation performs (DESIGN.md §9).
+  uint64_t walk_cache_budget_bytes = 64ull << 20;
+
+  /// Admission threshold of the walk cache: a walk's relation is only
+  /// materialized once the walk has been executed this many times, so
+  /// one-off walks never pay the materialization cost.
+  int walk_cache_admission = 2;
+
   // --- Ablation toggles (experiment E4). All on by default. ---------------
 
   /// Rank column mappings using CGMs (Sections 4.2-4.3). Off: mappings are

@@ -41,6 +41,11 @@ std::string QreStats::ToString() const {
                       static_cast<unsigned long long>(coherence_rows),
                       static_cast<unsigned long long>(alltuple_rows),
                       static_cast<unsigned long long>(fullscan_rows));
+  out += StringFormat("walk cache:            hits=%llu misses=%llu evictions=%llu bytes=%llu\n",
+                      static_cast<unsigned long long>(walk_cache_hits),
+                      static_cast<unsigned long long>(walk_cache_misses),
+                      static_cast<unsigned long long>(walk_cache_evictions),
+                      static_cast<unsigned long long>(walk_cache_bytes));
   return out;
 }
 
@@ -68,6 +73,10 @@ void QreStats::Accumulate(const QreStats& other) {
   coherence_rows += other.coherence_rows;
   alltuple_rows += other.alltuple_rows;
   fullscan_rows += other.fullscan_rows;
+  walk_cache_hits += other.walk_cache_hits;
+  walk_cache_misses += other.walk_cache_misses;
+  walk_cache_evictions += other.walk_cache_evictions;
+  walk_cache_bytes += other.walk_cache_bytes;
   total_seconds += other.total_seconds;
 }
 

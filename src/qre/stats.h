@@ -45,6 +45,14 @@ struct QreStats {
   RelaxedCounter alltuple_rows = 0;    // per-R_out-tuple membership probes
   RelaxedCounter fullscan_rows = 0;    // extra-tuple hunting streams
 
+  // Walk-materialization cache (DESIGN.md §9). hits/misses count Acquire()
+  // calls that did / did not return a materialized relation; bytes is a
+  // gauge snapshotted at answer time (resident relation bytes).
+  RelaxedCounter walk_cache_hits = 0;
+  RelaxedCounter walk_cache_misses = 0;
+  RelaxedCounter walk_cache_evictions = 0;
+  RelaxedCounter walk_cache_bytes = 0;
+
   double total_seconds = 0.0;
 
   /// Multi-line human-readable report.

@@ -22,7 +22,7 @@ const char* CandidateOutcomeToString(CandidateOutcome outcome) {
 Validator::Validator(const Database* db, const Table* rout,
                      const TupleSet* rout_set, const ColumnMapping* mapping,
                      const std::vector<Walk>* walks, const QreOptions* options,
-                     Feedback* feedback, QreStats* stats,
+                     Feedback* feedback, QreStats* stats, WalkCache* walk_cache,
                      std::function<bool()> budget_exceeded)
     : db_(db),
       rout_(rout),
@@ -32,9 +32,49 @@ Validator::Validator(const Database* db, const Table* rout,
       options_(options),
       feedback_(feedback),
       stats_(stats),
+      walk_cache_(walk_cache),
       budget_exceeded_(std::move(budget_exceeded)) {}
 
-CandidateOutcome Validator::ProbeCheck(const CandidateQuery& candidate) {
+Validator::Execution Validator::PrepareExecution(
+    const CandidateQuery& candidate) {
+  Execution exec;
+  if (walk_cache_ == nullptr || candidate.walk_ids.empty()) {
+    exec.query = candidate.query;
+    return exec;
+  }
+  std::vector<const Walk*> group;
+  group.reserve(candidate.walk_ids.size());
+  for (int id : candidate.walk_ids) group.push_back(&(*walks_)[id]);
+  std::vector<bool> materialized(group.size(), false);
+  bool any = false;
+  for (size_t i = 0; i < group.size(); ++i) {
+    const Walk& w = *group[i];
+    if (w.length() < 2) continue;  // direct join: nothing to substitute
+    WalkSignature sig = CanonicalWalkSignature(*db_, w);
+    WalkCache::Handle h =
+        walk_cache_->Acquire(*db_, sig, stats_, budget_exceeded_);
+    if (!h) continue;  // not admitted / being built / interrupted
+    VirtualJoin vj;
+    vj.a = static_cast<InstanceId>(w.from_instance);
+    vj.col_a = sig.from_col;
+    vj.b = static_cast<InstanceId>(w.to_instance);
+    vj.col_b = sig.to_col;
+    vj.a_to_b = sig.flipped ? &h->reverse : &h->forward;
+    vj.b_to_a = sig.flipped ? &h->forward : &h->reverse;
+    exec.vjoins.push_back(vj);
+    exec.pins.push_back(std::move(h));
+    materialized[i] = true;
+    any = true;
+  }
+  // ComposeQueryFromWalksPartial numbers instance i as mapping instance i,
+  // which is what the virtual joins above reference.
+  exec.query = any ? ComposeQueryFromWalksPartial(*db_, *mapping_, group,
+                                                  materialized)
+                   : candidate.query;
+  return exec;
+}
+
+CandidateOutcome Validator::ProbeCheck(const Execution& exec) {
   const size_t n = rout_->num_rows();
   const int probes = std::min<int>(options_->probe_tuples, static_cast<int>(n));
 
@@ -42,13 +82,13 @@ CandidateOutcome Validator::ProbeCheck(const CandidateQuery& candidate) {
   // tuple; an empty result proves the tuple cannot be generated.
   for (int p = 0; p < probes; ++p) {
     RowId row = static_cast<RowId>(probes == 1 ? 0 : p * (n - 1) / (probes - 1));
-    PJQuery probe = candidate.query;
+    PJQuery probe = exec.query;
     const auto& projections = probe.projections();
     for (size_t j = 0; j < projections.size(); ++j) {
       probe.AddSelection(projections[j].instance, projections[j].column,
                          rout_->column(static_cast<ColumnId>(j)).at(row));
     }
-    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_);
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> out_row;
     bool hit = (*cursor)->Next(&out_row);
@@ -62,10 +102,10 @@ CandidateOutcome Validator::ProbeCheck(const CandidateQuery& candidate) {
   // a bounded prefix; any produced tuple outside R_out dismisses Q.
   if (options_->variant == QreVariant::kExact && probes > 0 &&
       rout_->num_columns() > 0) {
-    PJQuery probe = candidate.query;
+    PJQuery probe = exec.query;
     const auto& proj0 = probe.projections()[0];
     probe.AddSelection(proj0.instance, proj0.column, rout_->column(0).at(0));
-    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_);
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> out_row;
     uint64_t streamed = 0;
@@ -82,11 +122,111 @@ CandidateOutcome Validator::ProbeCheck(const CandidateQuery& candidate) {
   return CandidateOutcome::kGenerating;  // "not dismissed"
 }
 
+bool Validator::TryCachedCoherence(const Walk& walk, bool* verdict) {
+  if (walk_cache_ == nullptr || walk.length() < 2) return false;
+  WalkSignature sig = CanonicalWalkSignature(*db_, walk);
+  WalkCache::Handle h =
+      walk_cache_->Acquire(*db_, sig, stats_, budget_exceeded_);
+  if (!h) return false;
+  // Reachability in the walk's own from -> to orientation.
+  const ReachMap& fwd = sig.flipped ? h->reverse : h->forward;
+
+  // Mirror ComposeWalkSubquery's projection order: the R_out columns
+  // generated from the two endpoint instances, in slot order, split by
+  // endpoint side.
+  std::vector<ColumnId> out_cols;
+  std::vector<size_t> from_j, to_j;          // tuple positions per endpoint
+  std::vector<ColumnId> from_cols, to_cols;  // endpoint db columns
+  for (ColumnId c = 0; c < mapping_->slots.size(); ++c) {
+    const auto& [inst, db_col] = mapping_->slots[c];
+    if (inst == walk.from_instance) {
+      from_j.push_back(out_cols.size());
+      from_cols.push_back(db_col);
+      out_cols.push_back(c);
+    } else if (inst == walk.to_instance) {
+      to_j.push_back(out_cols.size());
+      to_cols.push_back(db_col);
+      out_cols.push_back(c);
+    }
+  }
+  if (from_cols.empty() || to_cols.empty()) return false;
+
+  const Table& from_table =
+      db_->table(mapping_->instances[walk.from_instance].table);
+  const Table& to_table = db_->table(mapping_->instances[walk.to_instance].table);
+  const HashIndex& from_index =
+      db_->GetOrBuildIndex(mapping_->instances[walk.from_instance].table,
+                           from_cols);
+  const HashIndex& to_index = db_->GetOrBuildIndex(
+      mapping_->instances[walk.to_instance].table, to_cols);
+  const Column& from_join = from_table.column(sig.from_col);
+  const Column& to_join = to_table.column(sig.to_col);
+
+  // Per needed tuple: the endpoint rows matching the tuple's bindings, and
+  // whether any pair of them is connected by the materialized chain.
+  TupleSet needed = ProjectToTupleSet(*rout_, out_cols);
+  std::vector<ValueId> key_from(from_cols.size()), key_to(to_cols.size());
+  std::vector<ValueId> us, vs;
+  size_t probed = 0;
+  bool coherent = true;
+  for (const auto& tuple : needed) {
+    for (size_t k = 0; k < from_j.size(); ++k) key_from[k] = tuple[from_j[k]];
+    for (size_t k = 0; k < to_j.size(); ++k) key_to[k] = tuple[to_j[k]];
+    const std::vector<RowId>& rows_from = key_from.size() == 1
+                                              ? from_index.Lookup1(key_from[0])
+                                              : from_index.Lookup(key_from);
+    const std::vector<RowId>& rows_to = key_to.size() == 1
+                                            ? to_index.Lookup1(key_to[0])
+                                            : to_index.Lookup(key_to);
+    stats_->validation_rows += rows_from.size() + rows_to.size();
+    stats_->coherence_rows += rows_from.size() + rows_to.size();
+    bool connected = false;
+    if (!rows_from.empty() && !rows_to.empty()) {
+      us.clear();
+      for (RowId r : rows_from) us.push_back(from_join.at(r));
+      std::sort(us.begin(), us.end());
+      us.erase(std::unique(us.begin(), us.end()), us.end());
+      vs.clear();
+      for (RowId r : rows_to) vs.push_back(to_join.at(r));
+      std::sort(vs.begin(), vs.end());
+      vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+      for (ValueId u : us) {
+        auto it = fwd.find(u);
+        if (it == fwd.end()) continue;
+        for (ValueId v : vs) {
+          if (std::binary_search(it->second.begin(), it->second.end(), v)) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) break;
+      }
+    }
+    if (!connected) {
+      coherent = false;
+      break;
+    }
+    if ((++probed & 0xff) == 0 && BudgetExceeded()) {
+      // Unproven either way under timeout: no verdict (caller won't memoize).
+      return false;
+    }
+  }
+  *verdict = coherent;
+  return true;
+}
+
 bool Validator::WalkCoherent(int walk_id) {
   auto memo = feedback_->WalkCoherence(walk_id);
   if (memo.has_value()) return *memo;
 
   ++stats_->walk_coherence_checks;
+
+  bool verdict = false;
+  if (TryCachedCoherence((*walks_)[walk_id], &verdict)) {
+    feedback_->SetWalkCoherence(walk_id, verdict);
+    return verdict;
+  }
+
   std::vector<ColumnId> out_cols;
   PJQuery subquery =
       ComposeWalkSubquery(*db_, *mapping_, (*walks_)[walk_id], &out_cols);
@@ -131,13 +271,13 @@ bool Validator::WalkCoherent(int walk_id) {
   return coherent;
 }
 
-CandidateOutcome Validator::AllTupleProbe(const CandidateQuery& candidate) {
+CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
   // Advanced probing (the multi-tuple horizontal check of Appendix A, whose
   // text is unavailable; this is our design): verify R_out ⊆ Q(D) with one
   // index-backed point probe per R_out tuple, instead of streaming Q(D) —
   // which, for subset-failing candidates under exact semantics, would have
   // to drain the entire (possibly huge) result before concluding "missing".
-  PJQuery probe = candidate.query;
+  PJQuery probe = exec.query;
   const auto projections = probe.projections();
   for (RowId r = 0; r < rout_->num_rows(); ++r) {
     probe.ClearSelections();
@@ -145,7 +285,7 @@ CandidateOutcome Validator::AllTupleProbe(const CandidateQuery& candidate) {
       probe.AddSelection(projections[j].instance, projections[j].column,
                          rout_->column(static_cast<ColumnId>(j)).at(r));
     }
-    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_);
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> out_row;
     bool hit = (*cursor)->Next(&out_row);
@@ -160,18 +300,22 @@ CandidateOutcome Validator::AllTupleProbe(const CandidateQuery& candidate) {
   return CandidateOutcome::kGenerating;  // R_out ⊆ Q(D) established
 }
 
-CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate) {
+CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
+                                      const Execution& exec) {
   ++stats_->full_validations;
 
   if (options_->use_probing) {
-    CandidateOutcome subset = AllTupleProbe(candidate);
+    CandidateOutcome subset = AllTupleProbe(exec);
     if (subset != CandidateOutcome::kGenerating) return subset;
     if (options_->variant == QreVariant::kSuperset) {
       return CandidateOutcome::kGenerating;  // superset needs nothing more
     }
     // Exact: R_out ⊆ Q(D) holds; it remains to rule out extra tuples by
-    // streaming with an early exit on the first violation.
-    auto cursor = QueryCursor::Create(*db_, candidate.query, budget_exceeded_);
+    // streaming with an early exit on the first violation. Substitution
+    // cannot change the emitted set: projections only touch endpoint
+    // instances, which the reduced query retains.
+    auto cursor =
+        QueryCursor::Create(*db_, exec.query, budget_exceeded_, exec.vjoins);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> row;
     while ((*cursor)->Next(&row)) {
@@ -188,7 +332,9 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate) {
 
   if (!options_->use_progressive_validation) {
     // The paper's "single block operation": materialize Q(D) in full with
-    // the block executor, then compare. No early exit of any kind.
+    // the block executor, then compare. No early exit of any kind. The block
+    // executor knows nothing of virtual joins, so the unsubstituted query is
+    // used here.
     auto result = ExecuteBlock(*db_, candidate.query, "block", budget_exceeded_);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kResourceExhausted) {
@@ -221,7 +367,8 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate) {
 
   // Progressive evaluation (without probing): stream and stop at the first
   // contradiction.
-  auto cursor = QueryCursor::Create(*db_, candidate.query, budget_exceeded_);
+  auto cursor =
+      QueryCursor::Create(*db_, exec.query, budget_exceeded_, exec.vjoins);
   if (!cursor.ok()) return CandidateOutcome::kError;
 
   std::vector<ValueId> row;
@@ -252,9 +399,13 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate) {
 CandidateOutcome Validator::Validate(const CandidateQuery& candidate) {
   if (BudgetExceeded()) return CandidateOutcome::kBudgetExhausted;
 
+  // Walk substitution up front: every later stage of the cascade runs the
+  // reduced query when the cache has the candidate's chains materialized.
+  Execution exec = PrepareExecution(candidate);
+
   if (options_->use_probing && options_->probe_tuples > 0 &&
       rout_->num_rows() > 0) {
-    CandidateOutcome probe = ProbeCheck(candidate);
+    CandidateOutcome probe = ProbeCheck(exec);
     if (probe != CandidateOutcome::kGenerating) {
       if (probe == CandidateOutcome::kMissingTuples ||
           probe == CandidateOutcome::kExtraTuples) {
@@ -274,7 +425,7 @@ CandidateOutcome Validator::Validate(const CandidateQuery& candidate) {
     }
   }
 
-  return FullCheck(candidate);
+  return FullCheck(candidate, exec);
 }
 
 }  // namespace fastqre

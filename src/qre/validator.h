@@ -17,11 +17,13 @@
 #include <functional>
 
 #include "engine/compare.h"
+#include "engine/executor.h"
 #include "qre/composer.h"
 #include "qre/feedback.h"
 #include "qre/mapping.h"
 #include "qre/options.h"
 #include "qre/stats.h"
+#include "qre/walk_cache.h"
 #include "qre/walks.h"
 #include "storage/database.h"
 
@@ -42,23 +44,42 @@ const char* CandidateOutcomeToString(CandidateOutcome outcome);
 /// \brief Validates candidates against one (R_out, mapping) pair.
 class Validator {
  public:
+  /// `walk_cache` (may be null) enables walk substitution: materialized walk
+  /// chains are replaced with virtual joins over cached reachability
+  /// relations (DESIGN.md §9); verdicts and emitted answers are unchanged.
   /// `budget_exceeded` (may be empty) is polled during long streams.
   Validator(const Database* db, const Table* rout, const TupleSet* rout_set,
             const ColumnMapping* mapping, const std::vector<Walk>* walks,
             const QreOptions* options, Feedback* feedback, QreStats* stats,
+            WalkCache* walk_cache = nullptr,
             std::function<bool()> budget_exceeded = {});
 
   /// Runs the dismissal cascade and, if needed, the full check.
   CandidateOutcome Validate(const CandidateQuery& candidate);
 
  private:
-  CandidateOutcome ProbeCheck(const CandidateQuery& candidate);
+  // The executable form of one candidate: its query with every cached walk's
+  // intermediate chain replaced by a virtual join, plus the cache pins that
+  // keep those relations alive (eviction-safe) for the candidate's lifetime.
+  // With no cache (or nothing materialized), query == candidate.query.
+  struct Execution {
+    PJQuery query;
+    std::vector<VirtualJoin> vjoins;
+    std::vector<WalkCache::Handle> pins;
+  };
+  Execution PrepareExecution(const CandidateQuery& candidate);
+
+  CandidateOutcome ProbeCheck(const Execution& exec);
   /// Checks (and memoizes) indirect coherence of one walk; true = coherent.
   bool WalkCoherent(int walk_id);
+  /// Coherence of a materialized walk straight off its cached relation; no
+  /// subquery execution. `verdict` is set iff the cached check applies.
+  bool TryCachedCoherence(const Walk& walk, bool* verdict);
   /// Establishes R_out ⊆ Q(D) by point-probing every R_out tuple
   /// (kGenerating = containment holds).
-  CandidateOutcome AllTupleProbe(const CandidateQuery& candidate);
-  CandidateOutcome FullCheck(const CandidateQuery& candidate);
+  CandidateOutcome AllTupleProbe(const Execution& exec);
+  CandidateOutcome FullCheck(const CandidateQuery& candidate,
+                             const Execution& exec);
 
   bool BudgetExceeded() const {
     return budget_exceeded_ && budget_exceeded_();
@@ -72,6 +93,7 @@ class Validator {
   const QreOptions* options_;
   Feedback* feedback_;
   QreStats* stats_;
+  WalkCache* walk_cache_;
   std::function<bool()> budget_exceeded_;
 
   // Rows streamed by the partial probe before giving up (keeps the probe a

@@ -1,0 +1,132 @@
+#include "qre/walk_cache.h"
+
+#include <algorithm>
+
+namespace fastqre {
+
+namespace {
+
+// Estimated resident bytes of a ReachMap: per entry, the key, the vector
+// header, the value payload, and ~16 bytes of node/bucket overhead.
+size_t EstimateBytes(const ReachMap& m) {
+  size_t bytes = sizeof(ReachMap);
+  for (const auto& [key, vals] : m) {
+    bytes += sizeof(key) + sizeof(vals) + vals.capacity() * sizeof(ValueId) + 16;
+  }
+  return bytes;
+}
+
+void SortUnique(ReachMap* m) {
+  for (auto& [key, vals] : *m) {
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    vals.shrink_to_fit();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<WalkRelation> BuildWalkRelation(
+    const Database& db, const std::vector<WalkHop>& hops,
+    const std::function<bool()>& interrupt) {
+  // Backward DP over the chain: after processing hop i, next[u] holds the
+  // sorted distinct right-endpoint values reachable from in-value u through
+  // hops i..last. The last hop seeds with its own out values; earlier hops
+  // union the suffix sets of the rows they chain into.
+  ReachMap next;
+  uint64_t work = 0;
+  auto interrupted = [&]() {
+    return (++work & kInterruptPollMask) == 0 && interrupt && interrupt();
+  };
+  for (size_t i = hops.size(); i-- > 0;) {
+    const WalkHop& hop = hops[i];
+    const Table& t = db.table(hop.table);
+    const Column& in = t.column(hop.in_col);
+    const Column& out = t.column(hop.out_col);
+    const bool last = (i + 1 == hops.size());
+    ReachMap cur;
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      if (interrupted()) return nullptr;
+      ValueId o = out.at(r);
+      if (last) {
+        cur[in.at(r)].push_back(o);
+      } else {
+        auto it = next.find(o);
+        if (it == next.end()) continue;  // row chains into nothing
+        auto& vals = cur[in.at(r)];
+        vals.insert(vals.end(), it->second.begin(), it->second.end());
+      }
+    }
+    SortUnique(&cur);
+    next = std::move(cur);
+  }
+
+  auto rel = std::make_unique<WalkRelation>();
+  rel->forward = std::move(next);
+  for (const auto& [u, vals] : rel->forward) {
+    if (interrupted()) return nullptr;
+    for (ValueId v : vals) rel->reverse[v].push_back(u);
+  }
+  SortUnique(&rel->reverse);
+  rel->bytes = EstimateBytes(rel->forward) + EstimateBytes(rel->reverse);
+  return rel;
+}
+
+WalkCache::Handle WalkCache::Acquire(const Database& db,
+                                     const WalkSignature& sig, QreStats* stats,
+                                     const std::function<bool()>& interrupt) {
+  if (!sig.cacheable || budget_bytes_ == 0) return nullptr;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry& entry = entries_[sig.key];
+  ++entry.uses;
+  if (entry.relation) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    if (stats) ++stats->walk_cache_hits;
+    return entry.relation;
+  }
+  if (stats) ++stats->walk_cache_misses;
+  if (entry.uses <= static_cast<uint64_t>(admission_) || entry.building) {
+    return nullptr;
+  }
+
+  entry.building = true;
+  lock.unlock();
+  std::unique_ptr<WalkRelation> built =
+      BuildWalkRelation(db, sig.hops, interrupt);
+  lock.lock();
+  entry.building = false;
+  if (!built) return nullptr;  // interrupted: publish nothing
+
+  Handle handle(built.release());
+  if (handle->bytes > budget_bytes_) {
+    // Bigger than the whole budget: hand it to this caller, never cache it.
+    return handle;
+  }
+  entry.relation = handle;
+  bytes_used_ += handle->bytes;
+  lru_.push_front(&entry);
+  entry.lru_it = lru_.begin();
+  while (bytes_used_ > budget_bytes_) {
+    Entry* victim = lru_.back();
+    if (victim == &entry) break;  // unreachable (handle->bytes <= budget)
+    lru_.pop_back();
+    bytes_used_ -= victim->relation->bytes;
+    victim->relation.reset();  // readers keep their pins
+    ++evictions_;
+    if (stats) ++stats->walk_cache_evictions;
+  }
+  return handle;
+}
+
+size_t WalkCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_used_;
+}
+
+uint64_t WalkCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace fastqre

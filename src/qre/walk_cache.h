@@ -1,0 +1,110 @@
+// Walk-materialization cache (DESIGN.md §9): memoized semi-join relations
+// for walk intermediate chains, shared across candidates, mappings, and
+// Reverse() calls.
+//
+// FastQRE's candidate space is dominated by *convoys*: long runs of
+// candidates that reuse the same few walks in different combinations. The
+// pipelined executor re-traverses each walk's intermediate chain for every
+// candidate; this cache instead materializes, once per distinct chain (up to
+// reversal — see CanonicalWalkSignature), the endpoint reachability relation
+//   forward[u] = sorted distinct values v such that a row chain through the
+//                intermediate tables connects left join value u to right
+//                join value v,
+// and the validator substitutes it into candidate queries as a VirtualJoin.
+// Substitution never changes a verdict or an emitted answer: validation is
+// set-semantics over projected endpoint columns, and the relation encodes
+// exactly the chain's join condition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/executor.h"
+#include "qre/stats.h"
+#include "qre/walks.h"
+#include "storage/database.h"
+
+namespace fastqre {
+
+/// \brief Materialized reachability of one walk chain, in the chain's
+/// canonical orientation. Immutable after construction; consumers hold it
+/// through a shared_ptr pin, so eviction never invalidates a live cursor.
+struct WalkRelation {
+  ReachMap forward;  // canonical-left join value -> sorted reachable rights
+  ReachMap reverse;  // inverse of forward
+  size_t bytes = 0;  // estimated resident size (cost accounting)
+};
+
+/// \brief Budgeted, thread-safe cache of WalkRelations keyed by canonical
+/// walk signature.
+///
+/// Admission: a chain is materialized only once it has been requested more
+/// than `admission` times (cheap one-shot candidates never pay the build).
+/// Eviction: LRU by relation bytes down to `budget_bytes`; evicted entries
+/// keep their use counters, so a re-hot chain is re-admitted immediately.
+/// Concurrency: per-key build-once — the first admitted caller builds
+/// outside the cache lock; concurrent callers for the same key get nullptr
+/// (pipelined fallback) instead of blocking. An interrupted build publishes
+/// nothing, mirroring the validator's no-memo-under-interrupt rule so
+/// rank-cancellation cannot make cache contents depend on thread timing.
+class WalkCache {
+ public:
+  using Handle = std::shared_ptr<const WalkRelation>;
+
+  WalkCache(size_t budget_bytes, int admission)
+      : budget_bytes_(budget_bytes), admission_(admission) {}
+
+  WalkCache(const WalkCache&) = delete;
+  WalkCache& operator=(const WalkCache&) = delete;
+
+  /// Returns the materialized relation for `sig`, building it on admission.
+  /// Returns nullptr — caller falls back to pipelined execution — when the
+  /// signature is not cacheable, the use count is still below the admission
+  /// threshold, another thread is building the same key, or `interrupt`
+  /// (polled every few thousand rows; may be empty) fired mid-build.
+  /// A relation larger than the whole budget is returned to the caller but
+  /// never cached. `stats` (may be null) receives hit/miss/eviction counts.
+  Handle Acquire(const Database& db, const WalkSignature& sig, QreStats* stats,
+                 const std::function<bool()>& interrupt);
+
+  /// Current resident relation bytes (gauge).
+  size_t bytes() const;
+
+  /// Total evictions since construction.
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    Handle relation;  // null until built (or after eviction)
+    uint64_t uses = 0;
+    bool building = false;
+    std::list<Entry*>::iterator lru_it;  // valid iff relation != nullptr
+  };
+
+  const size_t budget_bytes_;
+  const int admission_;
+
+  mutable std::mutex mu_;
+  // Entries are never erased (only their relations are dropped), so Entry
+  // references handed around under mu_ stay stable.
+  std::unordered_map<std::vector<uint32_t>, Entry, IdTupleHash> entries_;
+  std::list<Entry*> lru_;  // front = most recently used
+  size_t bytes_used_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// \brief Builds the reachability relation of an intermediate-hop chain by a
+/// backward pass over the hop tables (exposed for tests). Returns nullptr if
+/// `interrupt` fired. NULL ids participate like ordinary values, matching
+/// the executor's join semantics.
+std::unique_ptr<WalkRelation> BuildWalkRelation(
+    const Database& db, const std::vector<WalkHop>& hops,
+    const std::function<bool()>& interrupt);
+
+}  // namespace fastqre

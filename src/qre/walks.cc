@@ -83,6 +83,54 @@ std::string Walk::ToString(const Database& db) const {
          JoinStrings(names, "-");
 }
 
+WalkSignature CanonicalWalkSignature(const Database& db, const Walk& walk) {
+  const SchemaGraph& graph = db.schema_graph();
+  WalkSignature sig;
+  const size_t len = walk.steps.size();
+  if (len == 0) return sig;
+
+  // Per step k: the join column on the previous-side table (walk.tables[k])
+  // and on the next-side table (walk.tables[k+1]).
+  std::vector<ColumnId> prev_col(len), next_col(len);
+  for (size_t k = 0; k < len; ++k) {
+    const SchemaEdge& e = graph.edge(walk.steps[k].edge);
+    int side_prev = walk.steps[k].forward ? 0 : 1;
+    prev_col[k] = e.column[side_prev];
+    next_col[k] = e.column[1 - side_prev];
+  }
+  sig.from_col = prev_col[0];
+  sig.to_col = next_col[len - 1];
+  if (len < 2) return sig;  // direct join: no intermediate chain
+
+  // Intermediate table i (1..len-1) receives rows on step i-1's next column
+  // and hands them on through step i's previous column.
+  std::vector<WalkHop> hops;
+  hops.reserve(len - 1);
+  for (size_t i = 1; i < len; ++i) {
+    hops.push_back(WalkHop{walk.tables[i], next_col[i - 1], prev_col[i]});
+  }
+  std::vector<WalkHop> rev(hops.rbegin(), hops.rend());
+  for (WalkHop& h : rev) std::swap(h.in_col, h.out_col);
+
+  auto flatten = [](const std::vector<WalkHop>& hs) {
+    std::vector<uint32_t> flat;
+    flat.reserve(hs.size() * 3);
+    for (const WalkHop& h : hs) {
+      flat.push_back(h.table);
+      flat.push_back(h.in_col);
+      flat.push_back(h.out_col);
+    }
+    return flat;
+  };
+  std::vector<uint32_t> fwd_key = flatten(hops);
+  std::vector<uint32_t> rev_key = flatten(rev);
+  sig.flipped = rev_key < fwd_key;
+  sig.hops = sig.flipped ? std::move(rev) : std::move(hops);
+  sig.key = sig.flipped ? std::move(rev_key) : std::move(fwd_key);
+  sig.cacheable = true;
+  return sig;
+}
+
 std::vector<Walk> DiscoverWalks(const Database& db, const ColumnMapping& mapping,
                                 const QreOptions& options) {
   const SchemaGraph& graph = db.schema_graph();
@@ -166,14 +214,22 @@ void AddWalkJoins(const Database& db, const Walk& w,
 
 PJQuery ComposeQueryFromWalks(const Database& db, const ColumnMapping& mapping,
                               const std::vector<const Walk*>& group) {
+  return ComposeQueryFromWalksPartial(db, mapping, group,
+                                      std::vector<bool>(group.size(), false));
+}
+
+PJQuery ComposeQueryFromWalksPartial(const Database& db,
+                                     const ColumnMapping& mapping,
+                                     const std::vector<const Walk*>& group,
+                                     const std::vector<bool>& materialized) {
   PJQuery q;
   std::vector<InstanceId> nodes;
   nodes.reserve(mapping.instances.size());
   for (const auto& inst : mapping.instances) {
     nodes.push_back(q.AddInstance(inst.table));
   }
-  for (const Walk* w : group) {
-    AddWalkJoins(db, *w, nodes, &q);
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (!materialized[i]) AddWalkJoins(db, *group[i], nodes, &q);
   }
   for (const auto& [inst, db_col] : mapping.slots) {
     q.AddProjection(nodes[inst], db_col);

@@ -48,6 +48,43 @@ struct Walk {
   std::string ToString(const Database& db) const;
 };
 
+/// \brief One intermediate table of a walk's join chain: rows enter through
+/// `in_col` (joined to the previous hop) and leave through `out_col`.
+struct WalkHop {
+  TableId table;
+  ColumnId in_col;
+  ColumnId out_col;
+};
+
+/// \brief Canonical identity of a walk's *intermediate chain* — the part of
+/// the join path between (but excluding) the two endpoint instances. Two
+/// walks with the same canonical signature induce the same endpoint
+/// reachability relation regardless of which mapping instances they connect,
+/// which is what lets the walk-materialization cache (qre/walk_cache.h)
+/// share work across candidates, mappings, and Reverse() calls.
+///
+/// A walk traversed backwards is the same walk, so the chain is canonicalized
+/// up to reversal; `flipped` records whether the canonical orientation is the
+/// reverse of the walk's own from→to orientation.
+struct WalkSignature {
+  /// Intermediate hops in canonical orientation. Empty for length-1 walks
+  /// (a direct join: nothing to materialize — `cacheable` is false).
+  std::vector<WalkHop> hops;
+  /// Flattened hops (table, in_col, out_col)* — the cache key.
+  std::vector<uint32_t> key;
+  /// True if the canonical orientation reverses the walk's own orientation.
+  bool flipped = false;
+  /// Join columns the chain binds on the walk's endpoint instances, in the
+  /// walk's own orientation (from_instance side, to_instance side).
+  ColumnId from_col = 0;
+  ColumnId to_col = 0;
+  /// True for walks of length >= 2 (only those have a chain to materialize).
+  bool cacheable = false;
+};
+
+/// \brief Computes the canonical signature of `walk` (see WalkSignature).
+WalkSignature CanonicalWalkSignature(const Database& db, const Walk& walk);
+
 /// \brief Discovers all walks of length <= options.max_walk_length between
 /// every pair of instances in `mapping`, deduplicated up to reversal and
 /// capped at options.max_walks_per_pair per pair (shortest first).
@@ -59,6 +96,17 @@ std::vector<Walk> DiscoverWalks(const Database& db, const ColumnMapping& mapping
 /// steps, and projections in R_out column order per `mapping`.
 PJQuery ComposeQueryFromWalks(const Database& db, const ColumnMapping& mapping,
                               const std::vector<const Walk*>& group);
+
+/// \brief Like ComposeQueryFromWalks, but omits the intermediate chain (and
+/// joins) of every walk with `materialized[i]` set — those endpoints are
+/// wired up by the caller with virtual joins over cached walk relations
+/// instead. Instance i of the returned query is mapping instance i (walk
+/// endpoints keep their indexes); fresh intermediates of the remaining walks
+/// follow.
+PJQuery ComposeQueryFromWalksPartial(const Database& db,
+                                     const ColumnMapping& mapping,
+                                     const std::vector<const Walk*>& group,
+                                     const std::vector<bool>& materialized);
 
 /// \brief The subquery corresponding to a single walk (Section 4.5): the
 /// walk's join path projected onto the R_out columns generated from its two

@@ -1,0 +1,80 @@
+// Unit tests for HashIndex lookup behavior: the Lookup1 single-column fast
+// path, multi-column lookups over duplicate keys, and empty tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace fastqre {
+namespace {
+
+Table MakeTable(const std::vector<std::pair<int64_t, int64_t>>& rows) {
+  Table t("t", std::make_shared<Dictionary>());
+  EXPECT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  EXPECT_TRUE(t.AddColumn("b", ValueType::kInt64).ok());
+  for (const auto& [a, b] : rows) {
+    EXPECT_TRUE(t.AppendRow({Value(a), Value(b)}).ok());
+  }
+  return t;
+}
+
+TEST(HashIndexLookup, Lookup1MatchesLookupOnSingleColumn) {
+  Table t = MakeTable({{1, 10}, {2, 20}, {1, 30}, {3, 10}, {1, 10}});
+  HashIndex index(t, {0});
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    ValueId key = t.column(0).at(r);
+    EXPECT_EQ(index.Lookup1(key), index.Lookup({key}));
+  }
+  // Duplicate key 1 maps to all three of its rows, in row order.
+  ValueId one = t.column(0).at(0);
+  EXPECT_EQ(index.Lookup1(one), (std::vector<RowId>{0, 2, 4}));
+}
+
+TEST(HashIndexLookup, Lookup1MissReturnsEmpty) {
+  Table t = MakeTable({{1, 10}});
+  HashIndex index(t, {0});
+  // An id interned by nobody can't be in the index; kNullValueId is absent
+  // too since no row is NULL.
+  EXPECT_TRUE(index.Lookup1(kNullValueId).empty());
+  EXPECT_TRUE(index.Lookup({kNullValueId}).empty());
+}
+
+TEST(HashIndexLookup, MultiColumnDuplicateKeys) {
+  // (1,10) appears at rows 0, 3; (1,20) at row 1; (2,10) at row 2.
+  Table t = MakeTable({{1, 10}, {1, 20}, {2, 10}, {1, 10}});
+  HashIndex index(t, {0, 1});
+  EXPECT_EQ(index.num_keys(), 3u);
+  auto key = [&](RowId r) {
+    return std::vector<ValueId>{t.column(0).at(r), t.column(1).at(r)};
+  };
+  EXPECT_EQ(index.Lookup(key(0)), (std::vector<RowId>{0, 3}));
+  EXPECT_EQ(index.Lookup(key(1)), (std::vector<RowId>{1}));
+  EXPECT_EQ(index.Lookup(key(2)), (std::vector<RowId>{2}));
+  // Mixed key (2, 20) matches no row even though each part occurs somewhere.
+  EXPECT_TRUE(index.Lookup({t.column(0).at(2), t.column(1).at(1)}).empty());
+}
+
+TEST(HashIndexLookup, EmptyTable) {
+  Table t = MakeTable({});
+  HashIndex single(t, {0});
+  HashIndex multi(t, {0, 1});
+  EXPECT_EQ(single.num_keys(), 0u);
+  EXPECT_EQ(multi.num_keys(), 0u);
+  EXPECT_TRUE(single.Lookup1(kNullValueId).empty());
+  EXPECT_TRUE(multi.Lookup({kNullValueId, kNullValueId}).empty());
+}
+
+TEST(HashIndexLookup, NullIdsAreIndexedLikeValues) {
+  Table t("t", std::make_shared<Dictionary>());
+  ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  HashIndex index(t, {0});
+  EXPECT_EQ(index.Lookup1(kNullValueId), (std::vector<RowId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -176,6 +176,36 @@ TEST_F(ParallelQreTest, TraceIsRankOrderedAndMarksCancellations) {
   EXPECT_GE(generating, 1u);
 }
 
+TEST_F(ParallelQreTest, WalkCacheDeterminismMatrix) {
+  // DESIGN.md §9: walk substitution must not change accepted answers. Every
+  // (cache budget, thread count) combination must reproduce the serial
+  // cache-off answer byte-for-byte — including a pathologically tiny budget
+  // that keeps evicting and re-admitting relations mid-search.
+  for (int i : {8, 9}) {  // L09/L10: the cyclic, walk-heavy ladder entries
+    QreOptions off;
+    off.walk_cache_budget_bytes = 0;
+    FastQre reference_engine(&db_, off);
+    QreAnswer reference = reference_engine.Reverse(workload_[i].rout).ValueOrDie();
+
+    for (uint64_t budget : {uint64_t{4} << 10, uint64_t{64} << 20}) {
+      for (int threads : {1, 8}) {
+        QreOptions opts;
+        opts.walk_cache_budget_bytes = budget;
+        opts.walk_cache_admission = 0;  // maximal cache involvement
+        opts.validation_threads = threads;
+        FastQre engine(&db_, opts);
+        QreAnswer got = engine.Reverse(workload_[i].rout).ValueOrDie();
+        SCOPED_TRACE(workload_[i].name + " budget=" + std::to_string(budget) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_EQ(got.found, reference.found);
+        EXPECT_EQ(got.sql, reference.sql);
+        EXPECT_EQ(got.failure_reason, reference.failure_reason);
+        ExpectConsistentStats(got.stats, "walk-cache matrix");
+      }
+    }
+  }
+}
+
 TEST_F(ParallelQreTest, ZeroAndNegativeThreadsBehaveAsSerial) {
   for (int threads : {0, -3}) {
     QreOptions opts;

@@ -46,7 +46,8 @@ struct ValidatorFixture {
 
   Validator MakeValidator(std::function<bool()> budget = {}) {
     return Validator(&db, &rout, &rout_set, &mapping, &walks, &opts,
-                     feedback.get(), &stats, std::move(budget));
+                     feedback.get(), &stats, /*walk_cache=*/nullptr,
+                     std::move(budget));
   }
 
   // The candidate whose walk set is the single direct supplier-nation edge

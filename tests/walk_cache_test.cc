@@ -1,0 +1,279 @@
+// Tests for the walk-materialization cache (DESIGN.md §9): canonical walk
+// signatures, relation correctness, admission, LRU eviction under a byte
+// budget, and end-to-end answer invariance with the cache on/off/tiny.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+#include "qre/walk_cache.h"
+#include "qre/walks.h"
+#include "storage/database.h"
+
+namespace fastqre {
+namespace {
+
+// L(lk) <- M(mk_l, mk_r) -> R(rk): one intermediate table M chaining the
+// two endpoint tables, the smallest length-2 walk shape.
+Database ChainDb() {
+  Database db;
+  TableId l = db.AddTable("l").ValueOrDie();
+  EXPECT_TRUE(db.table(l).AddColumn("lk", ValueType::kInt64).ok());
+  TableId m = db.AddTable("m").ValueOrDie();
+  EXPECT_TRUE(db.table(m).AddColumn("mk_l", ValueType::kInt64).ok());
+  EXPECT_TRUE(db.table(m).AddColumn("mk_r", ValueType::kInt64).ok());
+  TableId r = db.AddTable("r").ValueOrDie();
+  EXPECT_TRUE(db.table(r).AddColumn("rk", ValueType::kInt64).ok());
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(db.table(l).AppendRow({Value(k)}).ok());
+    EXPECT_TRUE(db.table(r).AppendRow({Value(k)}).ok());
+  }
+  // M: 0->{1,2}, 1->{2}, 2->{} (plus a duplicate edge 0->1).
+  for (auto [a, b] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 1}, {0, 2}, {1, 2}, {0, 1}}) {
+    EXPECT_TRUE(db.table(m).AppendRow({Value(a), Value(b)}).ok());
+  }
+  EXPECT_TRUE(db.AddForeignKey("m", "mk_l", "l", "lk").ok());  // edge 0
+  EXPECT_TRUE(db.AddForeignKey("m", "mk_r", "r", "rk").ok());  // edge 1
+  return db;
+}
+
+// The L -> M -> R walk of ChainDb (and its reversal when `reversed`).
+Walk ChainWalk(bool reversed) {
+  Walk w;
+  w.from_instance = 0;
+  w.to_instance = 1;
+  if (!reversed) {
+    // Edge 0 traversed from its parent side (L is side 1) => forward=false.
+    w.steps = {WalkStep{0, false}, WalkStep{1, true}};
+    w.tables = {0, 1, 2};
+  } else {
+    w.steps = {WalkStep{1, false}, WalkStep{0, true}};
+    w.tables = {2, 1, 0};
+  }
+  return w;
+}
+
+TEST(WalkSignature, CanonicalUpToReversal) {
+  Database db = ChainDb();
+  WalkSignature fwd = CanonicalWalkSignature(db, ChainWalk(false));
+  WalkSignature rev = CanonicalWalkSignature(db, ChainWalk(true));
+
+  ASSERT_TRUE(fwd.cacheable);
+  ASSERT_TRUE(rev.cacheable);
+  EXPECT_EQ(fwd.key, rev.key) << "reversal must not change the cache key";
+  EXPECT_NE(fwd.flipped, rev.flipped);
+
+  // The chain is the single hop through M, entering on mk_l (col 0).
+  ASSERT_EQ(fwd.hops.size(), 1u);
+  EXPECT_EQ(fwd.hops[0].table, 1u);
+  EXPECT_EQ(fwd.hops[0].in_col, 0u);
+  EXPECT_EQ(fwd.hops[0].out_col, 1u);
+  // Endpoint join columns follow each walk's own orientation.
+  EXPECT_EQ(fwd.from_col, 0u);  // l.lk
+  EXPECT_EQ(fwd.to_col, 0u);    // r.rk
+}
+
+TEST(WalkSignature, DirectJoinIsNotCacheable) {
+  Database db = ChainDb();
+  Walk w;
+  w.from_instance = 0;
+  w.to_instance = 1;
+  w.steps = {WalkStep{0, false}};  // L -> M directly
+  w.tables = {0, 1};
+  WalkSignature sig = CanonicalWalkSignature(db, w);
+  EXPECT_FALSE(sig.cacheable);
+  EXPECT_TRUE(sig.hops.empty());
+}
+
+TEST(BuildWalkRelation, MatchesBruteForceSingleHop) {
+  Database db = ChainDb();
+  const Table& m = db.table(1);
+  auto rel = BuildWalkRelation(db, {WalkHop{1, 0, 1}}, {});
+  ASSERT_NE(rel, nullptr);
+  EXPECT_GT(rel->bytes, 0u);
+
+  // Brute force: forward[u] = sorted distinct mk_r over rows with mk_l = u.
+  ReachMap expect;
+  for (RowId r = 0; r < m.num_rows(); ++r) {
+    expect[m.column(0).at(r)].push_back(m.column(1).at(r));
+  }
+  for (auto& [u, vals] : expect) {
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  }
+  EXPECT_EQ(rel->forward.size(), expect.size());
+  for (const auto& [u, vals] : expect) {
+    ASSERT_TRUE(rel->forward.count(u)) << u;
+    EXPECT_EQ(rel->forward.at(u), vals) << u;
+  }
+  // Reverse is the exact inverse.
+  for (const auto& [u, vals] : rel->forward) {
+    for (ValueId v : vals) {
+      const auto& back = rel->reverse.at(v);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u));
+    }
+  }
+}
+
+TEST(BuildWalkRelation, MatchesBruteForceTwoHops) {
+  Database db = ChainDb();
+  const Table& m = db.table(1);
+  // Chain M with itself: u -> o -> v iff rows (u,o) and (o,v) exist.
+  auto rel = BuildWalkRelation(db, {WalkHop{1, 0, 1}, WalkHop{1, 0, 1}}, {});
+  ASSERT_NE(rel, nullptr);
+
+  ReachMap expect;
+  for (RowId r1 = 0; r1 < m.num_rows(); ++r1) {
+    for (RowId r2 = 0; r2 < m.num_rows(); ++r2) {
+      if (m.column(1).at(r1) != m.column(0).at(r2)) continue;
+      expect[m.column(0).at(r1)].push_back(m.column(1).at(r2));
+    }
+  }
+  for (auto& [u, vals] : expect) {
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  }
+  EXPECT_EQ(rel->forward.size(), expect.size());
+  for (const auto& [u, vals] : expect) {
+    ASSERT_TRUE(rel->forward.count(u)) << u;
+    EXPECT_EQ(rel->forward.at(u), vals) << u;
+  }
+}
+
+TEST(BuildWalkRelation, InterruptAbortsAndReturnsNull) {
+  // The interrupt is polled every kInterruptPollMask+1 work items, so the
+  // table must be big enough to reach a poll point.
+  Database db;
+  TableId m = db.AddTable("m").ValueOrDie();
+  ASSERT_TRUE(db.table(m).AddColumn("a", ValueType::kInt64).ok());
+  ASSERT_TRUE(db.table(m).AddColumn("b", ValueType::kInt64).ok());
+  for (int64_t i = 0; i < 3 * (kInterruptPollMask + 1); ++i) {
+    ASSERT_TRUE(db.table(m).AppendRow({Value(i % 17), Value(i % 13)}).ok());
+  }
+  auto rel = BuildWalkRelation(db, {WalkHop{m, 0, 1}}, [] { return true; });
+  EXPECT_EQ(rel, nullptr);
+}
+
+TEST(WalkCache, AdmissionThresholdDelaysMaterialization) {
+  Database db = ChainDb();
+  WalkSignature sig = CanonicalWalkSignature(db, ChainWalk(false));
+  WalkCache cache(/*budget_bytes=*/1 << 20, /*admission=*/2);
+  QreStats stats;
+  EXPECT_EQ(cache.Acquire(db, sig, &stats, {}), nullptr);  // use 1
+  EXPECT_EQ(cache.Acquire(db, sig, &stats, {}), nullptr);  // use 2
+  EXPECT_EQ(cache.bytes(), 0u);
+  WalkCache::Handle h = cache.Acquire(db, sig, &stats, {});  // use 3: builds
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(cache.bytes(), h->bytes);
+  EXPECT_EQ(stats.walk_cache_misses, 3u);
+  EXPECT_EQ(stats.walk_cache_hits, 0u);
+  WalkCache::Handle h2 = cache.Acquire(db, sig, &stats, {});
+  EXPECT_EQ(h2.get(), h.get());
+  EXPECT_EQ(stats.walk_cache_hits, 1u);
+}
+
+TEST(WalkCache, UncacheableAndDisabledReturnNull) {
+  Database db = ChainDb();
+  Walk direct;
+  direct.from_instance = 0;
+  direct.to_instance = 1;
+  direct.steps = {WalkStep{0, false}};
+  direct.tables = {0, 1};
+  WalkSignature sig1 = CanonicalWalkSignature(db, direct);
+  WalkCache cache(1 << 20, 0);
+  EXPECT_EQ(cache.Acquire(db, sig1, nullptr, {}), nullptr);
+
+  WalkSignature sig2 = CanonicalWalkSignature(db, ChainWalk(false));
+  WalkCache disabled(0, 0);
+  EXPECT_EQ(disabled.Acquire(db, sig2, nullptr, {}), nullptr);
+}
+
+// Two distinct cacheable signatures over ChainDb: the single hop and the
+// doubled hop.
+std::pair<WalkSignature, WalkSignature> TwoSignatures(const Database& db) {
+  WalkSignature one = CanonicalWalkSignature(db, ChainWalk(false));
+  WalkSignature two = one;
+  two.hops = {WalkHop{1, 0, 1}, WalkHop{1, 0, 1}};
+  two.key = {1, 0, 1, 1, 0, 1};
+  return {one, two};
+}
+
+TEST(WalkCache, LruEvictionRespectsByteBudget) {
+  Database db = ChainDb();
+  auto [sig1, sig2] = TwoSignatures(db);
+  const size_t b1 = BuildWalkRelation(db, sig1.hops, {})->bytes;
+  const size_t b2 = BuildWalkRelation(db, sig2.hops, {})->bytes;
+
+  // Each relation fits alone; both together do not.
+  WalkCache cache(b1 + b2 - 1, /*admission=*/0);
+  QreStats stats;
+  WalkCache::Handle h1 = cache.Acquire(db, sig1, &stats, {});
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(cache.bytes(), b1);
+  WalkCache::Handle h2 = cache.Acquire(db, sig2, &stats, {});
+  ASSERT_NE(h2, nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(stats.walk_cache_evictions, 1u);
+  EXPECT_EQ(cache.bytes(), b2);
+  EXPECT_LE(cache.bytes(), b1 + b2 - 1);
+  // The evicted relation is still usable through the pin.
+  EXPECT_FALSE(h1->forward.empty());
+  // Re-acquiring sig1 rebuilds (another miss) and evicts sig2 in turn.
+  WalkCache::Handle h1b = cache.Acquire(db, sig1, &stats, {});
+  ASSERT_NE(h1b, nullptr);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.bytes(), b1);
+}
+
+TEST(WalkCache, OversizedRelationIsServedButNeverCached) {
+  Database db = ChainDb();
+  WalkSignature sig = CanonicalWalkSignature(db, ChainWalk(false));
+  const size_t bytes = BuildWalkRelation(db, sig.hops, {})->bytes;
+  WalkCache cache(bytes - 1, /*admission=*/0);
+  QreStats stats;
+  WalkCache::Handle h = cache.Acquire(db, sig, &stats, {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(WalkCacheEndToEnd, AnswersInvariantAcrossCacheBudgets) {
+  // DESIGN.md §9 determinism requirement: the cache must never change the
+  // accepted answer. Run the whole ladder serially with the cache off,
+  // pathologically tiny (constant churn), and ample, and require
+  // byte-identical SQL.
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+
+  uint64_t cache_traffic = 0;
+  for (const auto& wq : workload) {
+    QreOptions off;
+    off.walk_cache_budget_bytes = 0;
+    FastQre reference_engine(&db, off);
+    QreAnswer reference = reference_engine.Reverse(wq.rout).ValueOrDie();
+
+    for (uint64_t budget : {uint64_t{4} << 10, uint64_t{64} << 20}) {
+      QreOptions opts;
+      opts.walk_cache_budget_bytes = budget;
+      opts.walk_cache_admission = 0;  // maximal cache involvement
+      FastQre engine(&db, opts);
+      QreAnswer got = engine.Reverse(wq.rout).ValueOrDie();
+      SCOPED_TRACE(wq.name + " budget=" + std::to_string(budget));
+      EXPECT_EQ(got.found, reference.found);
+      EXPECT_EQ(got.sql, reference.sql);
+      EXPECT_EQ(got.failure_reason, reference.failure_reason);
+      cache_traffic += got.stats.walk_cache_hits + got.stats.walk_cache_misses;
+    }
+  }
+  // The invariance above must not be vacuous: the ladder exercises the cache.
+  EXPECT_GT(cache_traffic, 0u);
+}
+
+}  // namespace
+}  // namespace fastqre

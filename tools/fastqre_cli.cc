@@ -7,8 +7,8 @@
 //   fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv
 //       Materialize a ladder query's output as a CSV "report" to reverse.
 //   fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]
-//                   [--alpha A] [--all K] [--threads N] [--stats] [--verify]
-//                   [--trace]
+//                   [--alpha A] [--all K] [--threads N] [--walk-cache-mb MB]
+//                   [--stats] [--verify] [--trace]
 //       Reverse engineer a generating query for the report. --threads N
 //       validates candidates on N worker threads; the answer is identical
 //       to a single-threaded run (rank-deterministic), just faster.
@@ -45,8 +45,8 @@ int Usage() {
       "  fastqre info --db DIR\n"
       "  fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv\n"
       "  fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]\n"
-      "                  [--alpha A] [--all K] [--threads N] [--stats]\n"
-      "                  [--verify] [--trace]\n"
+      "                  [--alpha A] [--all K] [--threads N]\n"
+      "                  [--walk-cache-mb MB] [--stats] [--verify] [--trace]\n"
       "  fastqre run --db DIR --sql QUERY [--limit N]\n"
       "  fastqre tune --db DIR\n");
   return 2;
@@ -176,6 +176,12 @@ int CmdReverse(const Flags& flags) {
     std::fprintf(stderr, "error: --threads must be >= 1\n");
     return 2;
   }
+  long long cache_mb = flags.GetInt("walk-cache-mb", 64);
+  if (cache_mb < 0) {
+    std::fprintf(stderr, "error: --walk-cache-mb must be >= 0\n");
+    return 2;
+  }
+  opts.walk_cache_budget_bytes = static_cast<uint64_t>(cache_mb) << 20;
   int limit = static_cast<int>(flags.GetInt("all", 1));
 
   FastQre engine(&*db, opts);
