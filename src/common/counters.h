@@ -4,6 +4,18 @@
 // concurrent validation workers and read after the workers have joined (or
 // merely approximately while they run) — relaxed ordering is sufficient
 // because the counters never guard other data.
+//
+// Memory-order policy (DESIGN.md §10, enforced by tools/lint_invariants.py
+// rule atomic-order — every atomic op names its order; seq_cst is banned):
+//   * memory_order_relaxed — monotonic counters and statistics whose values
+//     never gate the visibility of other data. That is every atomic in this
+//     file and in QreStats/IndexBuildStats.
+//   * acquire/release — flag handoff where a reader observing the flag must
+//     also observe writes made before it was set (none currently; cross-
+//     thread publication goes through mutexes, see thread_annotations.h).
+//   * seq_cst — banned: the default order hides the intended protocol and
+//     costs fences; if an algorithm truly needs total ordering, document it
+//     and suppress per-site (not permitted in src/qre/ or src/engine/).
 #pragma once
 
 #include <atomic>

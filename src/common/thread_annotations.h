@@ -1,0 +1,169 @@
+// Clang Thread Safety Analysis support (DESIGN.md §10).
+//
+// Two layers:
+//  * The raw annotation macros (GUARDED_BY, REQUIRES, ACQUIRE, ...) expand
+//    to Clang's thread-safety attributes under Clang and to nothing under
+//    any other compiler, so the GCC build is unaffected.
+//  * Annotated lock types (Mutex, SharedMutex, CondVar) and RAII lockers
+//    (MutexLock, ReaderMutexLock, WriterMutexLock) wrapping the standard
+//    primitives. All locking in src/ goes through these wrappers: Clang's
+//    analysis cannot see through std::lock_guard/std::unique_lock on
+//    libstdc++'s unannotated std::mutex, so raw standard types would make
+//    every GUARDED_BY field a false positive.
+//
+// The CI `thread-safety` job builds the tree with
+//   clang++ -Wthread-safety -Werror=thread-safety
+// and `tools/check_thread_safety.sh` additionally proves the analysis has
+// teeth (a deliberately unguarded access must fail to compile).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define FASTQRE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define FASTQRE_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) FASTQRE_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY FASTQRE_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) FASTQRE_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) FASTQRE_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  FASTQRE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  FASTQRE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  FASTQRE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  FASTQRE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  FASTQRE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  FASTQRE_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  FASTQRE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  FASTQRE_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  FASTQRE_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  FASTQRE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) FASTQRE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) FASTQRE_THREAD_ANNOTATION__(assert_capability(x))
+#define RETURN_CAPABILITY(x) FASTQRE_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FASTQRE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace fastqre {
+
+/// \brief Annotated exclusive mutex. Prefer the RAII lockers below; Lock()
+/// and Unlock() exist for code whose critical sections cannot be
+/// scope-shaped (the analysis still checks them).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief Annotated reader-writer mutex.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief RAII shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  // Generic release: the scoped object holds a *shared* capability, and
+  // release_capability (exclusive) would mismatch under Clang's analysis.
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_->UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Condition variable usable with Mutex.
+///
+/// Wait() takes one atomic release-sleep-reacquire step; callers loop on
+/// their predicate in the enclosing (analyzed) function instead of passing a
+/// lambda, which Clang's analysis could not relate to the held lock:
+///
+///   MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Precondition: `mu` is held. On return `mu` is held again.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release() so the unique_lock destructor does not unlock it —
+    // ownership stays with the caller's MutexLock / Lock() call.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fastqre

@@ -10,16 +10,22 @@
 //    Wait() to quiesce. Used by stress tests and benchmarks; the QRE
 //    driver itself spawns dedicated per-run workers because their
 //    lifetime matches one mapping's validation phase exactly.
+//
+// Locking uses the annotated Mutex/CondVar wrappers (DESIGN.md §10) so the
+// guarded-field invariants are checked by Clang's -Wthread-safety pass.
+// Condition waits are written as explicit while-loops: the predicate then
+// lives in the analyzed function body rather than in a lambda the analysis
+// cannot relate to the held lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fastqre {
 
@@ -36,47 +42,49 @@ class BoundedQueue {
   /// Blocks while the queue is full. Returns false (dropping `item`) if the
   /// queue was closed before space became available.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.Wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty and open. Returns false only when the
   /// queue is closed *and* drained.
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    {
+      MutexLock lock(&mu_);
+      while (items_.empty() && !closed_) not_empty_.Wait(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Idempotent. After Close(), producers fail fast and consumers drain.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief Fixed-size pool of worker threads draining an unbounded task queue.
@@ -92,10 +100,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -105,17 +113,17 @@ class ThreadPool {
   /// Enqueues a task. Never blocks (the task queue is unbounded).
   void Submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       tasks_.push_back(std::move(task));
       ++pending_;
     }
-    work_ready_.notify_one();
+    work_ready_.NotifyOne();
   }
 
   /// Blocks until every task submitted so far has finished running.
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) idle_.Wait(mu_);
   }
 
   size_t num_threads() const { return workers_.size(); }
@@ -125,26 +133,26 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_ready_.wait(lock, [&] { return !tasks_.empty() || stopping_; });
+        MutexLock lock(&mu_);
+        while (tasks_.empty() && !stopping_) work_ready_.Wait(mu_);
         if (tasks_.empty()) return;  // stopping_ && drained
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
       task();
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) idle_.notify_all();
+        MutexLock lock(&mu_);
+        if (--pending_ == 0) idle_.NotifyAll();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> tasks_;
-  size_t pending_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar idle_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

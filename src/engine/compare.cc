@@ -23,6 +23,8 @@ TupleSet TableToTupleSet(const Table& table) {
 
 bool IsSubsetOf(const TupleSet& sub, const TupleSet& super) {
   if (sub.size() > super.size()) return false;
+  // det: order-insensitive — pure membership conjunction; the verdict is the
+  // same for every visiting order.
   for (const auto& t : sub) {
     if (super.count(t) == 0) return false;
   }

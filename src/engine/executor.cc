@@ -62,7 +62,7 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
     }
   }
 
-  auto cursor = std::unique_ptr<QueryCursor>(new QueryCursor());
+  auto cursor = std::make_unique<QueryCursor>(PrivateTag{});
   cursor->db_ = &db;
   cursor->interrupt_ = std::move(interrupt);
 

@@ -53,7 +53,16 @@ struct VirtualJoin {
 /// index on each subsequent instance's incoming join + selection columns,
 /// and applies same-instance joins as row filters.
 class QueryCursor {
+  // Constructor gate: only Create() can name PrivateTag, yet the constructor
+  // stays public so std::make_unique works (no naked `new`; see
+  // tools/lint_invariants.py rule naked-new).
+  struct PrivateTag {
+    explicit PrivateTag() = default;
+  };
+
  public:
+  explicit QueryCursor(PrivateTag) {}
+
   /// Builds the execution plan (constructing any missing indexes through the
   /// database's index cache). Fails if the query graph is empty or
   /// disconnected. `interrupt` (may be empty) is polled every few thousand
@@ -118,8 +127,6 @@ class QueryCursor {
     std::optional<ReachSpec> reach_driver;
     const HashIndex* reach_index = nullptr;
   };
-
-  QueryCursor() = default;
 
   bool RowPasses(const Step& step, RowId row) const;
   // Prepares the candidate row list for plan position `pos` given the rows

@@ -35,6 +35,8 @@ bool GroupCoherent(const Database& db, const Table& rout, TableId t,
   }
   const HashIndex& index = db.GetOrBuildIndex(t, db_cols);
   TupleSet out_tuples = ProjectToTupleSet(rout, out_cols);
+  // det: order-insensitive — forall-probe; any visiting order reaches the
+  // same boolean verdict.
   for (const auto& tuple : out_tuples) {
     if (index.Lookup(tuple).empty()) return false;
   }
@@ -161,6 +163,8 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
         if (static_cast<int>(db_cols[i]) == db_col) key_pos = i;
       }
     }
+    // det: order-insensitive — set insertion; only the final cardinality
+    // is compared.
     for (const auto& tuple : group_tuples) key_values.insert(tuple[key_pos]);
     if (key_values.size() == group_tuples.size()) cgm.certain = true;
   }

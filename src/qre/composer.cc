@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "engine/executor.h"  // kInterruptPollMask
+
 namespace fastqre {
 
 RankedComposer::RankedComposer(const Database* db, const ColumnMapping* mapping,
@@ -101,7 +103,7 @@ CandidateQuery RankedComposer::BuildCandidate(std::vector<int> walk_ids,
 bool RankedComposer::DrainOne() {
   while (!pq1_.empty()) {
     if (sets_expanded_ >= kMaxSetsExpanded) return false;
-    if ((sets_expanded_ & 0xfff) == 0 && budget_exceeded_ &&
+    if ((sets_expanded_ & kInterruptPollMask) == 0 && budget_exceeded_ &&
         budget_exceeded_()) {
       return false;
     }

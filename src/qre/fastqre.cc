@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/compare.h"
@@ -107,7 +107,7 @@ ParallelMappingResult RunMappingParallel(
   // answer set and are cancelled.
   std::atomic<uint64_t> cancel_floor{kNoFloor};
   std::atomic<bool> hard_abort{false};  // real time-budget expiry
-  std::mutex mu;                        // guards outcomes + generating_seqs
+  Mutex mu;                             // guards outcomes + generating_seqs
   ParallelMappingResult result;
   std::vector<uint64_t> generating_seqs;  // sorted ranks of generating hits
 
@@ -118,7 +118,7 @@ ParallelMappingResult RunMappingParallel(
       if (hard_abort.load(std::memory_order_relaxed) ||
           seq > cancel_floor.load(std::memory_order_relaxed)) {
         ++stats->candidates_cancelled;
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         result.outcomes.push_back(RankedOutcome{
             seq, std::move(item.cand), CandidateOutcome::kBudgetExhausted,
             /*cancelled=*/true});
@@ -147,7 +147,7 @@ ParallelMappingResult RunMappingParallel(
           feedback->AddDeadSet(item.cand.walk_ids);
         }
       }
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       if (outcome == CandidateOutcome::kGenerating) {
         generating_seqs.insert(
             std::upper_bound(generating_seqs.begin(), generating_seqs.end(),

@@ -21,8 +21,9 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace fastqre {
 
@@ -54,7 +55,7 @@ class Feedback {
       walk_state_[sorted_ids[0]].store(kIncoherent, std::memory_order_release);
       return;
     }
-    std::unique_lock<std::shared_mutex> lock(dead_mu_);
+    WriterMutexLock lock(&dead_mu_);
     dead_sets_.push_back(std::move(sorted_ids));
   }
 
@@ -66,7 +67,7 @@ class Feedback {
         return true;
       }
     }
-    std::shared_lock<std::shared_mutex> lock(dead_mu_);
+    ReaderMutexLock lock(&dead_mu_);
     for (const auto& dead : dead_sets_) {
       if (IsSubset(dead, sorted_ids)) return true;
     }
@@ -74,7 +75,7 @@ class Feedback {
   }
 
   size_t num_dead_sets() const {
-    std::shared_lock<std::shared_mutex> lock(dead_mu_);
+    ReaderMutexLock lock(&dead_mu_);
     return dead_sets_.size();
   }
 
@@ -95,8 +96,8 @@ class Feedback {
 
   // Sized at construction, never resized: element-wise atomic access is safe.
   std::vector<std::atomic<int8_t>> walk_state_;
-  mutable std::shared_mutex dead_mu_;
-  std::vector<std::vector<int>> dead_sets_;
+  mutable SharedMutex dead_mu_;
+  std::vector<std::vector<int>> dead_sets_ GUARDED_BY(dead_mu_);
 };
 
 }  // namespace fastqre

@@ -15,6 +15,11 @@ namespace fastqre {
 /// QreOptions::validation_threads > 1 they are bumped concurrently from
 /// validation workers. They stay copyable and implicitly convertible to
 /// uint64_t, so single-threaded call sites are unchanged.
+///
+/// Relaxed is the right (and only permitted) order here per the memory-order
+/// policy in common/counters.h: these are monotonic tallies that never gate
+/// visibility of other data — exact totals are read only after the worker
+/// pool has joined, which itself provides the needed synchronization.
 struct QreStats {
   // Preprocessing (single-threaded phase).
   double cover_seconds = 0.0;

@@ -169,6 +169,9 @@ bool Validator::TryCachedCoherence(const Walk& walk, bool* verdict) {
   std::vector<ValueId> us, vs;
   size_t probed = 0;
   bool coherent = true;
+  // det: order-insensitive — forall over needed tuples; `coherent` is a
+  // conjunction, identical for every visiting order (interrupted runs
+  // publish nothing, per the no-memo-under-interrupt rule).
   for (const auto& tuple : needed) {
     for (size_t k = 0; k < from_j.size(); ++k) key_from[k] = tuple[from_j[k]];
     for (size_t k = 0; k < to_j.size(); ++k) key_to[k] = tuple[to_j[k]];
@@ -239,6 +242,8 @@ bool Validator::WalkCoherent(int walk_id) {
   const auto projections = subquery.projections();
   bool coherent = true;
   size_t probed = 0;
+  // det: order-insensitive — forall-probe conjunction over needed tuples;
+  // same verdict for every visiting order.
   for (const auto& tuple : needed) {
     subquery.ClearSelections();
     for (size_t j = 0; j < projections.size(); ++j) {
@@ -321,7 +326,8 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     while ((*cursor)->Next(&row)) {
       ++stats_->validation_rows;
       ++stats_->fullscan_rows;
-      if ((stats_->validation_rows & 0xfff) == 0 && BudgetExceeded()) {
+      if ((stats_->validation_rows & kInterruptPollMask) == 0 &&
+          BudgetExceeded()) {
         return CandidateOutcome::kBudgetExhausted;
       }
       if (rout_set_->count(row) == 0) return CandidateOutcome::kExtraTuples;
@@ -376,7 +382,8 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
   covered.reserve(rout_set_->size());
   while ((*cursor)->Next(&row)) {
     ++stats_->validation_rows;
-    if ((stats_->validation_rows & 0xfff) == 0 && BudgetExceeded()) {
+    if ((stats_->validation_rows & kInterruptPollMask) == 0 &&
+        BudgetExceeded()) {
       return CandidateOutcome::kBudgetExhausted;
     }
     if (rout_set_->count(row) == 0) {

@@ -10,6 +10,7 @@ namespace {
 // header, the value payload, and ~16 bytes of node/bucket overhead.
 size_t EstimateBytes(const ReachMap& m) {
   size_t bytes = sizeof(ReachMap);
+  // det: order-insensitive — commutative byte sum.
   for (const auto& [key, vals] : m) {
     bytes += sizeof(key) + sizeof(vals) + vals.capacity() * sizeof(ValueId) + 16;
   }
@@ -17,6 +18,7 @@ size_t EstimateBytes(const ReachMap& m) {
 }
 
 void SortUnique(ReachMap* m) {
+  // det: order-insensitive — per-entry sort+dedup; entries are independent.
   for (auto& [key, vals] : *m) {
     std::sort(vals.begin(), vals.end());
     vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
@@ -63,6 +65,8 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
 
   auto rel = std::make_unique<WalkRelation>();
   rel->forward = std::move(next);
+  // det: order-insensitive — builds the inverse multimap, whose contents do
+  // not depend on visiting order; SortUnique below canonicalizes each entry.
   for (const auto& [u, vals] : rel->forward) {
     if (interrupted()) return nullptr;
     for (ValueId v : vals) rel->reverse[v].push_back(u);
@@ -72,30 +76,30 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
   return rel;
 }
 
-WalkCache::Handle WalkCache::Acquire(const Database& db,
-                                     const WalkSignature& sig, QreStats* stats,
-                                     const std::function<bool()>& interrupt) {
-  if (!sig.cacheable || budget_bytes_ == 0) return nullptr;
-
-  std::unique_lock<std::mutex> lock(mu_);
+WalkCache::Entry* WalkCache::BeginBuild(const WalkSignature& sig,
+                                        QreStats* stats, Handle* hit) {
+  MutexLock lock(&mu_);
   Entry& entry = entries_[sig.key];
   ++entry.uses;
   if (entry.relation) {
     lru_.splice(lru_.begin(), lru_, entry.lru_it);
     if (stats) ++stats->walk_cache_hits;
-    return entry.relation;
+    *hit = entry.relation;
+    return nullptr;
   }
   if (stats) ++stats->walk_cache_misses;
   if (entry.uses <= static_cast<uint64_t>(admission_) || entry.building) {
     return nullptr;
   }
-
   entry.building = true;
-  lock.unlock();
-  std::unique_ptr<WalkRelation> built =
-      BuildWalkRelation(db, sig.hops, interrupt);
-  lock.lock();
-  entry.building = false;
+  return &entry;
+}
+
+WalkCache::Handle WalkCache::FinishBuild(Entry* entry,
+                                         std::unique_ptr<WalkRelation> built,
+                                         QreStats* stats) {
+  MutexLock lock(&mu_);
+  entry->building = false;
   if (!built) return nullptr;  // interrupted: publish nothing
 
   Handle handle(built.release());
@@ -103,13 +107,13 @@ WalkCache::Handle WalkCache::Acquire(const Database& db,
     // Bigger than the whole budget: hand it to this caller, never cache it.
     return handle;
   }
-  entry.relation = handle;
+  entry->relation = handle;
   bytes_used_ += handle->bytes;
-  lru_.push_front(&entry);
-  entry.lru_it = lru_.begin();
+  lru_.push_front(entry);
+  entry->lru_it = lru_.begin();
   while (bytes_used_ > budget_bytes_) {
     Entry* victim = lru_.back();
-    if (victim == &entry) break;  // unreachable (handle->bytes <= budget)
+    if (victim == entry) break;  // unreachable (handle->bytes <= budget)
     lru_.pop_back();
     bytes_used_ -= victim->relation->bytes;
     victim->relation.reset();  // readers keep their pins
@@ -119,13 +123,27 @@ WalkCache::Handle WalkCache::Acquire(const Database& db,
   return handle;
 }
 
+WalkCache::Handle WalkCache::Acquire(const Database& db,
+                                     const WalkSignature& sig, QreStats* stats,
+                                     const std::function<bool()>& interrupt) {
+  if (!sig.cacheable || budget_bytes_ == 0) return nullptr;
+
+  Handle hit;
+  Entry* entry = BeginBuild(sig, stats, &hit);
+  if (entry == nullptr) return hit;  // cache hit, not admitted, or in-flight
+
+  // Build outside the lock: concurrent requesters of the same key see
+  // `building` and fall back to pipelined execution instead of blocking.
+  return FinishBuild(entry, BuildWalkRelation(db, sig.hops, interrupt), stats);
+}
+
 size_t WalkCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_used_;
 }
 
 uint64_t WalkCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return evictions_;
 }
 

@@ -20,11 +20,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "engine/executor.h"
 #include "qre/stats.h"
 #include "qre/walks.h"
@@ -81,22 +81,36 @@ class WalkCache {
 
  private:
   struct Entry {
+    // All fields are guarded by the owning WalkCache's mu_ (expressed on the
+    // containing map below; Clang attributes cannot name an outer class's
+    // mutex from a nested struct).
     Handle relation;  // null until built (or after eviction)
     uint64_t uses = 0;
     bool building = false;
     std::list<Entry*>::iterator lru_it;  // valid iff relation != nullptr
   };
 
+  // Looks up `sig` and decides hit / not-admitted / build, marking the entry
+  // as building in the last case. Returns the entry to publish into, or
+  // null when the caller should fall back without building.
+  Entry* BeginBuild(const WalkSignature& sig, QreStats* stats, Handle* hit)
+      EXCLUDES(mu_);
+  // Publishes a finished (possibly null = interrupted) build and runs
+  // eviction. Returns the handle the caller should use.
+  Handle FinishBuild(Entry* entry, std::unique_ptr<WalkRelation> built,
+                     QreStats* stats) EXCLUDES(mu_);
+
   const size_t budget_bytes_;
   const int admission_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Entries are never erased (only their relations are dropped), so Entry
-  // references handed around under mu_ stay stable.
-  std::unordered_map<std::vector<uint32_t>, Entry, IdTupleHash> entries_;
-  std::list<Entry*> lru_;  // front = most recently used
-  size_t bytes_used_ = 0;
-  uint64_t evictions_ = 0;
+  // pointers handed around under mu_ stay stable.
+  std::unordered_map<std::vector<uint32_t>, Entry, IdTupleHash> entries_
+      GUARDED_BY(mu_);
+  std::list<Entry*> lru_ GUARDED_BY(mu_);  // front = most recently used
+  size_t bytes_used_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Builds the reachability relation of an intermediate-hop chain by a

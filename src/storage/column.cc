@@ -3,7 +3,7 @@
 namespace fastqre {
 
 const std::unordered_set<ValueId>& Column::DistinctSet() const {
-  std::lock_guard<std::mutex> lock(stats_->mu);
+  MutexLock lock(&stats_->mu);
   if (!stats_->distinct.has_value()) {
     std::unordered_set<ValueId> s;
     s.reserve(data_.size());
@@ -16,7 +16,7 @@ const std::unordered_set<ValueId>& Column::DistinctSet() const {
 }
 
 bool Column::HasNulls() const {
-  std::lock_guard<std::mutex> lock(stats_->mu);
+  MutexLock lock(&stats_->mu);
   if (!stats_->has_nulls.has_value()) {
     bool has = false;
     for (ValueId id : data_) {

@@ -3,13 +3,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "storage/dictionary.h"
 #include "storage/value.h"
 
@@ -85,13 +85,13 @@ class Column {
  private:
   // Stats live behind a pointer so Column stays movable despite the mutex.
   struct LazyStats {
-    std::mutex mu;
-    std::optional<std::unordered_set<ValueId>> distinct;
-    std::optional<bool> has_nulls;
+    Mutex mu;
+    std::optional<std::unordered_set<ValueId>> distinct GUARDED_BY(mu);
+    std::optional<bool> has_nulls GUARDED_BY(mu);
   };
 
   void InvalidateStats() {
-    std::lock_guard<std::mutex> lock(stats_->mu);
+    MutexLock lock(&stats_->mu);
     stats_->distinct.reset();
     stats_->has_nulls.reset();
   }

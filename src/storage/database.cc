@@ -40,7 +40,7 @@ const HashIndex& Database::GetOrBuildIndex(TableId t,
   std::shared_ptr<IndexSlot> slot;
   bool inserted = false;
   {
-    std::lock_guard<std::mutex> lock(caches_->mu);
+    MutexLock lock(&caches_->mu);
     auto [pos, fresh] =
         caches_->index_cache.try_emplace(std::make_pair(t, cols), nullptr);
     if (fresh) pos->second = std::make_shared<IndexSlot>();
@@ -62,7 +62,7 @@ const HashIndex& Database::GetOrBuildIndex(TableId t,
 const ColumnPattern& Database::GetColumnPattern(TableId t, ColumnId c) const {
   std::shared_ptr<PatternSlot> slot;
   {
-    std::lock_guard<std::mutex> lock(caches_->mu);
+    MutexLock lock(&caches_->mu);
     auto [pos, fresh] =
         caches_->pattern_cache.try_emplace(std::make_pair(t, c), nullptr);
     if (fresh) pos->second = std::make_shared<PatternSlot>();

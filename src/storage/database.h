@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/dictionary.h"
@@ -138,13 +139,14 @@ class Database {
     ColumnPattern pattern;
   };
   struct LazyCaches {
-    std::mutex mu;
+    Mutex mu;
     std::map<std::pair<TableId, std::vector<ColumnId>>,
              std::shared_ptr<IndexSlot>>
-        index_cache;
+        index_cache GUARDED_BY(mu);
+    // Relaxed atomic counters: bumped lock-free from concurrent builders.
     IndexBuildStats index_stats;
     std::map<std::pair<TableId, ColumnId>, std::shared_ptr<PatternSlot>>
-        pattern_cache;
+        pattern_cache GUARDED_BY(mu);
   };
   mutable std::unique_ptr<LazyCaches> caches_ = std::make_unique<LazyCaches>();
 };

@@ -8,9 +8,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "storage/value.h"
 
 namespace fastqre {
@@ -37,11 +37,11 @@ class Dictionary {
   /// Returns the id of `v`, interning it if new.
   ValueId Intern(const Value& v) {
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(&mu_);
       auto it = ids_.find(v);
       if (it != ids_.end()) return it->second;
     }
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     auto it = ids_.find(v);  // re-check: another thread may have won the race
     if (it != ids_.end()) return it->second;
     ValueId id = static_cast<ValueId>(values_.size());
@@ -53,7 +53,7 @@ class Dictionary {
   /// Returns the id of `v` if already interned, else kNotInterned.
   static constexpr ValueId kNotInterned = 0xffffffffu;
   ValueId Find(const Value& v) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = ids_.find(v);
     return it == ids_.end() ? kNotInterned : it->second;
   }
@@ -61,20 +61,20 @@ class Dictionary {
   /// Returns the value for an id. Precondition: id < size(). The reference
   /// is stable for the dictionary's lifetime (deque storage).
   const Value& Get(ValueId id) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return values_[id];
   }
 
   /// Number of interned values (including NULL).
   size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return values_.size();
   }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Value, ValueId, ValueHash> ids_;
-  std::deque<Value> values_;
+  mutable SharedMutex mu_;
+  std::unordered_map<Value, ValueId, ValueHash> ids_ GUARDED_BY(mu_);
+  std::deque<Value> values_ GUARDED_BY(mu_);
 };
 
 }  // namespace fastqre

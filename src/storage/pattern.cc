@@ -6,6 +6,8 @@ ColumnPattern ComputeColumnPattern(const Column& column, const Dictionary& dict)
   ColumnPattern p;
   p.num_distinct = column.NumDistinct();
   bool first = true;
+  // det: order-insensitive — folds min/max/type/null flags, all commutative
+  // aggregates over the distinct set.
   for (ValueId id : column.DistinctSet()) {
     if (id == kNullValueId) {
       p.has_nulls = true;

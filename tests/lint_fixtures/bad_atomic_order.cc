@@ -1,0 +1,9 @@
+// Fixture: atomic operations without an explicit memory order (defaults to
+// seq_cst), violating the documented memory-order policy.
+#include <atomic>
+#include <cstdint>
+
+uint64_t Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1);
+  return counter.load();
+}

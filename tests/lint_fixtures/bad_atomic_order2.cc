@@ -1,0 +1,7 @@
+// Fixture: explicit seq_cst is banned by the memory-order policy; pick
+// relaxed (monotonic counters) or acquire/release (flag handoff).
+#include <atomic>
+
+void Publish(std::atomic<bool>& flag) {
+  flag.store(true, std::memory_order_seq_cst);
+}

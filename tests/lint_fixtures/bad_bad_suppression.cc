@@ -1,0 +1,7 @@
+// Fixture: malformed suppression — the justification is too short to be
+// meaningful (< 10 characters).
+#include <cstdlib>
+
+int Roll() {
+  return std::rand() % 6;  // NOLINT-INVARIANT(raw-random): ok
+}

@@ -1,0 +1,7 @@
+// Fixture: suppression naming a rule the linter does not define.
+#include <cstdlib>
+
+int Roll() {
+  // NOLINT-INVARIANT(not-a-real-rule): justification text that is long enough
+  return std::rand() % 6;
+}

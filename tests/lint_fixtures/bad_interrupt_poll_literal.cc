@@ -1,0 +1,11 @@
+// Fixture: hard-coded interrupt-poll stride instead of kInterruptPollMask.
+#include <cstdint>
+#include <functional>
+
+bool Drive(const std::function<bool()>& interrupt) {
+  uint64_t work = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    if ((++work & 0xfff) == 0 && interrupt()) return false;
+  }
+  return true;
+}

@@ -1,0 +1,11 @@
+// Fixture: naked new/delete instead of std::make_unique / containers.
+struct Widget {
+  int x = 0;
+};
+
+int Use() {
+  Widget* w = new Widget();
+  int x = w->x;
+  delete w;
+  return x;
+}

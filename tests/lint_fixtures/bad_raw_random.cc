@@ -1,0 +1,4 @@
+// Fixture: raw randomness source outside src/common/rng.h.
+#include <cstdlib>
+
+int Roll() { return std::rand() % 6; }

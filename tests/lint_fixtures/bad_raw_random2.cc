@@ -1,0 +1,7 @@
+// Fixture: seeding an engine from std::random_device outside rng.h.
+#include <random>
+
+unsigned Seed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,12 @@
+// Fixture: iterating an unordered container without a det: classification.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> Keys(const std::unordered_map<std::string, int>& freq) {
+  std::vector<std::string> out;
+  for (const auto& [key, count] : freq) {
+    out.push_back(key);
+  }
+  return out;
+}

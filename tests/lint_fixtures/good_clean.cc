@@ -1,0 +1,28 @@
+// Fixture: idiomatic code that trips no invariant rules.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Node {
+  int value = 0;
+};
+
+std::unique_ptr<Node> MakeNode(int v) {
+  auto n = std::make_unique<Node>();
+  n->value = v;
+  return n;
+}
+
+uint64_t Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> Keys(const std::map<std::string, int>& m) {
+  std::vector<std::string> out;
+  for (const auto& [key, count] : m) out.push_back(key);
+  return out;
+}

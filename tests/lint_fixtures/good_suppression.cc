@@ -1,0 +1,10 @@
+// Fixture: a well-formed suppression — names a real rule and carries a
+// substantive justification. (Fixtures lint as if under src/, outside the
+// suppression-free directories src/qre/ and src/engine/.)
+#include <atomic>
+#include <cstdint>
+
+void LegacyBump(std::atomic<uint64_t>& counter) {
+  // NOLINT-INVARIANT(atomic-order): third-party ABI requires the default
+  counter.fetch_add(1);
+}

@@ -1,0 +1,24 @@
+// Fixture: unordered-container iterations with proper det: classifications.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<std::string> SortedKeys(
+    const std::unordered_map<std::string, int>& freq) {
+  std::vector<std::string> out;
+  // det: sorted — keys are collected then sorted before returning.
+  for (const auto& [key, count] : freq) {
+    out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Total(const std::unordered_set<int>& vals) {
+  int sum = 0;
+  // det: order-insensitive — commutative integer sum.
+  for (int v : vals) sum += v;
+  return sum;
+}

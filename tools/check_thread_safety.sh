@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Thread-safety annotation gate.
+#
+# Two assertions, both requiring clang (the only compiler implementing
+# -Wthread-safety):
+#   1. Every src/ translation unit passes -Wthread-safety -Werror=thread-safety
+#      (syntax-only; no objects produced, no build tree required).
+#   2. tools/thread_safety_negative.cc — which accesses a GUARDED_BY field
+#      without its mutex — FAILS under the same flags. This proves the
+#      annotations are actually enforced, not silently compiled out.
+#
+# Exit codes: 0 pass, 1 fail, 77 skipped (no clang; ctest SKIP_RETURN_CODE).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CXX="${CLANGXX:-clang++}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "check_thread_safety: $CXX not found; skipping (annotations are no-op without clang)"
+  exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -I$ROOT/src -Wthread-safety -Werror=thread-safety"
+
+status=0
+for tu in $(find "$ROOT/src" -name '*.cc' | sort); do
+  if ! "$CXX" $FLAGS "$tu"; then
+    echo "check_thread_safety: FAIL (thread-safety warning): $tu"
+    status=1
+  fi
+done
+
+# Negative check: the deliberately-buggy TU must NOT compile.
+if "$CXX" $FLAGS "$ROOT/tools/thread_safety_negative.cc" 2>/dev/null; then
+  echo "check_thread_safety: FAIL: thread_safety_negative.cc compiled clean —"
+  echo "  -Wthread-safety is not enforcing GUARDED_BY; gate is toothless."
+  status=1
+else
+  echo "check_thread_safety: negative TU rejected as expected"
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "check_thread_safety: OK"
+fi
+exit "$status"

@@ -1,0 +1,496 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for FastQRE (DESIGN.md §10).
+
+Enforces determinism and concurrency invariants no off-the-shelf tool knows
+about. Rules (ids in brackets):
+
+  [unordered-iter]  Every range-for over an unordered container
+      (std::unordered_map/set, TupleSet, ReachMap, Column::DistinctSet())
+      must carry a determinism classification comment within the three
+      preceding lines (or on the loop line itself):
+          // det: sorted — <where the order is restored>
+          // det: order-insensitive — <why iteration order cannot leak>
+      Unordered iteration order varies across libstdc++ versions and hash
+      seeds; an unclassified site is one refactor away from leaking
+      nondeterminism into ranked answers, stats output, or artifacts.
+
+  [raw-random]  rand()/srand()/std::random_device/std::mt19937 and
+      wall-clock seeding (time(0)/time(NULL)/time(nullptr)) are banned
+      outside src/common/rng.h. All randomness flows through the seeded,
+      platform-stable Rng so every run is reproducible.
+
+  [interrupt-poll-literal]  The interrupt poll stride must be written as
+      kInterruptPollMask (src/engine/executor.h), never as a hard-coded
+      `& 0xfff` / `& 4095`: DESIGN.md §9 requires identical cancellation
+      latency across the executor, block executor, and cache builds.
+
+  [naked-new]  No naked `new` / `delete` expressions in src/ — ownership
+      goes through std::make_unique/std::make_shared/containers.
+
+  [atomic-order]  Atomic operations in src/ must pass an explicit
+      std::memory_order argument, and memory_order_seq_cst is banned
+      (policy, DESIGN.md §10: relaxed for monotonic counters, acquire /
+      release for flag handoff; seq_cst is never needed here and hides
+      the author's intent).
+
+  [bad-suppression]  Suppressions must be well-formed (see below).
+
+Suppression: a finding on line N is suppressed by a comment on line N or
+N-1 of the form
+    // NOLINT-INVARIANT(<rule-id>): <justification, at least 10 chars>
+Suppressions are themselves forbidden under src/qre/ and src/engine/
+(the ordering-sensitive layers stay suppression-free by construction).
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+
+Self-test mode (`--self-test <fixture-dir>`): fixture files named
+bad_<rule>*.cc must produce at least one finding of <rule> (underscores in
+the filename map to hyphens in the rule id); good_*.cc must produce none.
+Fixtures are linted as if they lived under src/.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ROOTS = ("src", "tools")
+EXTENSIONS = (".h", ".cc")
+
+# Rule ids.
+UNORDERED_ITER = "unordered-iter"
+RAW_RANDOM = "raw-random"
+INTERRUPT_LITERAL = "interrupt-poll-literal"
+NAKED_NEW = "naked-new"
+ATOMIC_ORDER = "atomic-order"
+BAD_SUPPRESSION = "bad-suppression"
+ALL_RULES = {
+    UNORDERED_ITER,
+    RAW_RANDOM,
+    INTERRUPT_LITERAL,
+    NAKED_NEW,
+    ATOMIC_ORDER,
+    BAD_SUPPRESSION,
+}
+
+# Directories (virtual-path prefixes) where suppressions are forbidden.
+NO_SUPPRESSION_DIRS = ("src/qre/", "src/engine/")
+
+# File allowed to use raw randomness.
+RNG_HOME = "src/common/rng.h"
+# File that defines kInterruptPollMask.
+POLL_MASK_HOME = "src/engine/executor.h"
+
+# Type aliases that are unordered containers.
+UNORDERED_ALIASES = ("TupleSet", "ReachMap")
+
+SUPPRESSION_RE = re.compile(
+    r"//\s*NOLINT-INVARIANT\(([a-z-]*)\)\s*:?\s*(.*)$")
+DET_MARKER_RE = re.compile(
+    r"//.*\bdet:\s*(sorted|order-insensitive)\b[\s:—–-]*(\S.*)?$")
+FOR_KEYWORD_RE = re.compile(r"\bfor\s*\(")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+ATOMIC_OP_RE = re.compile(
+    r"\.(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+RAW_RANDOM_RES = (
+    re.compile(r"\brand\s*\("),
+    re.compile(r"\bsrand\s*\("),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\bmt19937(?:_64)?\b"),
+    re.compile(r"\btime\s*\(\s*(?:NULL|0|nullptr)?\s*\)"),
+)
+
+INTERRUPT_LITERAL_RE = re.compile(r"&\s*(?:0x[fF]{3}\b|4095\b)")
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|\[|[A-Za-z_:])")
+NAKED_DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*]")
+SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b|\bmemory_order::seq_cst\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving line structure.
+
+    Keeps rule matching away from prose and quoted SQL while line numbers
+    stay aligned with the original file.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"' or c == "'":
+                state = c
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == state:
+                state = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def unordered_decl_res():
+    decl_res = [
+        re.compile(
+            r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>"
+            r"[\s&*]*\b([A-Za-z_]\w*)",
+            re.DOTALL),
+    ]
+    for alias in UNORDERED_ALIASES:
+        decl_res.append(
+            re.compile(r"\b%s\b(?:\s*[&*]+\s*|\s+)([A-Za-z_]\w*)" % alias))
+    return decl_res
+
+
+def names_in_text(text):
+    """Names declared in `text` with an unordered container type.
+
+    Covers members, locals, parameters, and functions *returning* an
+    unordered type (iterating directly over such a call is just as
+    order-sensitive as iterating a variable).
+    """
+    names = set()
+    for rx in unordered_decl_res():
+        for m in rx.finditer(text):
+            name = m.group(1)
+            if name in ("const", "return", "new", "if"):
+                continue
+            names.add(name)
+    return names
+
+
+def collect_unordered_names(stripped_texts):
+    """Tree-wide unordered names (for cross-file field/function access).
+
+    Only headers contribute (fields like WalkRelation::forward and
+    functions returning unordered types are what other files can touch),
+    and only names of 3+ characters — cross-file matching on loop-helper
+    locals like `s` or `m` would flag unrelated loops. Names declared in
+    a .cc stay file-local via names_in_text().
+    """
+    names = set()
+    for path, text in stripped_texts.items():
+        if not path.endswith(".h"):
+            continue
+        names |= {n for n in names_in_text(text) if len(n) >= 3}
+    return names
+
+
+def range_for_seq_exprs(text):
+    """Yields (offset, seq_expr) for each range-based for in `text`.
+
+    Parses the for-header with balanced parentheses and splits at the
+    single top-level `:` (ignoring `::`); headers containing a top-level
+    `;` are classic for-loops and are skipped.
+    """
+    for kw in FOR_KEYWORD_RE.finditer(text):
+        open_idx = text.index("(", kw.start())
+        depth = 0
+        colon = -1
+        close_idx = -1
+        classic = False
+        for j in range(open_idx, min(len(text), open_idx + 2000)):
+            c = text[j]
+            if c == "(" or c == "[" or c == "{":
+                depth += 1
+            elif c == ")" or c == "]" or c == "}":
+                depth -= 1
+                if depth == 0:
+                    close_idx = j
+                    break
+            elif c == ";" and depth == 1:
+                classic = True
+                break
+            elif c == ":" and depth == 1:
+                if text[j + 1:j + 2] == ":" or text[j - 1:j] == ":":
+                    continue
+                colon = j
+        if classic or colon < 0 or close_idx < 0:
+            continue
+        yield colon + 1, text[colon + 1:close_idx]
+
+
+def find_suppressions(raw_lines, vpath, findings):
+    """Maps line number -> set of suppressed rule ids; validates syntax."""
+    suppressed = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        if "NOLINT-INVARIANT" not in line:
+            continue
+        m = SUPPRESSION_RE.search(line)
+        rule = m.group(1) if m else ""
+        why = (m.group(2) or "").strip() if m else ""
+        if not m or rule not in ALL_RULES or len(why) < 10:
+            findings.append(Finding(
+                vpath, idx, BAD_SUPPRESSION,
+                "malformed suppression: expected "
+                "// NOLINT-INVARIANT(<rule>): <justification >= 10 chars>"))
+            continue
+        if any(vpath.startswith(d) for d in NO_SUPPRESSION_DIRS):
+            findings.append(Finding(
+                vpath, idx, BAD_SUPPRESSION,
+                f"suppressions are forbidden under "
+                f"{' and '.join(NO_SUPPRESSION_DIRS)}; fix the site instead"))
+            continue
+        for covered in (idx, idx + 1):
+            suppressed.setdefault(covered, set()).add(rule)
+    return suppressed
+
+
+def has_det_marker(raw_lines, line_no):
+    """True if lines line_no-3 .. line_no carry a det: classification."""
+    for idx in range(max(1, line_no - 3), line_no + 1):
+        m = DET_MARKER_RE.search(raw_lines[idx - 1])
+        if m and m.group(2):  # classification + non-empty reason
+            return True
+    return False
+
+
+def balanced_call_args(text, open_paren_idx, limit=600):
+    """Returns the argument text of a call starting at '('."""
+    depth = 0
+    for j in range(open_paren_idx, min(len(text), open_paren_idx + limit)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren_idx + 1:j]
+    return text[open_paren_idx + 1:open_paren_idx + limit]
+
+
+def lint_file(vpath, raw_text, stripped_text, unordered_names):
+    findings = []
+    raw_lines = raw_text.splitlines()
+    stripped_lines = stripped_text.splitlines()
+    line_offsets = []
+    pos = 0
+    for line in stripped_lines:
+        line_offsets.append(pos)
+        pos += len(line) + 1
+
+    def line_of(offset):
+        lo, hi = 0, len(line_offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if line_offsets[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    suppressed = find_suppressions(raw_lines, vpath, findings)
+
+    def add(line_no, rule, message):
+        if rule in suppressed.get(line_no, ()):
+            return
+        findings.append(Finding(vpath, line_no, rule, message))
+
+    # --- unordered-iter ------------------------------------------------------
+    file_names = names_in_text(stripped_text)
+    for offset, seq_expr in range_for_seq_exprs(stripped_text):
+        idents = set(IDENT_RE.findall(seq_expr))
+        if not (idents & (unordered_names | file_names)) \
+                and "DistinctSet" not in idents:
+            continue
+        line_no = line_of(offset)
+        if not has_det_marker(raw_lines, line_no):
+            add(line_no, UNORDERED_ITER,
+                "iteration over an unordered container needs a determinism "
+                "classification: '// det: sorted — <where>' or "
+                "'// det: order-insensitive — <why>' within 3 lines above")
+
+    # --- raw-random ----------------------------------------------------------
+    if vpath != RNG_HOME:
+        for rx in RAW_RANDOM_RES:
+            for m in rx.finditer(stripped_text):
+                add(line_of(m.start()), RAW_RANDOM,
+                    f"raw randomness/wall-clock seed '{m.group(0).strip()}' — "
+                    f"use the seeded Rng from {RNG_HOME}")
+
+    # --- interrupt-poll-literal ---------------------------------------------
+    if vpath != POLL_MASK_HOME and vpath.startswith("src/"):
+        for m in INTERRUPT_LITERAL_RE.finditer(stripped_text):
+            add(line_of(m.start()), INTERRUPT_LITERAL,
+                "hard-coded interrupt poll stride — use kInterruptPollMask "
+                f"({POLL_MASK_HOME})")
+
+    # --- naked-new -----------------------------------------------------------
+    if vpath.startswith("src/"):
+        for m in NAKED_NEW_RE.finditer(stripped_text):
+            add(line_of(m.start()), NAKED_NEW,
+                "naked 'new' — use std::make_unique/std::make_shared or a "
+                "container")
+        for m in NAKED_DELETE_RE.finditer(stripped_text):
+            # '= delete' (deleted member) is handled by the lookbehind; a
+            # 'delete expr' statement lands here.
+            add(line_of(m.start()), NAKED_NEW,
+                "naked 'delete' — ownership must be RAII-managed")
+
+    # --- atomic-order --------------------------------------------------------
+    if vpath.startswith("src/"):
+        for m in ATOMIC_OP_RE.finditer(stripped_text):
+            args = balanced_call_args(stripped_text, m.end() - 1)
+            op = m.group(1)
+            needs_order = True
+            if op in ("compare_exchange_weak", "compare_exchange_strong"):
+                needs_order = "memory_order" not in args
+            elif op in ("load",) and args.strip() == "":
+                needs_order = True
+            else:
+                needs_order = "memory_order" not in args
+            if needs_order and "memory_order" not in args:
+                add(line_of(m.start()), ATOMIC_ORDER,
+                    f".{op}() without an explicit std::memory_order argument "
+                    "(policy: relaxed for monotonic counters, acquire/release "
+                    "for flag handoff — DESIGN.md §10)")
+        for m in SEQ_CST_RE.finditer(stripped_text):
+            add(line_of(m.start()), ATOMIC_ORDER,
+                "memory_order_seq_cst is banned by policy (DESIGN.md §10): "
+                "state the ordering the algorithm actually needs")
+
+    return findings
+
+
+def iter_source_files(root):
+    for sub in ROOTS:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, fn)
+
+
+def lint_tree(root):
+    paths = list(iter_source_files(root))
+    raw = {}
+    stripped = {}
+    for p in paths:
+        with open(p, encoding="utf-8") as f:
+            raw[p] = f.read()
+        stripped[p] = strip_comments_and_strings(raw[p])
+    unordered_names = collect_unordered_names(stripped)
+    findings = []
+    for p in paths:
+        vpath = os.path.relpath(p, root).replace(os.sep, "/")
+        findings.extend(lint_file(vpath, raw[p], stripped[p], unordered_names))
+    return findings
+
+
+def self_test(fixture_dir):
+    """Runs the linter over fixture files and checks expectations."""
+    failures = []
+    names = sorted(os.listdir(fixture_dir))
+    fixture_paths = [os.path.join(fixture_dir, n) for n in names
+                     if n.endswith(EXTENSIONS)]
+    if not fixture_paths:
+        print(f"self-test: no fixtures found in {fixture_dir}", file=sys.stderr)
+        return 2
+
+    # Unordered-name collection runs over the fixture set itself, mirroring
+    # the tree-wide pass.
+    raw = {}
+    stripped = {}
+    for p in fixture_paths:
+        with open(p, encoding="utf-8") as f:
+            raw[p] = f.read()
+        stripped[p] = strip_comments_and_strings(raw[p])
+    unordered_names = collect_unordered_names(stripped)
+
+    checked = 0
+    for p in fixture_paths:
+        name = os.path.basename(p)
+        vpath = "src/" + name  # fixtures are linted as if under src/
+        findings = lint_file(vpath, raw[p], stripped[p], unordered_names)
+        rules_hit = {f.rule for f in findings}
+        if name.startswith("bad_"):
+            stem = os.path.splitext(name)[0][len("bad_"):]
+            expected = re.sub(r"\d+$", "", stem).rstrip("_").replace("_", "-")
+            if expected not in ALL_RULES:
+                failures.append(f"{name}: unknown expected rule '{expected}'")
+            elif expected not in rules_hit:
+                failures.append(
+                    f"{name}: expected a [{expected}] finding, got "
+                    f"{sorted(rules_hit) or 'none'}")
+            checked += 1
+        elif name.startswith("good_"):
+            if findings:
+                failures.append(
+                    f"{name}: expected clean, got: "
+                    + "; ".join(str(f) for f in findings))
+            checked += 1
+    print(f"self-test: {checked} fixtures checked, {len(failures)} failures")
+    for f in failures:
+        print(f"  FAIL {f}")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (scans <root>/src and <root>/tools)")
+    ap.add_argument("--self-test", metavar="FIXTURE_DIR",
+                    help="run the fixture self-test instead of linting")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.self_test))
+
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        sys.exit(1)
+    print("lint_invariants: clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+// Negative-compilation TU for the thread-safety CI gate.
+//
+// This file MUST fail to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// because `value_` is GUARDED_BY(mu_) yet Bump() touches it without holding
+// the mutex. tools/check_thread_safety.sh asserts the failure; if this TU
+// ever compiles clean, the annotations (or the CI flags) have silently
+// stopped enforcing anything.
+//
+// Not part of any build target — compiled only by check_thread_safety.sh.
+#include "common/thread_annotations.h"
+
+namespace fastqre {
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ++value_;  // BUG (intentional): mu_ not held.
+  }
+
+ private:
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace fastqre
+
+int main() {
+  fastqre::Counter c;
+  c.Bump();
+  return 0;
+}
