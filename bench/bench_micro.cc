@@ -3,13 +3,16 @@
 // pipelined join execution, column cover, CGM discovery, walk discovery.
 #include <benchmark/benchmark.h>
 
+#include "common/resource_governor.h"
 #include "common/rng.h"
 #include "datagen/tpch.h"
 #include "datagen/workload.h"
+#include "engine/block_executor.h"
 #include "engine/builder.h"
 #include "engine/executor.h"
 #include "qre/cgm.h"
 #include "qre/column_cover.h"
+#include "qre/fastqre.h"
 #include "qre/mapping.h"
 #include "qre/walks.h"
 
@@ -161,6 +164,65 @@ void BM_WalkDiscovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WalkDiscovery)->Arg(2)->Arg(3)->Arg(4);
+
+// ---- Resource governor (E13: accounting overhead) ---------------------------
+
+void BM_GovernorChargeRelease(benchmark::State& state) {
+  // The primitive cost every governed allocation pays: one optional charge
+  // plus the matching release (two relaxed atomic RMWs + a peak CAS).
+  ResourceGovernor gov(1ull << 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gov.TryCharge(64 * 1024, "block-buffer"));
+    gov.Release(64 * 1024);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GovernorChargeRelease);
+
+void BM_BlockExecGoverned(benchmark::State& state) {
+  // The heaviest charged path: full block materialization of a 3-instance
+  // join. Arg(0) = no governor attached (every charge short-circuits),
+  // Arg(1) = governor attached with an ample budget (real accounting).
+  // The delta between the two is the E13 accounting overhead.
+  Database db = BuildTpch({.scale_factor = 0.005, .seed = 1}).ValueOrDie();
+  QueryBuilder b(&db);
+  InstanceId o = b.Instance("orders");
+  InstanceId l = b.Instance("lineitem");
+  InstanceId p = b.Instance("part");
+  b.Join(l, "l_orderkey", o, "o_orderkey");
+  b.Join(l, "l_partkey", p, "p_partkey");
+  b.Project(o, "o_orderkey");
+  b.Project(p, "p_name");
+  PJQuery q = b.Build().ValueOrDie();
+  std::shared_ptr<ResourceGovernor> gov;
+  if (state.range(0) != 0) {
+    gov = std::make_shared<ResourceGovernor>(1ull << 30);
+    db.AttachGovernor(gov);
+  }
+  for (auto _ : state) {
+    auto result = ExecuteBlock(db, q, "block", nullptr);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  if (gov != nullptr) db.DetachGovernor(gov.get());
+}
+BENCHMARK(BM_BlockExecGoverned)->Arg(0)->Arg(1);
+
+void BM_ReverseGoverned(benchmark::State& state) {
+  // End-to-end reverse engineering with the governor idle (budget 0 =
+  // unlimited, accounting still live) vs. an ample configured budget.
+  Database db = BuildTpch({.scale_factor = 0.002, .seed = 1}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  QreOptions opts;
+  opts.memory_budget_bytes =
+      state.range(0) != 0 ? (1ull << 30) : 0;
+  for (auto _ : state) {
+    FastQre engine(&db, opts);
+    auto answer = engine.Reverse(workload[0].rout);
+    benchmark::DoNotOptimize(answer.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReverseGoverned)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace fastqre

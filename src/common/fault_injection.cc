@@ -1,0 +1,79 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace fastqre {
+namespace {
+
+// Sleep applied by a `delay` rule: long enough to reorder racing workers
+// around the rank barrier under TSan, short enough that a matrix of delayed
+// runs stays fast.
+constexpr std::chrono::microseconds kDelaySleep{500};
+
+}  // namespace
+
+Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
+    const std::string& spec) {
+  auto injector = std::make_unique<FaultInjector>();
+  for (const std::string& part : SplitString(spec, ',')) {
+    if (part.empty()) continue;
+    size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault rule '" + part +
+                                     "' is not of the form site=kind[@n]");
+    }
+    Rule rule;
+    rule.site = part.substr(0, eq);
+    std::string kind = part.substr(eq + 1);
+    size_t at = kind.find('@');
+    if (at != std::string::npos) {
+      int64_t n = 0;
+      if (!ParseInt64(kind.substr(at + 1), &n) || n < 1) {
+        return Status::InvalidArgument("fault rule '" + part +
+                                       "' has a bad hit count (want >= 1)");
+      }
+      rule.after = static_cast<uint64_t>(n);
+      kind = kind.substr(0, at);
+    }
+    if (kind == "alloc-fail") {
+      rule.kind = Kind::kAllocFail;
+    } else if (kind == "cancel") {
+      rule.kind = Kind::kCancel;
+    } else if (kind == "delay") {
+      rule.kind = Kind::kDelay;
+    } else {
+      return Status::InvalidArgument(
+          "fault rule '" + part +
+          "' has unknown kind '" + kind +
+          "' (want alloc-fail, cancel or delay)");
+    }
+    injector->rules_.push_back(std::move(rule));
+  }
+  return injector;
+}
+
+FaultActions FaultInjector::Hit(const char* site) {
+  FaultActions actions;
+  for (Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    uint64_t hit = ++rule.hits;
+    if (hit < rule.after) continue;
+    switch (rule.kind) {
+      case Kind::kAllocFail:
+        actions.alloc_fail = true;
+        break;
+      case Kind::kCancel:
+        actions.cancel = true;
+        break;
+      case Kind::kDelay:
+        std::this_thread::sleep_for(kDelaySleep);
+        break;
+    }
+  }
+  return actions;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the resource-governed search path
+// (DESIGN.md §11).
+//
+// A FaultInjector holds rules parsed from QreOptions::fault_spec (or, when
+// that is empty, the FASTQRE_FAULTS environment variable):
+//
+//     spec  := rule ("," rule)*
+//     rule  := <site> "=" <kind> [ "@" <n> ]
+//     kind  := "alloc-fail" | "cancel" | "delay"
+//
+// `site` names an injection point from the fault-site registry (DESIGN.md
+// §11 lists them; e.g. index-build, walk-cache-build, mapping-frontier,
+// parallel-worker). A rule fires from the <n>-th hit of its site onward
+// (default 1), counted per rule with a relaxed atomic, so a given spec
+// produces the same injection schedule on every run — faults are part of
+// the reproducible input, not a source of nondeterminism.
+//
+// Kinds:
+//   alloc-fail  The governor charge at the site reports failure: optional
+//               allocations degrade (the caller falls back), required ones
+//               surface as memory exhaustion.
+//   cancel      The engine's CancellationToken is cancelled, exactly as if
+//               FastQre::Cancel() had been called at that moment.
+//   delay       The hitting thread sleeps briefly (handled inside Hit()),
+//               widening race windows for the sanitizer jobs.
+//
+// Disabled-path cost is a single null-pointer check at each site: engines
+// without a spec never construct an injector.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/result.h"
+
+namespace fastqre {
+
+/// \brief What an injection site should simulate on one hit. Multiple rules
+/// may target the same site, so the actions are independent flags.
+struct FaultActions {
+  bool alloc_fail = false;
+  bool cancel = false;
+};
+
+/// \brief Deterministic fault scheduler. Thread-safe: Hit() may be called
+/// concurrently from validation workers and cache builders.
+class FaultInjector {
+ public:
+  /// Parses a fault spec (see file comment). Returns InvalidArgument on a
+  /// malformed rule; an empty spec yields an injector with no rules.
+  static Result<std::unique_ptr<FaultInjector>> Parse(const std::string& spec);
+
+  /// Records one hit of `site` and returns the actions that fired. A delay
+  /// rule sleeps right here before returning.
+  FaultActions Hit(const char* site);
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  enum class Kind { kAllocFail, kCancel, kDelay };
+  struct Rule {
+    std::string site;
+    Kind kind = Kind::kAllocFail;
+    uint64_t after = 1;        // fire from this hit (1-based) onward
+    RelaxedCounter hits = 0;   // per-rule hit tally (relaxed: monotone count)
+  };
+
+  std::vector<Rule> rules_;
+};
+
+}  // namespace fastqre

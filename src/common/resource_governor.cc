@@ -1,0 +1,85 @@
+#include "common/resource_governor.h"
+
+namespace fastqre {
+
+bool ResourceGovernor::Inject(const char* site) {
+  if (injector_ == nullptr) return false;  // zero-overhead when disabled
+  FaultActions actions = injector_->Hit(site);
+  if (actions.cancel && token_ != nullptr) token_->Cancel();
+  return actions.alloc_fail;
+}
+
+void ResourceGovernor::UpdatePeak(uint64_t now) {
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void ResourceGovernor::EscalateUpTo(int target) {
+  int level = level_.load(std::memory_order_acquire);
+  while (level < target) {
+    // Re-test between rungs: a lower rung (shrink) may have relieved the
+    // pressure that started the climb.
+    if (budget_ != 0 &&
+        tracked_.load(std::memory_order_relaxed) <= budget_) {
+      return;
+    }
+    if (level_.compare_exchange_strong(level, level + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      degradation_events_.fetch_add(1, std::memory_order_relaxed);
+      ++level;
+      // Only the CAS winner runs the level-1 shrink action, with no
+      // governor lock held (the hook takes the walk cache's own mutex).
+      if (level == 1 && pressure_hook_) pressure_hook_();
+    }
+  }
+}
+
+void ResourceGovernor::ForceExhaust() {
+  int level = level_.load(std::memory_order_acquire);
+  while (level < 3) {
+    if (level_.compare_exchange_strong(level, 3, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      degradation_events_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool ResourceGovernor::TryCharge(uint64_t bytes, const char* site) {
+  if (Inject(site)) return false;
+  if (!materialization_allowed()) return false;
+  uint64_t now = tracked_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+  if (budget_ == 0 || now <= budget_) return true;
+  // Over budget: shrink (level 1), and if that is not enough stop further
+  // materialization (level 2). EscalateUpTo re-tests after the shrink, so a
+  // successful eviction leaves the ladder at 1 and this charge admitted.
+  EscalateUpTo(2);
+  if (tracked_.load(std::memory_order_relaxed) <= budget_) return true;
+  tracked_.fetch_sub(bytes, std::memory_order_relaxed);
+  return false;
+}
+
+void ResourceGovernor::Charge(uint64_t bytes, const char* site) {
+  if (Inject(site)) {
+    // Simulated failure of a required allocation: the search must surface
+    // memory exhaustion, not crash, so jump straight to level 3.
+    ForceExhaust();
+    return;
+  }
+  uint64_t now = tracked_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(now);
+  if (budget_ != 0 && now > budget_) EscalateUpTo(3);
+}
+
+void ResourceGovernor::Release(uint64_t bytes) {
+  tracked_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void ResourceGovernor::FaultPoint(const char* site) { (void)Inject(site); }
+
+}  // namespace fastqre

@@ -1,0 +1,229 @@
+// Engine-wide memory accounting, cooperative cancellation, and graceful
+// degradation (DESIGN.md §11).
+//
+// Every large allocation on the search path — executor hash indexes, block
+// intermediate buffers, walk-cache materializations, mapping-enumerator
+// frontier states, lazily-built column patterns — is charged against a
+// single ResourceGovernor in estimated bytes. Accounting is always on (so
+// QreStats::peak_tracked_bytes is meaningful even without a budget); a
+// budget of 0 means unlimited.
+//
+// When the tracked total crosses the budget, the governor climbs a
+// monotone degradation ladder instead of letting the process take a
+// std::bad_alloc:
+//
+//   level 1  Shrink: the pressure hook evicts the walk cache to half its
+//            configured budget.
+//   level 2  Pipelined-only: new cache materializations are refused
+//            (TryCharge returns false; validation falls back to the
+//            non-materialized path and existing answers stay identical).
+//   level 3  Exhausted: required charges have overflowed the budget even
+//            after degrading; the in-flight search aborts cooperatively at
+//            the next interrupt poll and returns partial stats with
+//            failure_reason "memory budget exceeded".
+//
+// The ladder never goes back down within an engine's lifetime — retry with a
+// fresh FastQre (which re-reads the same options/fault spec, so retried
+// answers are byte-identical). Escalation is driven by lock-free CAS; the
+// level-1 pressure hook is invoked by the CAS winner only, with no governor
+// lock held, so hook implementations may take their own (leaf) mutexes.
+//
+// Memory-order policy follows common/counters.h: tracked/peak/degradation
+// tallies are relaxed (they never guard other data); the ladder level and
+// the cancellation flag use release/acquire so a thread observing a level
+// also observes the state transitions that justified it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/fault_injection.h"
+#include "common/timer.h"
+
+namespace fastqre {
+
+/// \brief Sticky external cancellation flag shared between FastQre::Cancel()
+/// (any thread) and the search loops (via ResourceGovernor / RunControl).
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief Atomic byte accounting with a degradation ladder and optional
+/// deterministic fault injection. One instance per FastQre engine; shared
+/// with the Database's lazy caches and the walk cache. All methods are
+/// thread-safe; SetPressureHook must be called before concurrent use
+/// (engine construction time).
+class ResourceGovernor {
+ public:
+  /// `budget_bytes` of 0 disables the budget (accounting still runs).
+  /// `token`, if non-null, is cancelled by injected `cancel` faults.
+  explicit ResourceGovernor(uint64_t budget_bytes,
+                            std::shared_ptr<CancellationToken> token = nullptr,
+                            std::unique_ptr<FaultInjector> injector = nullptr)
+      : budget_(budget_bytes),
+        token_(std::move(token)),
+        injector_(std::move(injector)) {}
+
+  /// Charges an *optional* allocation (cache materializations). Returns
+  /// false — and leaves nothing charged — when the site's injected
+  /// alloc-fail fires, when materialization is already degraded away, or
+  /// when the charge would overflow the budget even after escalating
+  /// through shrink (level 1) and pipelined-only (level 2). The caller must
+  /// skip or un-cache the allocation on false; it never escalates to
+  /// exhaustion.
+  bool TryCharge(uint64_t bytes, const char* site);
+
+  /// Charges a *required* allocation (index builds, block buffers already
+  /// admitted, frontier states). Never fails; overflowing the budget (or an
+  /// injected alloc-fail at the site) escalates the ladder up to exhaustion,
+  /// which the search observes at its next interrupt poll.
+  void Charge(uint64_t bytes, const char* site);
+
+  /// Returns previously charged bytes. Atomic-only: safe to call while
+  /// holding caller mutexes (eviction paths).
+  void Release(uint64_t bytes);
+
+  /// Bare fault-injection poll for sites with no allocation to charge
+  /// (cgm-discovery, parallel-worker, answer-found). alloc-fail rules are
+  /// inert here; cancel and delay apply. No-op without an injector.
+  void FaultPoint(const char* site);
+
+  /// Degradation ladder reads.
+  bool materialization_allowed() const {
+    return level_.load(std::memory_order_acquire) < 2;
+  }
+  bool memory_exhausted() const {
+    return level_.load(std::memory_order_acquire) >= 3;
+  }
+  int degradation_level() const {
+    return level_.load(std::memory_order_acquire);
+  }
+
+  bool cancelled() const { return token_ != nullptr && token_->cancelled(); }
+
+  uint64_t budget_bytes() const { return budget_; }
+  uint64_t tracked_bytes() const {
+    return tracked_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_tracked_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t degradation_events() const {
+    return degradation_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs the level-1 shrink action (walk-cache eviction). Invoked at
+  /// most once per engine lifetime, by the thread that wins the 0 -> 1
+  /// escalation, with no governor lock held. Not thread-safe: call before
+  /// the engine starts reversing.
+  void SetPressureHook(std::function<void()> hook) {
+    pressure_hook_ = std::move(hook);
+  }
+
+ private:
+  /// Runs fault injection for `site` (null-check only when disabled) and
+  /// reports whether an alloc-fail rule fired.
+  bool Inject(const char* site);
+  /// Climbs the ladder one level at a time up to `target`, re-testing
+  /// pressure between levels (a successful shrink stops the climb).
+  void EscalateUpTo(int target);
+  /// Jumps straight to level 3 (injected failure of a required charge).
+  void ForceExhaust();
+  void UpdatePeak(uint64_t now);
+
+  const uint64_t budget_;
+  std::shared_ptr<CancellationToken> token_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::function<void()> pressure_hook_;
+
+  std::atomic<uint64_t> tracked_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> degradation_events_{0};
+  std::atomic<int> level_{0};
+};
+
+/// \brief Why a search run stopped early. Recorded once (first cause wins)
+/// so concurrent pollers agree on the reported failure_reason.
+enum class StopCause { kNone, kDeadline, kCancelled, kMemory };
+
+/// \brief Per-ReverseAll stop control: folds the wall-clock deadline, the
+/// engine's CancellationToken, and governor memory exhaustion into the one
+/// `bool()` interrupt callback already threaded through the search
+/// (kInterruptPollMask sites). Stack-local to a ReverseAll call; pointers
+/// must outlive it.
+class RunControl {
+ public:
+  RunControl(double time_budget_seconds, const CancellationToken* token,
+             const ResourceGovernor* governor)
+      : deadline_seconds_(time_budget_seconds),
+        token_(token),
+        governor_(governor) {}
+
+  /// The interrupt predicate: true once any stop cause has fired. Records
+  /// the first cause observed; sticky thereafter.
+  bool ShouldStop() {
+    if (cause_.load(std::memory_order_acquire) != StopCause::kNone) {
+      return true;
+    }
+    if (token_ != nullptr && token_->cancelled()) {
+      RecordCause(StopCause::kCancelled);
+      return true;
+    }
+    if (governor_ != nullptr && governor_->memory_exhausted()) {
+      RecordCause(StopCause::kMemory);
+      return true;
+    }
+    if (deadline_seconds_ > 0 &&
+        timer_.ElapsedSeconds() > deadline_seconds_) {
+      RecordCause(StopCause::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  StopCause cause() const { return cause_.load(std::memory_order_acquire); }
+
+  /// Human-readable failure_reason for the recorded cause ("" if none).
+  /// The deadline string is load-bearing: tests and the CLI match
+  /// "time budget exceeded" exactly.
+  const char* reason() const {
+    switch (cause()) {
+      case StopCause::kDeadline:
+        return "time budget exceeded";
+      case StopCause::kCancelled:
+        return "cancelled";
+      case StopCause::kMemory:
+        return "memory budget exceeded";
+      case StopCause::kNone:
+        return "";
+    }
+    return "";
+  }
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  void RecordCause(StopCause cause) {
+    StopCause expected = StopCause::kNone;
+    (void)cause_.compare_exchange_strong(expected, cause,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  Timer timer_;
+  const double deadline_seconds_;
+  const CancellationToken* token_;
+  const ResourceGovernor* governor_;
+  std::atomic<StopCause> cause_{StopCause::kNone};
+};
+
+}  // namespace fastqre

@@ -4,10 +4,29 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/resource_governor.h"
 #include "engine/compare.h"
 #include "engine/executor.h"
 
 namespace fastqre {
+
+namespace {
+
+// Block-buffer bytes are accumulated locally and flushed to the governor in
+// quanta, keeping the accounting cost off the per-row hot path.
+constexpr uint64_t kChargeQuantumBytes = 64 * 1024;
+
+// Releases every byte this block evaluation charged, on all return paths
+// (the intermediates are freed when the function's locals unwind).
+struct BlockChargeGuard {
+  const std::shared_ptr<ResourceGovernor>& governor;
+  uint64_t& charged;
+  ~BlockChargeGuard() {
+    if (governor != nullptr && charged > 0) governor->Release(charged);
+  }
+};
+
+}  // namespace
 
 Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
                            const std::string& name,
@@ -15,6 +34,22 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
   uint64_t work = 0;
   auto interrupted = [&]() {
     return (++work & kInterruptPollMask) == 0 && interrupt && interrupt();
+  };
+  // Governor accounting for the materialized intermediates (DESIGN.md §11).
+  // Cumulative across join steps — a conservative overestimate of the peak —
+  // and fully released on exit via the guard below. A refused charge
+  // dismisses this candidate only (the validator maps candidate-local
+  // ResourceExhausted to kError); it never aborts the whole search.
+  const std::shared_ptr<ResourceGovernor> governor = db.governor();
+  uint64_t charged_bytes = 0;
+  uint64_t pending_bytes = 0;
+  BlockChargeGuard charge_guard{governor, charged_bytes};
+  auto charge_pending = [&]() {
+    if (governor == nullptr || pending_bytes == 0) return true;
+    if (!governor->TryCharge(pending_bytes, "block-buffer")) return false;
+    charged_bytes += pending_bytes;
+    pending_bytes = 0;
+    return true;
   };
   // Hard cap on intermediate materialization: pathological candidate
   // queries can otherwise exhaust memory before any time budget fires.
@@ -83,11 +118,19 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
 
   // Materialize the intermediate relation in plan order; each intermediate
   // row is one RowId per placed instance.
+  // gov: charged — intermediate buffer bytes flushed via charge_pending().
   std::vector<std::vector<RowId>> rows;
   {
     const Table& t0 = db.table(query.instance_table(order[0]));
     for (RowId r = 0; r < t0.num_rows(); ++r) {
-      if (passes_local(order[0], r)) rows.push_back({r});
+      if (passes_local(order[0], r)) {
+        rows.push_back({r});
+        pending_bytes += sizeof(std::vector<RowId>) + sizeof(RowId);
+      }
+    }
+    if (!charge_pending()) {
+      return Status::ResourceExhausted(
+          "block evaluation exceeded the memory budget");
     }
   }
   for (size_t p = 1; p < n; ++p) {
@@ -117,6 +160,7 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
 
     const HashIndex& index = db.GetOrBuildIndex(query.instance_table(inst),
                                                 key_cols);
+    // gov: charged — per-row bytes accumulate in pending_bytes below.
     std::vector<std::vector<RowId>> next;
     std::vector<ValueId> key(key_cols.size());
     for (const auto& binding : rows) {
@@ -140,7 +184,17 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
         std::vector<RowId> extended = binding;
         extended.push_back(match);
         next.push_back(std::move(extended));
+        pending_bytes +=
+            sizeof(std::vector<RowId>) + (p + 1) * sizeof(RowId);
+        if (pending_bytes >= kChargeQuantumBytes && !charge_pending()) {
+          return Status::ResourceExhausted(
+              "block evaluation exceeded the memory budget");
+        }
       }
+    }
+    if (!charge_pending()) {
+      return Status::ResourceExhausted(
+          "block evaluation exceeded the memory budget");
     }
     rows = std::move(next);
   }
@@ -156,6 +210,7 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
     used_names.insert(col_name);
     FASTQRE_RETURN_NOT_OK(out.AddColumn(col_name, src.type()));
   }
+  // gov: charged — dedup-set bytes accumulate in pending_bytes below.
   TupleSet seen;
   seen.reserve(rows.size());
   std::vector<ValueId> tuple(query.projections().size());
@@ -169,7 +224,15 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
                      .column(proj.column)
                      .at(binding[pos[proj.instance]]);
     }
-    if (seen.insert(tuple).second) out.AppendRowIds(tuple);
+    if (seen.insert(tuple).second) {
+      out.AppendRowIds(tuple);
+      // Node + stored tuple + output-row estimate.
+      pending_bytes += 2 * tuple.size() * sizeof(ValueId) + 48;
+      if (pending_bytes >= kChargeQuantumBytes && !charge_pending()) {
+        return Status::ResourceExhausted(
+            "block evaluation exceeded the memory budget");
+      }
+    }
   }
   return out;
 }

@@ -3,6 +3,8 @@
 namespace fastqre {
 
 TupleSet ProjectToTupleSet(const Table& table, const std::vector<ColumnId>& cols) {
+  // gov: bounded — one projection of a caller-chosen table; callers on the
+  // search path project R_out (small) or governor-charged block results.
   TupleSet out;
   out.reserve(table.num_rows());
   std::vector<ValueId> tuple(cols.size());

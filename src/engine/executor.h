@@ -142,10 +142,13 @@ class QueryCursor {
 
   // Iteration state.
   std::vector<const std::vector<RowId>*> candidates_;  // null => full scan
-  std::vector<std::vector<RowId>> owned_candidates_;   // reach-driven lists
+  // gov: bounded — per-cursor reach-driven lists, capped by the walk
+  // relation's (already charged) endpoint sets; freed with the cursor.
+  std::vector<std::vector<RowId>> owned_candidates_;
   std::vector<size_t> cursor_;   // next candidate index (or next RowId if scan)
   std::vector<RowId> bound_;     // currently bound row per position
-  std::vector<std::vector<ValueId>> key_buf_;  // probe-key scratch per position
+  // gov: bounded — plan-depth probe-key scratch, O(instances) entries.
+  std::vector<std::vector<ValueId>> key_buf_;
   int depth_ = -1;               // deepest position currently bound
   bool started_ = false;
   bool done_ = false;

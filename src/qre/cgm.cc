@@ -6,9 +6,11 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/resource_governor.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "engine/compare.h"
+#include "engine/executor.h"
 
 namespace fastqre {
 
@@ -23,9 +25,12 @@ using Mapping = std::vector<std::pair<ColumnId, ColumnId>>;
 constexpr size_t kMaxGroupsPerLevel = 20000;
 
 // pi_outcols(rout) ⊆ pi_dbcols(table) via one index probe per distinct
-// R_out tuple.
+// R_out tuple. `interrupt` (may be empty) aborts the probe loop early; the
+// resulting false verdict is only ever observed by a caller that is itself
+// about to abort, so it never leaks into a kept CGM set.
 bool GroupCoherent(const Database& db, const Table& rout, TableId t,
-                   const Mapping& mapping) {
+                   const Mapping& mapping,
+                   const std::function<bool()>& interrupt) {
   std::vector<ColumnId> out_cols, db_cols;
   out_cols.reserve(mapping.size());
   db_cols.reserve(mapping.size());
@@ -34,10 +39,16 @@ bool GroupCoherent(const Database& db, const Table& rout, TableId t,
     db_cols.push_back(dc);
   }
   const HashIndex& index = db.GetOrBuildIndex(t, db_cols);
+  // gov: bounded — one projection of R_out (small by problem definition),
+  // freed at scope exit.
   TupleSet out_tuples = ProjectToTupleSet(rout, out_cols);
+  uint64_t work = 0;
   // det: order-insensitive — forall-probe; any visiting order reaches the
   // same boolean verdict.
   for (const auto& tuple : out_tuples) {
+    if ((++work & kInterruptPollMask) == 0 && interrupt && interrupt()) {
+      return false;
+    }
     if (index.Lookup(tuple).empty()) return false;
   }
   return true;
@@ -57,12 +68,23 @@ std::string Cgm::ToString(const Database& db, const Table& rout) const {
 
 CgmSet DiscoverCgms(const Database& db, const Table& rout,
                     const ColumnCover& cover, const QreOptions& options,
-                    QreStats* stats) {
+                    QreStats* stats,
+                    const std::function<bool()>& interrupt,
+                    ResourceGovernor* governor) {
   Timer timer;
   CgmSet result;
   result.of_out_column.resize(rout.num_columns());
 
-  for (TableId t = 0; t < db.num_tables(); ++t) {
+  // Once this fires, discovery unwinds and returns what it has; the caller
+  // checks the same interrupt right after and aborts the search, so the
+  // partial set never ranks mappings.
+  bool aborted = false;
+  auto stopped = [&]() {
+    if (!aborted && interrupt && interrupt()) aborted = true;
+    return aborted;
+  };
+
+  for (TableId t = 0; t < db.num_tables() && !stopped(); ++t) {
     // Level 1: singleton groups straight from the column cover (already
     // coherent by definition of the cover).
     std::vector<Mapping> level;
@@ -105,8 +127,10 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
           }
           if (!all_subsets_coherent) continue;
 
+          if (governor != nullptr) governor->FaultPoint("cgm-discovery");
+          if (stopped()) break;
           ++stats->cgm_candidates_checked;
-          if (!GroupCoherent(db, rout, t, cand)) continue;
+          if (!GroupCoherent(db, rout, t, cand, interrupt)) continue;
 
           // cand is coherent: all its k-subsets are non-maximal.
           for (size_t drop = 0; drop < cand.size(); ++drop) {
@@ -119,8 +143,9 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
           next.push_back(std::move(cand));
           if (next.size() >= kMaxGroupsPerLevel) break;
         }
-        if (next.size() >= kMaxGroupsPerLevel) break;
+        if (aborted || next.size() >= kMaxGroupsPerLevel) break;
       }
+      if (aborted) break;
       // Dedup (the join can produce the same (k+1)-group from multiple
       // parent pairs).
       std::sort(next.begin(), next.end());
@@ -145,7 +170,7 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
   // Certainty (Section 4.3.1): a 1-match column c (|S_c| = 1, |Λ_c| = 1)
   // whose database column is a key within pi_C(R) pins its CGM into any
   // generating query.
-  for (ColumnId c = 0; c < rout.num_columns(); ++c) {
+  for (ColumnId c = 0; c < rout.num_columns() && !stopped(); ++c) {
     if (cover.covers[c].size() != 1 || result.of_out_column[c].size() != 1) {
       continue;
     }
@@ -154,6 +179,8 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
     int db_col = cgm.DbColumnFor(c);
     // Key test: within the distinct tuples of pi_C(R), no two tuples share
     // the c' value.
+    // gov: bounded — one table projection for the transient certainty test,
+    // freed each iteration.
     TupleSet group_tuples = ProjectToTupleSet(db.table(cgm.table), cgm.DbColumns());
     std::unordered_set<ValueId> key_values;
     size_t key_pos = 0;

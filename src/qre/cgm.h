@@ -13,6 +13,7 @@
 // tuple.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -69,8 +70,17 @@ struct CgmSet {
 
 /// \brief Discovers all maximal CGMs of `rout` against `db`, marking certain
 /// ones. Updates the cgm_* fields of `stats`.
+///
+/// `interrupt` (may be empty) is polled between coherence checks and inside
+/// each check's probe loop, so a time/memory-budgeted or cancelled Reverse()
+/// cannot stall in discovery; when it fires the partially discovered set is
+/// returned and the caller is expected to abort the search (the partial set
+/// is not a usable ranking input). `governor` (may be null) provides the
+/// "cgm-discovery" fault-injection point.
 CgmSet DiscoverCgms(const Database& db, const Table& rout,
                     const ColumnCover& cover, const QreOptions& options,
-                    QreStats* stats);
+                    QreStats* stats,
+                    const std::function<bool()>& interrupt = {},
+                    ResourceGovernor* governor = nullptr);
 
 }  // namespace fastqre

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
+#include "common/resource_governor.h"
 #include "common/strings.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
 #include "engine/compare.h"
 #include "qre/cgm.h"
 #include "qre/column_cover.h"
@@ -33,6 +35,8 @@ Result<Table> NormalizeRout(const Database& db, const Table& rout) {
         out.AddColumn(rout.column(c).name(), rout.column(c).type()));
   }
   const bool same_dict = rout.dictionary() == db.dictionary();
+  // gov: bounded — one set of R_out's rows (small by problem definition),
+  // freed at scope exit.
   TupleSet seen;
   seen.reserve(rout.num_rows());
   for (RowId r = 0; r < rout.num_rows(); ++r) {
@@ -90,7 +94,7 @@ ParallelMappingResult RunMappingParallel(
     const ColumnMapping* mapping, const std::vector<Walk>* walks,
     const QreOptions* options, Feedback* feedback, QreStats* stats,
     WalkCache* walk_cache, const std::function<bool()>& budget_exceeded,
-    RankedComposer* composer, int need_answers) {
+    RankedComposer* composer, int need_answers, ResourceGovernor* governor) {
   struct Item {
     uint64_t seq;
     CandidateQuery cand;
@@ -114,6 +118,10 @@ ParallelMappingResult RunMappingParallel(
   auto worker = [&] {
     Item item;
     while (queue.Pop(&item)) {
+      // Fault site "parallel-worker": fires once per dequeued candidate, so
+      // a cancel/delay schedule can target the exact worker iteration that
+      // races the rank barrier (DESIGN.md §11).
+      if (governor != nullptr) governor->FaultPoint("parallel-worker");
       const uint64_t seq = item.seq;
       if (hard_abort.load(std::memory_order_relaxed) ||
           seq > cancel_floor.load(std::memory_order_relaxed)) {
@@ -212,16 +220,73 @@ std::string QreTrace::ToString() const {
 }
 
 FastQre::FastQre(const Database* db, QreOptions options)
-    : db_(db), options_(options) {
+    : db_(db), options_(std::move(options)) {
+  // Fault injection: the option wins; the FASTQRE_FAULTS environment
+  // variable is the no-recompile hook for CI matrices. A malformed spec is
+  // remembered and reported by the next ReverseAll() call (constructors
+  // cannot return Status), so it can never be silently ignored.
+  std::string spec = options_.fault_spec;
+  if (spec.empty()) {
+    const char* env = std::getenv("FASTQRE_FAULTS");
+    if (env != nullptr) spec = env;
+  }
+  std::unique_ptr<FaultInjector> injector;
+  if (!spec.empty()) {
+    auto parsed = FaultInjector::Parse(spec);
+    if (parsed.ok()) {
+      injector = std::move(parsed).ValueOrDie();
+    } else {
+      fault_spec_error_ = parsed.status();
+    }
+  }
+  cancel_token_ = std::make_shared<CancellationToken>();
+  governor_ = std::make_shared<ResourceGovernor>(
+      options_.memory_budget_bytes, cancel_token_, std::move(injector));
   if (options_.walk_cache_budget_bytes > 0) {
-    walk_cache_ = std::make_unique<WalkCache>(options_.walk_cache_budget_bytes,
-                                              options_.walk_cache_admission);
+    walk_cache_ = std::make_shared<WalkCache>(options_.walk_cache_budget_bytes,
+                                              options_.walk_cache_admission,
+                                              governor_);
+    // Degradation rung 1 (DESIGN.md §11): under memory pressure, first shed
+    // optional walk materializations down to half their configured budget.
+    // The hook captures the cache weakly — the cache itself holds the
+    // governor by shared_ptr, so a shared capture here would be a cycle —
+    // and a late charge arriving through the database attachment after the
+    // cache died simply finds no hook target.
+    std::weak_ptr<WalkCache> cache = walk_cache_;
+    governor_->SetPressureHook([cache] {
+      if (std::shared_ptr<WalkCache> c = cache.lock()) {
+        c->ShrinkTo(c->budget_bytes() / 2);
+      }
+    });
+  }
+  db_->AttachGovernor(governor_);
+}
+
+FastQre::~FastQre() {
+  // Compare-and-clear: only detaches if no newer engine attached since.
+  if (db_ != nullptr && governor_ != nullptr) {
+    db_->DetachGovernor(governor_.get());
   }
 }
 
-FastQre::~FastQre() = default;
 FastQre::FastQre(FastQre&&) noexcept = default;
-FastQre& FastQre::operator=(FastQre&&) noexcept = default;
+
+FastQre& FastQre::operator=(FastQre&& other) noexcept {
+  if (this != &other) {
+    if (db_ != nullptr && governor_ != nullptr) {
+      db_->DetachGovernor(governor_.get());
+    }
+    db_ = other.db_;
+    options_ = std::move(other.options_);
+    walk_cache_ = std::move(other.walk_cache_);
+    cancel_token_ = std::move(other.cancel_token_);
+    governor_ = std::move(other.governor_);
+    fault_spec_error_ = std::move(other.fault_spec_error_);
+  }
+  return *this;
+}
+
+void FastQre::Cancel() const { cancel_token_->Cancel(); }
 
 Result<QreAnswer> FastQre::Reverse(const Table& rout) const {
   FASTQRE_ASSIGN_OR_RETURN(auto answers, ReverseAll(rout, 1));
@@ -238,58 +303,81 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
         "R_out has no rows; any query with an empty result would generate it");
   }
   if (limit < 1) return Status::InvalidArgument("limit must be >= 1");
+  if (!fault_spec_error_.ok()) return fault_spec_error_;
 
-  Timer total_timer;
   QreStats stats;
-  auto budget_exceeded = [this, &total_timer]() {
-    return options_.time_budget_seconds > 0 &&
-           total_timer.ElapsedSeconds() > options_.time_budget_seconds;
+  // One stop predicate for every phase: deadline, Cancel() and memory
+  // exhaustion all funnel through the RunControl (DESIGN.md §11), which
+  // records the *first* cause to fire.
+  RunControl run(options_.time_budget_seconds, cancel_token_.get(),
+                 governor_.get());
+  auto budget_exceeded = [&run]() { return run.ShouldStop(); };
+  // The validation paths learn "the run stopped" from a boolean; the precise
+  // cause lives in the RunControl. The deadline string is the fallback for
+  // the pre-governor code paths that only ever stopped on time.
+  auto stop_reason = [&run]() {
+    std::string reason = run.reason();
+    return reason.empty() ? std::string("time budget exceeded") : reason;
   };
-  auto finish = [&](QreAnswer* a) {
-    a->stats = stats;
+
+  std::vector<QreAnswer> answers;
+  auto attach_run_stats = [&](QreAnswer* a) {
     a->stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
-    a->stats.total_seconds = total_timer.ElapsedSeconds();
+    a->stats.peak_tracked_bytes = governor_->peak_tracked_bytes();
+    a->stats.degradation_events = governor_->degradation_events();
+    a->stats.cancelled = run.cause() == StopCause::kCancelled;
+    a->stats.total_seconds = run.ElapsedSeconds();
   };
   QreTrace* trace_ptr = nullptr;  // set below once the trace exists
-  auto not_found = [&](const std::string& reason) {
+  // Ends the search without discarding progress: the answers already found
+  // are returned, followed by one unfound entry whose failure_reason says
+  // why the tail was truncated.
+  auto aborted = [&](const std::string& reason) {
     QreAnswer a;
     a.found = false;
     a.failure_reason = reason;
     if (trace_ptr != nullptr) a.trace = *trace_ptr;
-    finish(&a);
-    return std::vector<QreAnswer>{std::move(a)};
+    a.stats = stats;
+    attach_run_stats(&a);
+    answers.push_back(std::move(a));
+    return std::move(answers);
   };
 
   // ---- Preprocessing -------------------------------------------------------
   FASTQRE_ASSIGN_OR_RETURN(Table norm_rout, NormalizeRout(*db_, rout));
+  // gov: bounded — one set copy of R_out (small by problem definition),
+  // alive for the whole search.
   const TupleSet rout_set = TableToTupleSet(norm_rout);
 
   ColumnCover cover = ComputeColumnCover(*db_, norm_rout, options_, &stats);
   if (cover.HasEmptyCover()) {
-    return not_found(
+    return aborted(
         "some R_out column is contained in no database column; no PJ query "
         "can generate R_out");
   }
 
   CgmSet cgms;
   if (options_.use_cgm_ranking) {
-    cgms = DiscoverCgms(*db_, norm_rout, cover, options_, &stats);
+    cgms = DiscoverCgms(*db_, norm_rout, cover, options_, &stats,
+                        budget_exceeded, governor_.get());
+    // A partially discovered CGM set must not rank mappings: if the stop
+    // fired mid-discovery, abort here with the stats gathered so far.
+    if (run.ShouldStop()) return aborted(stop_reason());
   }
 
   // ---- Candidate generation + validation -----------------------------------
   QreTrace trace;
   trace_ptr = &trace;
-  std::vector<QreAnswer> answers;
   MappingEnumerator mappings(db_, &norm_rout, &cover,
                              options_.use_cgm_ranking ? &cgms : nullptr,
-                             &options_, budget_exceeded);
+                             &options_, budget_exceeded, governor_.get());
   ColumnMapping mapping;
   for (int m = 0; m < options_.max_mappings && mappings.Next(&mapping); ++m) {
     ++stats.mappings_tried;
     if (options_.collect_trace) {
       trace.mappings.push_back(mapping.ToString(*db_, norm_rout));
     }
-    if (budget_exceeded()) return not_found("time budget exceeded");
+    if (budget_exceeded()) return aborted(stop_reason());
 
     std::vector<Walk> walks;
     if (mapping.instances.size() > 1) {
@@ -307,7 +395,8 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
       const int need = limit - static_cast<int>(answers.size());
       ParallelMappingResult pr = RunMappingParallel(
           db_, &norm_rout, &rout_set, &mapping, &walks, &options_, &feedback,
-          &stats, walk_cache_.get(), budget_exceeded, &composer, need);
+          &stats, walk_cache_.get(), budget_exceeded, &composer, need,
+          governor_.get());
       stats.candidates_pruned_dead += composer.sets_pruned_dead();
       stats.walk_sets_expanded += composer.sets_expanded();
 
@@ -343,14 +432,17 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
           a.num_joins = ro.cand.query.joins().size();
           a.trace = trace;
           a.stats = stats;
-          a.stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
-          a.stats.total_seconds = total_timer.ElapsedSeconds();
+          attach_run_stats(&a);
           answers.push_back(std::move(a));
+          // Fault site "answer-found": fires once per accepted answer, so a
+          // cancel@n schedule can truncate ReverseAll() after exactly n
+          // answers (the truncation-semantics regression tests).
+          governor_->FaultPoint("answer-found");
         }
       }
       if (static_cast<int>(answers.size()) >= limit) return answers;
       if (pr.budget_exhausted || !prefix_complete) {
-        return not_found("time budget exceeded");
+        return aborted(stop_reason());
       }
       continue;  // next mapping
     }
@@ -366,7 +458,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
            composer.Next(&candidate)) {
       ++tried;
       ++stats.candidates_generated;
-      if (budget_exceeded()) return not_found("time budget exceeded");
+      if (budget_exceeded()) return aborted(stop_reason());
 
       CandidateOutcome outcome = validator.Validate(candidate);
       if (outcome != CandidateOutcome::kBudgetExhausted) {
@@ -390,9 +482,11 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
           a.stats = stats;
           a.stats.candidates_pruned_dead += composer.sets_pruned_dead();
           a.stats.walk_sets_expanded += composer.sets_expanded();
-          a.stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
-          a.stats.total_seconds = total_timer.ElapsedSeconds();
+          attach_run_stats(&a);
           answers.push_back(std::move(a));
+          // See the parallel path: per-answer fault site for truncation
+          // tests.
+          governor_->FaultPoint("answer-found");
           if (static_cast<int>(answers.size()) >= limit) {
             return answers;
           }
@@ -410,16 +504,21 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
         case CandidateOutcome::kError:
           break;  // only this candidate is dismissed
         case CandidateOutcome::kBudgetExhausted:
-          return not_found("time budget exceeded");
+          // Validate() only reports this for a *global* stop (candidate-local
+          // memory refusals surface as kError and dismiss one candidate).
+          return aborted(stop_reason());
       }
     }
     stats.candidates_pruned_dead += composer.sets_pruned_dead();
     stats.walk_sets_expanded += composer.sets_expanded();
   }
 
+  // A stop that fired between candidates (e.g. an injected cancel right
+  // after an accepted answer) still truncates: report it before returning a
+  // below-limit answer set as complete.
+  if (run.ShouldStop()) return aborted(stop_reason());
   if (!answers.empty()) return answers;
-  if (budget_exceeded()) return not_found("time budget exceeded");
-  return not_found("search space exhausted without finding a generating query");
+  return aborted("search space exhausted without finding a generating query");
 }
 
 }  // namespace fastqre

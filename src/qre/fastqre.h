@@ -21,6 +21,8 @@
 
 namespace fastqre {
 
+class CancellationToken;
+class ResourceGovernor;
 class WalkCache;
 
 /// \brief Optional explanation of a Reverse() run (QreOptions::collect_trace):
@@ -53,8 +55,9 @@ struct QreAnswer {
   /// True if a generating query was found; the remaining query fields are
   /// only meaningful then.
   bool found = false;
-  /// Why the search ended without an answer ("search space exhausted",
-  /// "time budget exceeded", ...). Empty when found.
+  /// Why the search ended without an answer ("search space exhausted...",
+  /// "time budget exceeded", "cancelled", "memory budget exceeded", ...).
+  /// Empty when found.
   std::string failure_reason;
 
   PJQuery query;
@@ -99,8 +102,19 @@ class FastQre {
 
   /// Like Reverse() but keeps enumerating after the first answer, returning
   /// up to `limit` distinct generating queries in discovery order (the
-  /// "enumerate other generating queries" interface of Section 3).
+  /// "enumerate other generating queries" interface of Section 3). When the
+  /// search stops early (time budget, Cancel(), memory exhaustion), the
+  /// answers already found are returned followed by one unfound entry whose
+  /// failure_reason records why the tail was truncated.
   Result<std::vector<QreAnswer>> ReverseAll(const Table& rout, int limit) const;
+
+  /// Cooperatively cancels every in-flight and future Reverse()/ReverseAll()
+  /// call on this engine, from any thread. The search stops at its next
+  /// interrupt poll and returns the answers found so far with
+  /// failure_reason "cancelled" on the truncated tail. Sticky: construct a
+  /// fresh engine to search again (which also makes a retried run
+  /// byte-identical — the engine carries no partial-search state).
+  void Cancel() const;
 
  private:
   const Database* db_;
@@ -108,7 +122,18 @@ class FastQre {
   // Walk-materialization cache (DESIGN.md §9), shared across Reverse()
   // calls and validation workers; null when the budget is 0. Internally
   // synchronized, so the const/thread-safety contract above still holds.
-  std::unique_ptr<WalkCache> walk_cache_;
+  // shared_ptr because the governor's pressure hook holds a reference: the
+  // cache must outlive any late charge arriving through the database's
+  // governor attachment.
+  std::shared_ptr<WalkCache> walk_cache_;
+  // Cancellation + resource governing (DESIGN.md §11). Both are created in
+  // the constructor and never null in a live engine (moved-from engines
+  // hold nulls and must not be used, as usual).
+  std::shared_ptr<CancellationToken> cancel_token_;
+  std::shared_ptr<ResourceGovernor> governor_;
+  // Deferred QreOptions::fault_spec / FASTQRE_FAULTS parse error, reported
+  // by the next ReverseAll() call (constructors cannot return Status).
+  Status fault_spec_error_;
 };
 
 }  // namespace fastqre

@@ -21,13 +21,15 @@ std::string ColumnMapping::ToString(const Database& db, const Table& rout) const
 MappingEnumerator::MappingEnumerator(const Database* db, const Table* rout,
                                      const ColumnCover* cover, const CgmSet* cgms,
                                      const QreOptions* options,
-                                     std::function<bool()> budget_exceeded)
+                                     std::function<bool()> budget_exceeded,
+                                     ResourceGovernor* governor)
     : db_(db),
       rout_(rout),
       cover_(cover),
       cgms_(cgms),
       options_(options),
-      budget_exceeded_(std::move(budget_exceeded)) {
+      budget_exceeded_(std::move(budget_exceeded)),
+      governor_(governor) {
   // Per-column optimistic score: the best achievable contribution, used in
   // the admissible heuristic.
   best_col_score_.resize(rout->num_columns(), 0.0);
@@ -52,8 +54,9 @@ MappingEnumerator::MappingEnumerator(const Database* db, const Table* rout,
   State root;
   root.next_col = 0;
   root.score = 0.0;
-  root.optimistic = OptimisticRest(0);
-  queue_.push(std::move(root));
+  // Through PushState so the root participates in frontier accounting like
+  // every other state (pop-side releases assume push-side charges).
+  PushState(std::move(root));
 }
 
 double MappingEnumerator::OptimisticRest(uint32_t from_col) const {
@@ -74,8 +77,31 @@ double MappingEnumerator::PairScore(ColumnId out_col, TableId table,
   return certain_bonus ? 1.0 : 0.0;
 }
 
+MappingEnumerator::~MappingEnumerator() {
+  // States still queued when the enumeration is abandoned (answer found,
+  // budget exceeded) release their accounting here.
+  if (governor_ != nullptr && frontier_charged_ > 0) {
+    governor_->Release(frontier_charged_);
+  }
+}
+
+uint64_t MappingEnumerator::EstimateStateBytes(const State& s) {
+  uint64_t bytes = sizeof(State) + s.instances.size() * sizeof(InstanceAssignment);
+  for (const InstanceAssignment& inst : s.instances) {
+    bytes += inst.columns.size() * sizeof(std::pair<ColumnId, ColumnId>);
+  }
+  return bytes;
+}
+
 void MappingEnumerator::PushState(State s) {
   s.optimistic = s.score + OptimisticRest(s.next_col);
+  if (governor_ != nullptr) {
+    // Required charge: the state is already constructed; overflow escalates
+    // the ladder and the enumeration stops at its next budget poll.
+    uint64_t bytes = EstimateStateBytes(s);
+    governor_->Charge(bytes, "mapping-frontier");
+    frontier_charged_ += bytes;
+  }
   queue_.push(std::move(s));
 }
 
@@ -89,6 +115,13 @@ bool MappingEnumerator::Next(ColumnMapping* out) {
     }
     State s = queue_.top();
     queue_.pop();
+    if (governor_ != nullptr) {
+      // The copy preserves the shape EstimateStateBytes measures, so this
+      // release exactly matches the push-side charge.
+      uint64_t bytes = EstimateStateBytes(s);
+      governor_->Release(bytes);
+      frontier_charged_ -= bytes;
+    }
     ++states_expanded_;
 
     if (s.next_col == num_cols) {

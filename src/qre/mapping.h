@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource_governor.h"
 #include "qre/cgm.h"
 #include "qre/column_cover.h"
 #include "qre/options.h"
@@ -60,11 +61,16 @@ class MappingEnumerator {
   /// `budget_exceeded` (may be empty) is polled periodically during the
   /// best-first search so a time-budgeted Reverse() call cannot stall
   /// inside mapping enumeration (the search space is exponential without
-  /// CGM constraints).
+  /// CGM constraints). `governor` (may be null) is charged for the
+  /// best-first frontier's resident bytes ("mapping-frontier"): pushes
+  /// charge, pops release, and the destructor releases whatever remains
+  /// queued, so an abandoned enumeration leaks no accounting.
   MappingEnumerator(const Database* db, const Table* rout,
                     const ColumnCover* cover, const CgmSet* cgms,
                     const QreOptions* options,
-                    std::function<bool()> budget_exceeded = {});
+                    std::function<bool()> budget_exceeded = {},
+                    ResourceGovernor* governor = nullptr);
+  ~MappingEnumerator();
 
   /// Produces the next-ranked mapping; false when the space (or the state
   /// budget) is exhausted. Emitted mappings are deduplicated by the induced
@@ -90,6 +96,9 @@ class MappingEnumerator {
   };
 
   void PushState(State s);
+  /// Size-based byte estimate of a queued state; deterministic in the
+  /// state's shape, so the push-side and pop-side estimates always agree.
+  static uint64_t EstimateStateBytes(const State& s);
   double OptimisticRest(uint32_t from_col) const;
   double PairScore(ColumnId out_col, TableId table, ColumnId db_col,
                    bool certain_bonus) const;
@@ -102,6 +111,8 @@ class MappingEnumerator {
 
   std::vector<double> best_col_score_;  // per out column, for the heuristic
   std::function<bool()> budget_exceeded_;
+  ResourceGovernor* governor_;
+  uint64_t frontier_charged_ = 0;  // bytes currently charged for queue_
   std::priority_queue<State, std::vector<State>, StateOrder> queue_;
   std::set<std::vector<std::pair<int, ColumnId>>> emitted_;
   uint64_t states_expanded_ = 0;

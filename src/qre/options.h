@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace fastqre {
 
@@ -52,6 +53,21 @@ struct QreOptions {
   /// Wall-clock budget for one Reverse() call; 0 = unlimited. On timeout,
   /// Reverse returns ResourceExhausted with the statistics gathered so far.
   double time_budget_seconds = 0.0;
+
+  /// Byte budget of the ResourceGovernor (DESIGN.md §11): tracked bytes of
+  /// every large search-path allocation (hash indexes, block buffers, walk
+  /// materializations, mapping frontier). 0 = unlimited (accounting still
+  /// runs, so QreStats::peak_tracked_bytes is always meaningful). On
+  /// pressure the engine degrades gracefully — walk-cache shrink, then
+  /// pipelined-only validation — before aborting the search with
+  /// failure_reason "memory budget exceeded".
+  uint64_t memory_budget_bytes = 0;
+
+  /// Deterministic fault-injection spec (testing; see
+  /// common/fault_injection.h for the grammar). Empty: fall back to the
+  /// FASTQRE_FAULTS environment variable; both empty: injection disabled at
+  /// zero overhead.
+  std::string fault_spec;
 
   /// Number of threads validating candidate queries concurrently. 1 (the
   /// default) keeps the exact serial pipeline; N > 1 runs the composer on

@@ -46,6 +46,10 @@ std::string QreStats::ToString() const {
                       static_cast<unsigned long long>(walk_cache_misses),
                       static_cast<unsigned long long>(walk_cache_evictions),
                       static_cast<unsigned long long>(walk_cache_bytes));
+  out += StringFormat("resource governor:     peak=%llu bytes, degradations=%llu, cancelled=%s\n",
+                      static_cast<unsigned long long>(peak_tracked_bytes),
+                      static_cast<unsigned long long>(degradation_events),
+                      cancelled ? "yes" : "no");
   return out;
 }
 
@@ -77,6 +81,12 @@ void QreStats::Accumulate(const QreStats& other) {
   walk_cache_misses += other.walk_cache_misses;
   walk_cache_evictions += other.walk_cache_evictions;
   walk_cache_bytes += other.walk_cache_bytes;
+  // Peak is a high-water mark, not a tally: keep the max across runs.
+  if (other.peak_tracked_bytes > peak_tracked_bytes) {
+    peak_tracked_bytes = other.peak_tracked_bytes;
+  }
+  degradation_events += other.degradation_events;
+  cancelled = cancelled || other.cancelled;
   total_seconds += other.total_seconds;
 }
 

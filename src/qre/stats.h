@@ -58,6 +58,15 @@ struct QreStats {
   RelaxedCounter walk_cache_evictions = 0;
   RelaxedCounter walk_cache_bytes = 0;
 
+  // Resource governor (DESIGN.md §11). peak_tracked_bytes is the high-water
+  // mark of governor-charged bytes during the run; degradation_events counts
+  // ladder escalations (shrink / pipelined-only / exhausted); cancelled is
+  // set when the run stopped because of FastQre::Cancel() (or an injected
+  // cancel fault), as opposed to a time or memory budget.
+  RelaxedCounter peak_tracked_bytes = 0;
+  RelaxedCounter degradation_events = 0;
+  bool cancelled = false;
+
   double total_seconds = 0.0;
 
   /// Multi-line human-readable report.

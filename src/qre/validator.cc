@@ -164,6 +164,7 @@ bool Validator::TryCachedCoherence(const Walk& walk, bool* verdict) {
 
   // Per needed tuple: the endpoint rows matching the tuple's bindings, and
   // whether any pair of them is connected by the materialized chain.
+  // gov: bounded — one projection of R_out, freed at scope exit.
   TupleSet needed = ProjectToTupleSet(*rout_, out_cols);
   std::vector<ValueId> key_from(from_cols.size()), key_to(to_cols.size());
   std::vector<ValueId> us, vs;
@@ -238,6 +239,7 @@ bool Validator::WalkCoherent(int walk_id) {
   // subquery's result. Checked by one index-backed point probe per needed
   // tuple (binding the subquery's projection columns), so an incoherent
   // walk is detected without draining the subquery's full result.
+  // gov: bounded — one projection of R_out, freed at scope exit.
   TupleSet needed = ProjectToTupleSet(*rout_, out_cols);
   const auto projections = subquery.projections();
   bool coherent = true;
@@ -344,9 +346,10 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     auto result = ExecuteBlock(*db_, candidate.query, "block", budget_exceeded_);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kResourceExhausted) {
-        // Either the overall time budget fired mid-evaluation, or this one
-        // candidate blew the block executor's intermediate-size cap. Only
-        // the former aborts the whole search; the latter skips just this
+        // Either a global stop (time budget, cancel, memory exhaustion)
+        // fired mid-evaluation, or this one candidate blew the block
+        // executor's intermediate-size cap / governor charge. Only the
+        // former aborts the whole search; the latter skips just this
         // candidate (it cannot be classified, so nothing is pruned).
         return BudgetExceeded() ? CandidateOutcome::kBudgetExhausted
                                 : CandidateOutcome::kError;
@@ -355,6 +358,9 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     }
     stats_->validation_rows += result->num_rows();
     stats_->fullscan_rows += result->num_rows();
+    // gov: charged — the block result's bytes were charged (and released)
+    // as "block-buffer" inside ExecuteBlock; this projection of it is
+    // transient and scope-bounded.
     TupleSet result_set = TableToTupleSet(*result);
     if (options_->variant == QreVariant::kExact) {
       if (result_set.size() != rout_set_->size()) {
@@ -378,6 +384,7 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
   if (!cursor.ok()) return CandidateOutcome::kError;
 
   std::vector<ValueId> row;
+  // gov: bounded — at most |R_out| tuples ever inserted.
   TupleSet covered;
   covered.reserve(rout_set_->size());
   while ((*cursor)->Next(&row)) {

@@ -35,6 +35,8 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
   // sorted distinct right-endpoint values reachable from in-value u through
   // hops i..last. The last hop seeds with its own out values; earlier hops
   // union the suffix sets of the rows they chain into.
+  // gov: charged — published relations are charged in FinishBuild; an
+  // unpublished build is transient and bounded by the interrupt poll.
   ReachMap next;
   uint64_t work = 0;
   auto interrupted = [&]() {
@@ -46,6 +48,7 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
     const Column& in = t.column(hop.in_col);
     const Column& out = t.column(hop.out_col);
     const bool last = (i + 1 == hops.size());
+    // gov: charged — moved into `next` above; same accounting.
     ReachMap cur;
     for (RowId r = 0; r < t.num_rows(); ++r) {
       if (interrupted()) return nullptr;
@@ -98,13 +101,23 @@ WalkCache::Entry* WalkCache::BeginBuild(const WalkSignature& sig,
 WalkCache::Handle WalkCache::FinishBuild(Entry* entry,
                                          std::unique_ptr<WalkRelation> built,
                                          QreStats* stats) {
+  // Charge the governor BEFORE taking mu_: a failed charge can escalate the
+  // degradation ladder, whose level-1 pressure hook re-enters this cache via
+  // ShrinkTo (which takes mu_). Charging under the lock would deadlock.
+  bool charged = false;
+  if (built != nullptr && governor_ != nullptr) {
+    charged = governor_->TryCharge(built->bytes, "walk-cache-build");
+  }
   MutexLock lock(&mu_);
   entry->building = false;
   if (!built) return nullptr;  // interrupted: publish nothing
 
   Handle handle(built.release());
-  if (handle->bytes > budget_bytes_) {
-    // Bigger than the whole budget: hand it to this caller, never cache it.
+  if (handle->bytes > budget_bytes_ || (governor_ != nullptr && !charged)) {
+    // Bigger than the whole budget, or refused by the governor (injected
+    // alloc-fail or memory pressure): hand it to this caller, never cache
+    // it. The caller's pin is transient, so nothing stays charged.
+    if (charged) governor_->Release(handle->bytes);
     return handle;
   }
   entry->relation = handle;
@@ -116,6 +129,8 @@ WalkCache::Handle WalkCache::FinishBuild(Entry* entry,
     if (victim == entry) break;  // unreachable (handle->bytes <= budget)
     lru_.pop_back();
     bytes_used_ -= victim->relation->bytes;
+    // Release is atomic-only: safe while holding mu_.
+    if (governor_ != nullptr) governor_->Release(victim->relation->bytes);
     victim->relation.reset();  // readers keep their pins
     ++evictions_;
     if (stats) ++stats->walk_cache_evictions;
@@ -123,10 +138,26 @@ WalkCache::Handle WalkCache::FinishBuild(Entry* entry,
   return handle;
 }
 
+void WalkCache::ShrinkTo(size_t target_bytes) {
+  MutexLock lock(&mu_);
+  while (bytes_used_ > target_bytes && !lru_.empty()) {
+    Entry* victim = lru_.back();
+    lru_.pop_back();
+    bytes_used_ -= victim->relation->bytes;
+    if (governor_ != nullptr) governor_->Release(victim->relation->bytes);
+    victim->relation.reset();  // readers keep their pins
+    ++evictions_;
+  }
+}
+
 WalkCache::Handle WalkCache::Acquire(const Database& db,
                                      const WalkSignature& sig, QreStats* stats,
                                      const std::function<bool()>& interrupt) {
   if (!sig.cacheable || budget_bytes_ == 0) return nullptr;
+  // Degradation ladder level 2 (pipelined-only): stop materializing.
+  if (governor_ != nullptr && !governor_->materialization_allowed()) {
+    return nullptr;
+  }
 
   Handle hit;
   Entry* entry = BeginBuild(sig, stats, &hit);

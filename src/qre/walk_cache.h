@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/resource_governor.h"
 #include "common/thread_annotations.h"
 #include "engine/executor.h"
 #include "qre/stats.h"
@@ -36,7 +37,10 @@ namespace fastqre {
 /// canonical orientation. Immutable after construction; consumers hold it
 /// through a shared_ptr pin, so eviction never invalidates a live cursor.
 struct WalkRelation {
+  // gov: charged — FinishBuild charges published relations to the governor;
+  // unpublished builds are transient and interrupt-bounded.
   ReachMap forward;  // canonical-left join value -> sorted reachable rights
+  // gov: charged — accounted together with `forward` via `bytes`.
   ReachMap reverse;  // inverse of forward
   size_t bytes = 0;  // estimated resident size (cost accounting)
 };
@@ -57,8 +61,15 @@ class WalkCache {
  public:
   using Handle = std::shared_ptr<const WalkRelation>;
 
-  WalkCache(size_t budget_bytes, int admission)
-      : budget_bytes_(budget_bytes), admission_(admission) {}
+  /// `governor` (may be null) is charged for resident relation bytes and
+  /// consulted before materializing: once the degradation ladder reaches
+  /// pipelined-only (DESIGN.md §11), Acquire returns nullptr without
+  /// building.
+  WalkCache(size_t budget_bytes, int admission,
+            std::shared_ptr<ResourceGovernor> governor = nullptr)
+      : budget_bytes_(budget_bytes),
+        admission_(admission),
+        governor_(std::move(governor)) {}
 
   WalkCache(const WalkCache&) = delete;
   WalkCache& operator=(const WalkCache&) = delete;
@@ -73,11 +84,19 @@ class WalkCache {
   Handle Acquire(const Database& db, const WalkSignature& sig, QreStats* stats,
                  const std::function<bool()>& interrupt);
 
+  /// Evicts LRU relations until resident bytes drop to `target_bytes` (the
+  /// governor's level-1 pressure action; also usable directly). Pinned
+  /// readers are unaffected — eviction only drops the cache's references.
+  void ShrinkTo(size_t target_bytes) EXCLUDES(mu_);
+
   /// Current resident relation bytes (gauge).
   size_t bytes() const;
 
   /// Total evictions since construction.
   uint64_t evictions() const;
+
+  /// Configured byte budget (for pressure-hook arithmetic).
+  size_t budget_bytes() const { return budget_bytes_; }
 
  private:
   struct Entry {
@@ -102,6 +121,10 @@ class WalkCache {
 
   const size_t budget_bytes_;
   const int admission_;
+  // Charged before mu_ is taken (a failed charge may escalate the governor,
+  // whose pressure hook re-enters this cache through ShrinkTo); Release is
+  // atomic-only and safe under mu_ on eviction paths.
+  const std::shared_ptr<ResourceGovernor> governor_;
 
   mutable Mutex mu_;
   // Entries are never erased (only their relations are dropped), so Entry

@@ -1,5 +1,6 @@
 #include "storage/database.h"
 
+#include "common/resource_governor.h"
 #include "common/timer.h"
 
 namespace fastqre {
@@ -35,9 +36,25 @@ Status Database::AddForeignKey(const std::string& child_table,
   return Status::OK();
 }
 
+void Database::AttachGovernor(std::shared_ptr<ResourceGovernor> governor) const {
+  MutexLock lock(&caches_->mu);
+  caches_->governor = std::move(governor);
+}
+
+std::shared_ptr<ResourceGovernor> Database::governor() const {
+  MutexLock lock(&caches_->mu);
+  return caches_->governor;
+}
+
+void Database::DetachGovernor(const ResourceGovernor* governor) const {
+  MutexLock lock(&caches_->mu);
+  if (caches_->governor.get() == governor) caches_->governor.reset();
+}
+
 const HashIndex& Database::GetOrBuildIndex(TableId t,
                                            std::vector<ColumnId> cols) const {
   std::shared_ptr<IndexSlot> slot;
+  std::shared_ptr<ResourceGovernor> governor;
   bool inserted = false;
   {
     MutexLock lock(&caches_->mu);
@@ -46,6 +63,7 @@ const HashIndex& Database::GetOrBuildIndex(TableId t,
     if (fresh) pos->second = std::make_shared<IndexSlot>();
     slot = pos->second;
     inserted = fresh;
+    governor = caches_->governor;
   }
   if (!inserted) ++caches_->index_stats.cache_hits;
   // Exactly one caller per key runs the build; concurrent requesters of the
@@ -53,6 +71,11 @@ const HashIndex& Database::GetOrBuildIndex(TableId t,
   std::call_once(slot->once, [&] {
     Timer timer;
     slot->index = std::make_unique<HashIndex>(*tables_[t], std::move(cols));
+    if (governor != nullptr) {
+      // Required charge: the index is already built and cached for the
+      // database's lifetime; overflow degrades the search, not the build.
+      governor->Charge(slot->index->EstimatedBytes(), "index-build");
+    }
     caches_->index_stats.build_seconds += timer.ElapsedSeconds();
     ++caches_->index_stats.indexes_built;
   });
@@ -61,15 +84,20 @@ const HashIndex& Database::GetOrBuildIndex(TableId t,
 
 const ColumnPattern& Database::GetColumnPattern(TableId t, ColumnId c) const {
   std::shared_ptr<PatternSlot> slot;
+  std::shared_ptr<ResourceGovernor> governor;
   {
     MutexLock lock(&caches_->mu);
     auto [pos, fresh] =
         caches_->pattern_cache.try_emplace(std::make_pair(t, c), nullptr);
     if (fresh) pos->second = std::make_shared<PatternSlot>();
     slot = pos->second;
+    governor = caches_->governor;
   }
   std::call_once(slot->once, [&] {
     slot->pattern = ComputeColumnPattern(tables_[t]->column(c), *dict_);
+    if (governor != nullptr) {
+      governor->Charge(sizeof(PatternSlot), "pattern-build");
+    }
   });
   return slot->pattern;
 }

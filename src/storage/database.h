@@ -22,6 +22,8 @@
 
 namespace fastqre {
 
+class ResourceGovernor;
+
 /// \brief A declared pk-fk constraint (child.fk_col references parent.pk_col).
 struct ForeignKey {
   TableId child_table;
@@ -112,6 +114,23 @@ class Database {
 
   const IndexBuildStats& index_stats() const { return caches_->index_stats; }
 
+  /// Attaches the resource governor charged for lazily-built index and
+  /// pattern bytes (DESIGN.md §11). Logically const: governing is an
+  /// accounting concern, not a data mutation. One governor at a time — the
+  /// last attach wins, so multiple engines sharing a Database account index
+  /// builds to the most recently constructed engine (documented limitation;
+  /// indexes are built once and shared, so per-engine attribution is
+  /// inherently approximate). Pass nullptr to detach. Thread-safe.
+  void AttachGovernor(std::shared_ptr<ResourceGovernor> governor) const;
+
+  /// The currently attached governor; may be null.
+  std::shared_ptr<ResourceGovernor> governor() const;
+
+  /// Detaches `governor` iff it is still the attached one (compare-and-clear,
+  /// so a dying engine never clobbers a newer engine's attachment).
+  /// Thread-safe.
+  void DetachGovernor(const ResourceGovernor* governor) const;
+
   /// Total number of rows across all tables.
   size_t TotalRows() const;
 
@@ -147,6 +166,9 @@ class Database {
     IndexBuildStats index_stats;
     std::map<std::pair<TableId, ColumnId>, std::shared_ptr<PatternSlot>>
         pattern_cache GUARDED_BY(mu);
+    // Charged for index/pattern build bytes; held as shared_ptr so a build
+    // racing an engine teardown keeps the governor alive.
+    std::shared_ptr<ResourceGovernor> governor GUARDED_BY(mu);
   };
   mutable std::unique_ptr<LazyCaches> caches_ = std::make_unique<LazyCaches>();
 };

@@ -21,6 +21,23 @@ HashIndex::HashIndex(const Table& table, std::vector<ColumnId> cols)
       multi_[key].push_back(r);
     }
   }
+  // Per-entry estimate: key storage + posting-list header and capacity +
+  // ~16 bytes of hash-table node/bucket overhead. Computed once here so the
+  // governor charge is O(keys) at build, not recomputed per query.
+  size_t bytes = sizeof(HashIndex);
+  if (cols_.size() == 1) {
+    // det: order-insensitive — commutative sum of per-entry byte estimates.
+    for (const auto& [key, rows] : single_) {
+      bytes += sizeof(key) + sizeof(rows) + rows.capacity() * sizeof(RowId) + 16;
+    }
+  } else {
+    // det: order-insensitive — commutative sum of per-entry byte estimates.
+    for (const auto& [key, rows] : multi_) {
+      bytes += sizeof(rows) + key.capacity() * sizeof(ValueId) +
+               rows.capacity() * sizeof(RowId) + 16;
+    }
+  }
+  estimated_bytes_ = bytes;
 }
 
 }  // namespace fastqre

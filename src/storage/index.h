@@ -41,6 +41,12 @@ class HashIndex {
     return it == multi_.end() ? kEmpty() : it->second;
   }
 
+  /// Estimated resident bytes (keys, posting lists, hash-node overhead),
+  /// computed once at build time. Charged to the resource governor by the
+  /// database's index cache (DESIGN.md §11); indexes persist for the
+  /// database's lifetime, so the charge is never released.
+  size_t EstimatedBytes() const { return estimated_bytes_; }
+
  private:
   static const std::vector<RowId>& kEmpty() {
     static const std::vector<RowId> e;
@@ -48,6 +54,7 @@ class HashIndex {
   }
 
   std::vector<ColumnId> cols_;
+  size_t estimated_bytes_ = 0;
   std::unordered_map<ValueId, std::vector<RowId>> single_;
   std::unordered_map<std::vector<ValueId>, std::vector<RowId>, IdTupleHash> multi_;
 };

@@ -1,0 +1,14 @@
+// Fixture: materialization-sized buffers declared with no resource
+// accounting classification — [governed-alloc] must flag both.
+#include "engine/compare.h"
+
+namespace fastqre {
+
+void CollectEverything() {
+  TupleSet everything;
+  std::vector<std::vector<RowId>> rows;
+  (void)everything;
+  (void)rows;
+}
+
+}  // namespace fastqre

@@ -1,0 +1,20 @@
+// Fixture: classified buffer declarations — [governed-alloc] stays quiet,
+// and references/pointers/function declarations are exempt without markers.
+#include "engine/compare.h"
+
+namespace fastqre {
+
+TupleSet MakeSmallSet();
+
+void Accumulate(const TupleSet& input, TupleSet* output) {
+  // gov: bounded — one projection of R_out, freed at scope exit.
+  TupleSet projected;
+  // gov: charged — bytes accounted to the governor as "block-buffer".
+  std::vector<std::vector<RowId>> rows;
+  (void)input;
+  (void)output;
+  (void)projected;
+  (void)rows;
+}
+
+}  // namespace fastqre

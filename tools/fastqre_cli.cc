@@ -8,21 +8,30 @@
 //       Materialize a ladder query's output as a CSV "report" to reverse.
 //   fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]
 //                   [--alpha A] [--all K] [--threads N] [--walk-cache-mb MB]
+//                   [--memory-budget-mb MB] [--cancel-after S]
 //                   [--stats] [--verify] [--trace]
 //       Reverse engineer a generating query for the report. --threads N
 //       validates candidates on N worker threads; the answer is identical
 //       to a single-threaded run (rank-deterministic), just faster.
+//       --memory-budget-mb caps the tracked search-path allocations
+//       (DESIGN.md §11; 0 = unlimited); --cancel-after fires Cancel() from a
+//       watchdog thread after S seconds — the external-cancellation test
+//       hook, exercising the same path a Ctrl-C handler would.
 //   fastqre run --db DIR --sql "SELECT a.x FROM t a WHERE ..." [--limit N]
 //       Execute a PJ query and print its (distinct) result rows.
 //   fastqre tune --db DIR
 //       Calibrate alpha on self-generated test queries (Section 4.4.2).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
+#include "common/timer.h"
 #include "common/table_printer.h"
 #include "datagen/tpch.h"
 #include "datagen/workload.h"
@@ -46,7 +55,8 @@ int Usage() {
       "  fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv\n"
       "  fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]\n"
       "                  [--alpha A] [--all K] [--threads N]\n"
-      "                  [--walk-cache-mb MB] [--stats] [--verify] [--trace]\n"
+      "                  [--walk-cache-mb MB] [--memory-budget-mb MB]\n"
+      "                  [--cancel-after S] [--stats] [--verify] [--trace]\n"
       "  fastqre run --db DIR --sql QUERY [--limit N]\n"
       "  fastqre tune --db DIR\n");
   return 2;
@@ -182,10 +192,35 @@ int CmdReverse(const Flags& flags) {
     return 2;
   }
   opts.walk_cache_budget_bytes = static_cast<uint64_t>(cache_mb) << 20;
+  long long mem_mb = flags.GetInt("memory-budget-mb", 0);
+  if (mem_mb < 0) {
+    std::fprintf(stderr, "error: --memory-budget-mb must be >= 0\n");
+    return 2;
+  }
+  opts.memory_budget_bytes = static_cast<uint64_t>(mem_mb) << 20;
   int limit = static_cast<int>(flags.GetInt("all", 1));
+  double cancel_after = flags.GetDouble("cancel-after", -1.0);
 
   FastQre engine(&*db, opts);
+  // External cancellation: a watchdog thread calls Cancel() after the
+  // deadline, unless the search wins the race and finishes first.
+  std::thread watchdog;
+  std::atomic<bool> reverse_done{false};
+  if (cancel_after >= 0) {
+    watchdog = std::thread([&engine, &reverse_done, cancel_after] {
+      Timer timer;
+      while (!reverse_done.load(std::memory_order_acquire)) {
+        if (timer.ElapsedSeconds() >= cancel_after) {
+          engine.Cancel();
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
   auto answers = engine.ReverseAll(*rout, limit);
+  reverse_done.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
   if (!answers.ok()) return Fail(answers.status());
 
   int rc = 1;

@@ -33,6 +33,17 @@ about. Rules (ids in brackets):
       release for flag handoff; seq_cst is never needed here and hides
       the author's intent).
 
+  [governed-alloc]  Every declaration of a materialization-sized buffer in
+      src/ — a by-value TupleSet / ReachMap, or a nested row buffer
+      std::vector<std::vector<RowId|ValueId>> — must carry a resource
+      accounting classification comment within the three preceding lines
+      (or on the declaration line itself):
+          // gov: charged — <which governor site accounts the bytes>
+          // gov: bounded — <why the size is small by construction>
+      These are the types whose instances scale with data size; an
+      unclassified one is how an allocation escapes the resource governor's
+      memory budget (DESIGN.md §11).
+
   [bad-suppression]  Suppressions must be well-formed (see below).
 
 Suppression: a finding on line N is suppressed by a comment on line N or
@@ -63,6 +74,7 @@ RAW_RANDOM = "raw-random"
 INTERRUPT_LITERAL = "interrupt-poll-literal"
 NAKED_NEW = "naked-new"
 ATOMIC_ORDER = "atomic-order"
+GOVERNED_ALLOC = "governed-alloc"
 BAD_SUPPRESSION = "bad-suppression"
 ALL_RULES = {
     UNORDERED_ITER,
@@ -70,6 +82,7 @@ ALL_RULES = {
     INTERRUPT_LITERAL,
     NAKED_NEW,
     ATOMIC_ORDER,
+    GOVERNED_ALLOC,
     BAD_SUPPRESSION,
 }
 
@@ -88,6 +101,18 @@ SUPPRESSION_RE = re.compile(
     r"//\s*NOLINT-INVARIANT\(([a-z-]*)\)\s*:?\s*(.*)$")
 DET_MARKER_RE = re.compile(
     r"//.*\bdet:\s*(sorted|order-insensitive)\b[\s:—–-]*(\S.*)?$")
+GOV_MARKER_RE = re.compile(
+    r"//.*\bgov:\s*(charged|bounded)\b[\s:—–-]*(\S.*)?$")
+# By-value declarations of data-scaled buffer types. The \b after the
+# captured name keeps backtracking from shortening a function name past its
+# trailing '(' (which the lookahead exempts: functions *returning* these
+# types allocate at their own declaration sites, not here).
+GOVERNED_DECL_RES = (
+    re.compile(r"\b(?:TupleSet|ReachMap)\s+(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
+    re.compile(
+        r"std::vector<\s*std::vector<\s*(?:RowId|ValueId)\s*>\s*>\s+"
+        r"(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
+)
 FOR_KEYWORD_RE = re.compile(r"\bfor\s*\(")
 IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 
@@ -293,6 +318,15 @@ def has_det_marker(raw_lines, line_no):
     return False
 
 
+def has_gov_marker(raw_lines, line_no):
+    """True if lines line_no-3 .. line_no carry a gov: classification."""
+    for idx in range(max(1, line_no - 3), line_no + 1):
+        m = GOV_MARKER_RE.search(raw_lines[idx - 1])
+        if m and m.group(2):  # classification + non-empty reason
+            return True
+    return False
+
+
 def balanced_call_args(text, open_paren_idx, limit=600):
     """Returns the argument text of a call starting at '('."""
     depth = 0
@@ -395,6 +429,18 @@ def lint_file(vpath, raw_text, stripped_text, unordered_names):
             add(line_of(m.start()), ATOMIC_ORDER,
                 "memory_order_seq_cst is banned by policy (DESIGN.md §10): "
                 "state the ordering the algorithm actually needs")
+
+    # --- governed-alloc ------------------------------------------------------
+    if vpath.startswith("src/"):
+        for rx in GOVERNED_DECL_RES:
+            for m in rx.finditer(stripped_text):
+                line_no = line_of(m.start())
+                if not has_gov_marker(raw_lines, line_no):
+                    add(line_no, GOVERNED_ALLOC,
+                        "data-scaled buffer declaration needs a resource "
+                        "accounting classification: '// gov: charged — "
+                        "<governor site>' or '// gov: bounded — <why small>' "
+                        "within 3 lines above (DESIGN.md §11)")
 
     return findings
 
