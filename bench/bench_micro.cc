@@ -77,6 +77,92 @@ void BM_HashIndexProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_HashIndexProbe);
 
+void BM_LookupBatch(benchmark::State& state) {
+  // Vectorized counterpart of BM_HashIndexProbe: one LookupBatch call per
+  // morsel of keys instead of one Lookup1 per key (DESIGN.md §12). Unlike
+  // Lookup1 (which hands back a reference), LookupBatch materializes the
+  // matching rows into a flat buffer — the executor needs them gathered
+  // anyway. Arg = key stride: 1 keeps the generator's natural row order
+  // (lineitems of one order are adjacent, so duplicate keys hit the
+  // memoized fast path, as in the executor's reach-driven probes); 7
+  // destroys adjacency (worst case, every key pays a full hash probe).
+  Database db = BuildTpch({.scale_factor = 0.01, .seed = 1}).ValueOrDie();
+  const Table& lineitem = db.table(*db.FindTable("lineitem"));
+  HashIndex index(lineitem, {0});
+  const size_t stride = static_cast<size_t>(state.range(0));
+  std::vector<ValueId> keys;
+  for (RowId r = 0; r < lineitem.num_rows(); r += stride) {
+    keys.push_back(lineitem.column(0).at(r));
+  }
+  BatchMatches out;
+  for (auto _ : state) {
+    size_t done = 0;
+    while (done < keys.size()) {
+      done += index.LookupBatch(keys.data() + done, keys.size() - done, &out,
+                                1u << 16);
+    }
+    benchmark::DoNotOptimize(out.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_LookupBatch)->Arg(1)->Arg(7);
+
+void BM_MorselFullCheck(benchmark::State& state) {
+  // The all-tuple subset-probe pass of one candidate's full check: one
+  // fully-bound point probe per R_out tuple. Arg(0) = the legacy kernel
+  // (replan a fresh cursor per tuple); Arg(1) = the morsel kernel (plan
+  // once, Rebind per tuple) — the E14 convoy-tail mechanism isolated.
+  Database db = BuildTpch({.scale_factor = 0.01, .seed = 1}).ValueOrDie();
+  QueryBuilder b(&db);
+  InstanceId o = b.Instance("orders");
+  InstanceId c = b.Instance("customer");
+  b.Join(o, "o_custkey", c, "c_custkey");
+  b.Project(o, "o_orderkey");
+  b.Project(c, "c_name");
+  PJQuery q = b.Build().ValueOrDie();
+  Table rout = ExecuteToTable(db, q, "rout").ValueOrDie();
+  const auto projections = q.projections();
+  const bool batched = state.range(0) != 0;
+  uint64_t probes = 0;
+  for (auto _ : state) {
+    std::vector<ValueId> row;
+    if (batched) {
+      PJQuery probe = q;
+      for (size_t j = 0; j < projections.size(); ++j) {
+        probe.AddSelection(projections[j].instance, projections[j].column,
+                           rout.column(static_cast<ColumnId>(j)).at(0));
+      }
+      auto cursor = QueryCursor::Create(db, probe).ValueOrDie();
+      std::vector<ValueId> vals(projections.size());
+      for (RowId r = 0; r < rout.num_rows(); ++r) {
+        for (size_t j = 0; j < vals.size(); ++j) {
+          vals[j] = rout.column(static_cast<ColumnId>(j)).at(r);
+        }
+        cursor->Rebind(vals.data(), vals.size());
+        benchmark::DoNotOptimize(cursor->Next(&row));
+        ++probes;
+      }
+    } else {
+      ExecPolicy scalar;
+      scalar.batch_probes = false;
+      PJQuery probe = q;
+      for (RowId r = 0; r < rout.num_rows(); ++r) {
+        probe.ClearSelections();
+        for (size_t j = 0; j < projections.size(); ++j) {
+          probe.AddSelection(projections[j].instance, projections[j].column,
+                             rout.column(static_cast<ColumnId>(j)).at(r));
+        }
+        auto cursor = QueryCursor::Create(db, probe, {}, {}, scalar).ValueOrDie();
+        benchmark::DoNotOptimize(cursor->Next(&row));
+        ++probes;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+}
+BENCHMARK(BM_MorselFullCheck)->Arg(0)->Arg(1);
+
 void BM_JoinExecution(benchmark::State& state) {
   Database db = BuildTpch({.scale_factor = 0.005, .seed = 1}).ValueOrDie();
   QueryBuilder b(&db);

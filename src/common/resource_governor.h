@@ -97,6 +97,13 @@ class ResourceGovernor {
   /// inert here; cancel and delay apply. No-op without an injector.
   void FaultPoint(const char* site);
 
+  /// Like FaultPoint but additionally reports whether an alloc-fail rule
+  /// fired, for sites whose allocation is owned by the caller — a morsel
+  /// worker maps it onto a refused block-buffer quantum (candidate-local
+  /// dismissal, never a whole-search abort). Always false without an
+  /// injector; nothing is charged or escalated here.
+  bool FaultPointAllocFails(const char* site) { return Inject(site); }
+
   /// Degradation ladder reads.
   bool materialization_allowed() const {
     return level_.load(std::memory_order_acquire) < 2;

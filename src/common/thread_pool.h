@@ -10,6 +10,11 @@
 //    Wait() to quiesce. Used by stress tests and benchmarks; the QRE
 //    driver itself spawns dedicated per-run workers because their
 //    lifetime matches one mapping's validation phase exactly.
+//  * RunMorsels — a per-batch fork/join over a shared morsel counter for
+//    intra-candidate parallelism (DESIGN.md §12). The caller participates,
+//    so a batch completes even when every pool worker is busy with some
+//    other candidate's batch; ThreadPool::Wait() (which quiesces the whole
+//    pool) is deliberately not used.
 //
 // Locking uses the annotated Mutex/CondVar wrappers (DESIGN.md §10) so the
 // guarded-field invariants are checked by Clang's -Wthread-safety pass.
@@ -18,6 +23,8 @@
 // cannot relate to the held lock.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -155,5 +162,51 @@ class ThreadPool {
   bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
+
+/// \brief Runs fn(morsel_index) for every index in [0, num_morsels), claiming
+/// indexes from a shared atomic counter: the calling thread always drains the
+/// counter itself, and up to `extra_workers` helper tasks are submitted to
+/// `pool` (when non-null) to steal morsels concurrently. Returns only after
+/// every claimed morsel has finished, including those run by helpers.
+///
+/// Deadlock-free by construction: completion never depends on pool capacity
+/// (the caller alone can finish the batch), and helpers that start after the
+/// counter is drained exit immediately. Determinism is the caller's job: fn
+/// must write only to its own morsel's slot, so the merge order is fixed by
+/// morsel index regardless of which thread ran which morsel.
+inline void RunMorsels(ThreadPool* pool, int extra_workers, size_t num_morsels,
+                       const std::function<void(size_t)>& fn) {
+  if (num_morsels == 0) return;
+  std::atomic<size_t> next{0};
+  auto drain = [&next, num_morsels, &fn] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < num_morsels;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  if (pool == nullptr || extra_workers <= 0 || num_morsels == 1) {
+    drain();
+    return;
+  }
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(extra_workers), num_morsels - 1);
+  // Per-batch join state: helpers decrement `live` when their drain returns;
+  // the caller waits for zero after finishing its own drain. The state lives
+  // on this stack frame, which outlives every helper because of that wait.
+  Mutex mu;
+  CondVar all_done;
+  size_t live = helpers;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([&drain, &mu, &all_done, &live] {
+      drain();
+      MutexLock lock(&mu);
+      if (--live == 0) all_done.NotifyAll();
+    });
+  }
+  drain();
+  MutexLock lock(&mu);
+  while (live > 0) all_done.Wait(mu);
+}
 
 }  // namespace fastqre

@@ -1,10 +1,12 @@
 #include "engine/block_executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "common/hash.h"
 #include "common/resource_governor.h"
+#include "common/thread_pool.h"
 #include "engine/compare.h"
 #include "engine/executor.h"
 
@@ -12,17 +14,74 @@ namespace fastqre {
 
 namespace {
 
-// Block-buffer bytes are accumulated locally and flushed to the governor in
-// quanta, keeping the accounting cost off the per-row hot path.
+// Block-buffer bytes are accumulated locally (per morsel worker) and flushed
+// to the governor in quanta, keeping the accounting cost off the per-row hot
+// path.
 constexpr uint64_t kChargeQuantumBytes = 64 * 1024;
 
+// Hard cap on intermediate materialization: pathological candidate queries
+// can otherwise exhaust memory before any time budget fires. Enforced
+// exactly at merge time (so the verdict is identical in every execution
+// configuration) and approximately inside each worker (so no single morsel
+// materializes unboundedly past it).
+constexpr size_t kMaxIntermediateRows = 20'000'000;
+
+// Rows the batched kernel expands per LookupBatch call before filtering and
+// appending: bounds the reusable match scratch even for keys with huge
+// posting lists.
+constexpr size_t kBatchExpandRowCap = 64 * 1024;
+
+// Why the shared stop flag fired; first cause wins (CAS). Values double as
+// merge-time status codes.
+enum : int {
+  kRunning = 0,
+  kStopInterrupt = 1,
+  kStopMemory = 2,
+  kStopCap = 3,
+};
+
 // Releases every byte this block evaluation charged, on all return paths
-// (the intermediates are freed when the function's locals unwind).
+// (the intermediates are freed when the function's locals unwind). Workers
+// fold their flushed quanta into `charged` with relaxed adds; the final
+// load happens after every worker joined, so the total is exact.
 struct BlockChargeGuard {
   const std::shared_ptr<ResourceGovernor>& governor;
-  uint64_t& charged;
+  std::atomic<uint64_t>& charged;
   ~BlockChargeGuard() {
-    if (governor != nullptr && charged > 0) governor->Release(charged);
+    uint64_t total = charged.load(std::memory_order_relaxed);
+    if (governor != nullptr && total > 0) governor->Release(total);
+  }
+};
+
+// Same-instance filters (self joins, selections) of one plan step, resolved
+// to raw column pointers once so the per-row check is a few loads.
+struct LocalFilters {
+  std::vector<std::pair<const ValueId*, const ValueId*>> self_eq;
+  std::vector<std::pair<const ValueId*, ValueId>> sel_eq;
+
+  void Build(const Database& db, const PJQuery& query, InstanceId inst) {
+    const Table& t = db.table(query.instance_table(inst));
+    for (const auto& j : query.joins()) {
+      if (j.a == inst && j.b == inst) {
+        self_eq.emplace_back(t.column(j.col_a).data().data(),
+                             t.column(j.col_b).data().data());
+      }
+    }
+    for (const auto& s : query.selections()) {
+      if (s.instance == inst) {
+        sel_eq.emplace_back(t.column(s.column).data().data(), s.value);
+      }
+    }
+  }
+
+  bool Passes(RowId r) const {
+    for (const auto& [a, b] : self_eq) {
+      if (a[r] != b[r]) return false;
+    }
+    for (const auto& [col, val] : sel_eq) {
+      if (col[r] != val) return false;
+    }
+    return true;
   }
 };
 
@@ -30,30 +89,8 @@ struct BlockChargeGuard {
 
 Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
                            const std::string& name,
-                           std::function<bool()> interrupt) {
-  uint64_t work = 0;
-  auto interrupted = [&]() {
-    return (++work & kInterruptPollMask) == 0 && interrupt && interrupt();
-  };
-  // Governor accounting for the materialized intermediates (DESIGN.md §11).
-  // Cumulative across join steps — a conservative overestimate of the peak —
-  // and fully released on exit via the guard below. A refused charge
-  // dismisses this candidate only (the validator maps candidate-local
-  // ResourceExhausted to kError); it never aborts the whole search.
-  const std::shared_ptr<ResourceGovernor> governor = db.governor();
-  uint64_t charged_bytes = 0;
-  uint64_t pending_bytes = 0;
-  BlockChargeGuard charge_guard{governor, charged_bytes};
-  auto charge_pending = [&]() {
-    if (governor == nullptr || pending_bytes == 0) return true;
-    if (!governor->TryCharge(pending_bytes, "block-buffer")) return false;
-    charged_bytes += pending_bytes;
-    pending_bytes = 0;
-    return true;
-  };
-  // Hard cap on intermediate materialization: pathological candidate
-  // queries can otherwise exhaust memory before any time budget fires.
-  constexpr size_t kMaxIntermediateRows = 20'000'000;
+                           std::function<bool()> interrupt,
+                           const ExecPolicy& policy) {
   const size_t n = query.num_instances();
   if (n == 0) return Status::InvalidArgument("query has no instances");
   if (!query.IsConnected()) {
@@ -62,6 +99,44 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
   if (query.projections().empty()) {
     return Status::InvalidArgument("query has no projection columns");
   }
+  const size_t morsel = policy.MorselSize();
+
+  // Governor accounting for the materialized intermediates (DESIGN.md §11).
+  // Cumulative across join steps — a conservative overestimate of the peak —
+  // and fully released on exit via the guard below. A refused charge
+  // dismisses this candidate only (the validator maps candidate-local
+  // ResourceExhausted to kError); it never aborts the whole search.
+  const std::shared_ptr<ResourceGovernor> governor = db.governor();
+  std::atomic<uint64_t> charged_bytes{0};
+  BlockChargeGuard charge_guard{governor, charged_bytes};
+
+  // Shared stop flag: set by whichever morsel first observes an interrupt, a
+  // refused charge, or the intermediate cap; later morsels exit immediately.
+  // Relaxed suffices — the flag guards no data (per-morsel buffers are
+  // published by the RunMorsels join) and the first-cause CAS is exact.
+  std::atomic<int> stop{kRunning};
+  auto raise_stop = [&stop](int cause) {
+    int expected = kRunning;
+    (void)stop.compare_exchange_strong(expected, cause,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed);
+  };
+  auto stop_status = [&stop]() {
+    switch (stop.load(std::memory_order_relaxed)) {
+      case kStopMemory:
+        return Status::ResourceExhausted(
+            "block evaluation exceeded the memory budget");
+      case kStopCap:
+        return Status::ResourceExhausted(
+            "block evaluation exceeded the intermediate-size cap");
+      default:
+        return Status::ResourceExhausted("block evaluation interrupted");
+    }
+  };
+  // Approximate running total of appended intermediate rows, for the
+  // in-worker cap guard; the exact (configuration-independent) cap verdict
+  // is re-checked on the merged total after each step.
+  std::atomic<size_t> produced{0};
 
   // Left-deep join order: start anywhere, repeatedly attach an instance
   // adjacent to the placed set (any order is correct; smallest-table-first
@@ -99,40 +174,49 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
     order.push_back(best);
   }
 
-  // Per-instance filters (same-instance joins, selections).
-  auto passes_local = [&](InstanceId inst, RowId row) {
-    const Table& t = db.table(query.instance_table(inst));
-    for (const auto& j : query.joins()) {
-      if (j.a == inst && j.b == inst &&
-          t.column(j.col_a).at(row) != t.column(j.col_b).at(row)) {
-        return false;
-      }
-    }
-    for (const auto& s : query.selections()) {
-      if (s.instance == inst && t.column(s.column).at(row) != s.value) {
-        return false;
-      }
-    }
-    return true;
-  };
+  // Intermediate relation: a flat row-major matrix, one RowId per placed
+  // instance per row. Flat (instead of a vector per row) so morsel workers
+  // scan their driving slice cache-linearly and the merge is a memcpy.
+  // gov: charged — every appended row's bytes flow through the per-morsel
+  // quantum flushes below; released in full by charge_guard.
+  std::vector<RowId> rows;
+  size_t width = 1;
 
-  // Materialize the intermediate relation in plan order; each intermediate
-  // row is one RowId per placed instance.
-  // gov: charged — intermediate buffer bytes flushed via charge_pending().
-  std::vector<std::vector<RowId>> rows;
+  // Step 0: filter the start table's rows, one morsel-sized chunk at a time
+  // (per-chunk interrupt polls; the scan itself is cheap).
   {
     const Table& t0 = db.table(query.instance_table(order[0]));
-    for (RowId r = 0; r < t0.num_rows(); ++r) {
-      if (passes_local(order[0], r)) {
-        rows.push_back({r});
-        pending_bytes += sizeof(std::vector<RowId>) + sizeof(RowId);
+    LocalFilters filters;
+    filters.Build(db, query, order[0]);
+    const size_t t0_rows = t0.num_rows();
+    uint64_t pending = 0;
+    for (size_t lo = 0; lo < t0_rows; lo += morsel) {
+      if (interrupt && interrupt()) return stop_status();
+      const size_t hi = std::min(t0_rows, lo + morsel);
+      for (RowId r = static_cast<RowId>(lo); r < hi; ++r) {
+        if (filters.Passes(r)) {
+          rows.push_back(r);
+          pending += sizeof(RowId);
+        }
+      }
+      if (governor != nullptr && pending >= kChargeQuantumBytes) {
+        if (!governor->TryCharge(pending, "block-buffer")) {
+          return Status::ResourceExhausted(
+              "block evaluation exceeded the memory budget");
+        }
+        charged_bytes.fetch_add(pending, std::memory_order_relaxed);
+        pending = 0;
       }
     }
-    if (!charge_pending()) {
-      return Status::ResourceExhausted(
-          "block evaluation exceeded the memory budget");
+    if (governor != nullptr && pending > 0) {
+      if (!governor->TryCharge(pending, "block-buffer")) {
+        return Status::ResourceExhausted(
+            "block evaluation exceeded the memory budget");
+      }
+      charged_bytes.fetch_add(pending, std::memory_order_relaxed);
     }
   }
+
   for (size_t p = 1; p < n; ++p) {
     InstanceId inst = order[p];
     // Key columns of `inst` from joins whose other endpoint is placed.
@@ -160,79 +244,219 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
 
     const HashIndex& index = db.GetOrBuildIndex(query.instance_table(inst),
                                                 key_cols);
-    // gov: charged — per-row bytes accumulate in pending_bytes below.
-    std::vector<std::vector<RowId>> next;
-    std::vector<ValueId> key(key_cols.size());
-    for (const auto& binding : rows) {
-      for (size_t k = 0; k < key_sources.size(); ++k) {
-        const auto& [src_pos, src_col] = key_sources[k];
-        const Table& src_table =
-            db.table(query.instance_table(order[src_pos]));
-        key[k] = src_table.column(src_col).at(binding[src_pos]);
-      }
-      const std::vector<RowId>& matches =
-          key.size() == 1 ? index.Lookup1(key[0]) : index.Lookup(key);
-      for (RowId match : matches) {
-        if (interrupted()) {
-          return Status::ResourceExhausted("block evaluation interrupted");
-        }
-        if (!passes_local(inst, match)) continue;
-        if (next.size() >= kMaxIntermediateRows) {
-          return Status::ResourceExhausted(
-              "block evaluation exceeded the intermediate-size cap");
-        }
-        std::vector<RowId> extended = binding;
-        extended.push_back(match);
-        next.push_back(std::move(extended));
-        pending_bytes +=
-            sizeof(std::vector<RowId>) + (p + 1) * sizeof(RowId);
-        if (pending_bytes >= kChargeQuantumBytes && !charge_pending()) {
-          return Status::ResourceExhausted(
-              "block evaluation exceeded the memory budget");
-        }
-      }
+    LocalFilters filters;
+    filters.Build(db, query, inst);
+    // Key-source columns resolved to raw pointers once per step.
+    const size_t kw = key_sources.size();
+    std::vector<int> src_pos(kw);
+    std::vector<const ValueId*> src_data(kw);
+    for (size_t k = 0; k < kw; ++k) {
+      src_pos[k] = key_sources[k].first;
+      src_data[k] = db.table(query.instance_table(order[key_sources[k].first]))
+                        .column(key_sources[k].second)
+                        .data()
+                        .data();
     }
-    if (!charge_pending()) {
+
+    const size_t w = width;
+    const size_t count = rows.size() / w;
+    const size_t num_morsels = (count + morsel - 1) / morsel;
+    // Per-morsel result buffers, merged in morsel-index order below — the
+    // determinism backbone of DESIGN.md §12.
+    // gov: charged — each worker flushes its buffer's bytes in 64 KB quanta
+    // ("block-buffer"); released in full by charge_guard.
+    std::vector<std::vector<RowId>> morsel_out(num_morsels);
+
+    // One morsel: probe driving rows [m*morsel, ...) against the step index
+    // and append passing (binding, match) rows to this morsel's own buffer.
+    auto run_morsel = [&](size_t m) {
+      if (stop.load(std::memory_order_relaxed) != kRunning) return;
+      // Fault site "morsel-worker": fires once per morsel. An injected
+      // alloc-fail models this worker's first refused quantum; cancel lands
+      // at the interrupt poll just below (DESIGN.md §11).
+      if (governor != nullptr &&
+          governor->FaultPointAllocFails("morsel-worker")) {
+        raise_stop(kStopMemory);
+        return;
+      }
+      // Per-morsel interrupt poll: a deadline or Cancel() is honored within
+      // one morsel of work, and never mid-merge.
+      if (interrupt && interrupt()) {
+        raise_stop(kStopInterrupt);
+        return;
+      }
+      const size_t lo = m * morsel;
+      const size_t hi = std::min(count, lo + morsel);
+      std::vector<RowId>& out = morsel_out[m];
+      uint64_t pending = 0;
+      auto flush = [&]() {
+        if (governor == nullptr || pending == 0) return true;
+        if (!governor->TryCharge(pending, "block-buffer")) return false;
+        charged_bytes.fetch_add(pending, std::memory_order_relaxed);
+        pending = 0;
+        return true;
+      };
+      auto append_match = [&](size_t di, RowId match) {
+        const RowId* binding = rows.data() + di * w;
+        out.insert(out.end(), binding, binding + w);
+        out.push_back(match);
+        pending += (w + 1) * sizeof(RowId);
+      };
+
+      if (policy.batch_probes) {
+        // Batched kernel: gather the morsel's keys columnarly, probe them
+        // through one LookupBatch, then filter each key's match extent with
+        // raw-pointer column compares. Visit order (driving row, then index
+        // row order) is exactly the scalar kernel's.
+        std::vector<ValueId> keys((hi - lo) * kw);
+        for (size_t k = 0; k < kw; ++k) {
+          const ValueId* col = src_data[k];
+          const int sp = src_pos[k];
+          for (size_t i = lo; i < hi; ++i) {
+            keys[(i - lo) * kw + k] = col[rows[i * w + sp]];
+          }
+        }
+        BatchMatches matches;
+        size_t done = 0;
+        const size_t nk = hi - lo;
+        while (done < nk) {
+          const size_t consumed = index.LookupBatch(
+              keys.data() + done * kw, nk - done, &matches, kBatchExpandRowCap);
+          const size_t before =
+              produced.fetch_add(matches.rows.size(),
+                                 std::memory_order_relaxed);
+          if (before + matches.rows.size() > kMaxIntermediateRows) {
+            raise_stop(kStopCap);
+            return;
+          }
+          for (size_t i = 0; i < consumed; ++i) {
+            const size_t di = lo + done + i;
+            const RowId* mb = matches.begin_of(i);
+            const RowId* me = matches.end_of(i);
+            for (const RowId* r = mb; r < me; ++r) {
+              if (!filters.Passes(*r)) continue;
+              append_match(di, *r);
+            }
+            if (pending >= kChargeQuantumBytes && !flush()) {
+              raise_stop(kStopMemory);
+              return;
+            }
+          }
+          done += consumed;
+        }
+      } else {
+        // Scalar kernel: the legacy tuple-at-a-time probe loop (ablation
+        // baseline), restricted to this morsel's driving slice.
+        std::vector<ValueId> key(kw);
+        for (size_t di = lo; di < hi; ++di) {
+          for (size_t k = 0; k < kw; ++k) {
+            key[k] = src_data[k][rows[di * w + src_pos[k]]];
+          }
+          const std::vector<RowId>& match_rows =
+              kw == 1 ? index.Lookup1(key[0]) : index.Lookup(key);
+          const size_t before =
+              produced.fetch_add(match_rows.size(), std::memory_order_relaxed);
+          if (before + match_rows.size() > kMaxIntermediateRows) {
+            raise_stop(kStopCap);
+            return;
+          }
+          for (RowId match : match_rows) {
+            if (!filters.Passes(match)) continue;
+            append_match(di, match);
+          }
+          if (pending >= kChargeQuantumBytes && !flush()) {
+            raise_stop(kStopMemory);
+            return;
+          }
+        }
+      }
+      if (!flush()) raise_stop(kStopMemory);
+    };
+
+    RunMorsels(policy.WantsParallel(count) ? policy.pool : nullptr,
+               policy.intra_threads - 1, num_morsels, run_morsel);
+    if (stop.load(std::memory_order_relaxed) != kRunning) {
+      return stop_status();
+    }
+
+    // Merge in morsel-index order: the concatenation equals the scalar
+    // serial traversal order, so the step output is byte-identical at any
+    // thread count.
+    size_t total = 0;
+    for (const auto& buf : morsel_out) total += buf.size();
+    if (total / (w + 1) > kMaxIntermediateRows) {
       return Status::ResourceExhausted(
-          "block evaluation exceeded the memory budget");
+          "block evaluation exceeded the intermediate-size cap");
     }
-    rows = std::move(next);
+    if (num_morsels == 1) {
+      rows = std::move(morsel_out[0]);
+    } else {
+      // gov: charged — replaced buffer; its bytes were charged above and the
+      // cumulative total is released by charge_guard at exit.
+      std::vector<RowId> merged;
+      merged.reserve(total);
+      for (auto& buf : morsel_out) {
+        merged.insert(merged.end(), buf.begin(), buf.end());
+      }
+      rows = std::move(merged);
+    }
+    width = w + 1;
   }
 
-  // Project and dedupe.
+  // Project and dedupe: serial (first-occurrence order defines the output
+  // table byte-for-byte), chunked per morsel for the interrupt poll.
   Table out(name, db.dictionary());
   std::unordered_set<std::string> used_names;
-  for (const auto& proj : query.projections()) {
+  std::vector<const ValueId*> proj_data(query.projections().size());
+  std::vector<int> proj_pos(query.projections().size());
+  for (size_t i = 0; i < query.projections().size(); ++i) {
+    const auto& proj = query.projections()[i];
     const Column& src =
         db.table(query.instance_table(proj.instance)).column(proj.column);
     std::string col_name = src.name();
     while (used_names.count(col_name) > 0) col_name += "_";
     used_names.insert(col_name);
     FASTQRE_RETURN_NOT_OK(out.AddColumn(col_name, src.type()));
+    proj_data[i] = src.data().data();
+    proj_pos[i] = pos[proj.instance];
   }
-  // gov: charged — dedup-set bytes accumulate in pending_bytes below.
+  // gov: charged — dedup-set bytes accumulate in `pending` below.
   TupleSet seen;
-  seen.reserve(rows.size());
+  const size_t out_count = width == 0 ? 0 : rows.size() / width;
+  seen.reserve(out_count);
   std::vector<ValueId> tuple(query.projections().size());
-  for (const auto& binding : rows) {
-    if (interrupted()) {
+  uint64_t pending = 0;
+  for (size_t lo = 0; lo < out_count; lo += morsel) {
+    if (interrupt && interrupt()) {
       return Status::ResourceExhausted("block evaluation interrupted");
     }
-    for (size_t i = 0; i < query.projections().size(); ++i) {
-      const auto& proj = query.projections()[i];
-      tuple[i] = db.table(query.instance_table(proj.instance))
-                     .column(proj.column)
-                     .at(binding[pos[proj.instance]]);
+    const size_t hi = std::min(out_count, lo + morsel);
+    for (size_t bi = lo; bi < hi; ++bi) {
+      const RowId* binding = rows.data() + bi * width;
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        tuple[i] = proj_data[i][binding[proj_pos[i]]];
+      }
+      if (seen.insert(tuple).second) {
+        out.AppendRowIds(tuple);
+        // Node + stored tuple + output-row estimate.
+        pending += 2 * tuple.size() * sizeof(ValueId) + 48;
+      }
     }
-    if (seen.insert(tuple).second) {
-      out.AppendRowIds(tuple);
-      // Node + stored tuple + output-row estimate.
-      pending_bytes += 2 * tuple.size() * sizeof(ValueId) + 48;
-      if (pending_bytes >= kChargeQuantumBytes && !charge_pending()) {
+    if (governor != nullptr && pending >= kChargeQuantumBytes) {
+      if (!governor->TryCharge(pending, "block-buffer")) {
         return Status::ResourceExhausted(
             "block evaluation exceeded the memory budget");
       }
+      charged_bytes.fetch_add(pending, std::memory_order_relaxed);
+      pending = 0;
     }
+  }
+  if (governor != nullptr && pending > 0) {
+    if (!governor->TryCharge(pending, "block-buffer")) {
+      return Status::ResourceExhausted(
+          "block evaluation exceeded the memory budget");
+    }
+    charged_bytes.fetch_add(pending, std::memory_order_relaxed);
   }
   return out;
 }

@@ -7,11 +7,18 @@
 // candidate query without a get-next interface. The naive baseline's
 // non-progressive validation uses this path; it is also a differential
 // oracle for the pipelined executor in tests.
+//
+// Execution is morsel-driven (DESIGN.md §12): each join step partitions its
+// driving relation into fixed-size morsels, processed either on the calling
+// thread or on a shared ThreadPool per the ExecPolicy, with per-morsel
+// result buffers merged back in morsel-index order — so the output table is
+// byte-identical at any thread count, morsel size, or kernel choice.
 #pragma once
 
 #include <functional>
 
 #include "common/result.h"
+#include "engine/exec_policy.h"
 #include "engine/query.h"
 #include "storage/database.h"
 
@@ -23,10 +30,13 @@ namespace fastqre {
 /// Unlike QueryCursor there is no early exit of any kind: the cost of the
 /// whole join is always paid, which is exactly the behaviour the
 /// progressive-evaluation component is designed to avoid.
-/// `interrupt` (may be empty) is polled periodically; when it fires the
-/// evaluation stops with ResourceExhausted.
+/// `interrupt` (may be empty) is polled once per morsel of work; when it
+/// fires the evaluation stops with ResourceExhausted within one morsel.
+/// `policy` picks the probe kernels (scalar vs batched) and the morsel
+/// dispatch (serial vs pool workers); the result is identical either way.
 Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
                            const std::string& name,
-                           std::function<bool()> interrupt = {});
+                           std::function<bool()> interrupt = {},
+                           const ExecPolicy& policy = {});
 
 }  // namespace fastqre

@@ -1,0 +1,55 @@
+// Execution policy for one candidate: vectorized (batched) probe kernels
+// and morsel-driven intra-candidate parallelism (DESIGN.md §12).
+//
+// The policy travels from QreOptions through the validator into the block
+// executor and the pipelined cursor. Every combination of its knobs yields
+// byte-identical results — morsels are merged in morsel-index order and the
+// batched kernels preserve the scalar kernels' row visit order — so the
+// policy only ever changes how fast a candidate executes, never what the
+// search answers.
+#pragma once
+
+#include <cstddef>
+
+namespace fastqre {
+
+class ThreadPool;
+
+/// \brief Default driving-relation tuples per morsel: large enough that the
+/// per-morsel scheduling and interrupt-poll cost is amortized away, small
+/// enough that a deadline or Cancel() lands within a few thousand rows.
+inline constexpr size_t kDefaultMorselSize = 2048;
+
+/// \brief How a candidate's joins execute.
+struct ExecPolicy {
+  /// Vectorized column probes: HashIndex::LookupBatch over dense key
+  /// vectors, columnar candidate prefilters, and rebind-amortized point
+  /// probes. Off = the legacy tuple-at-a-time kernels (ablation axis, E14).
+  bool batch_probes = true;
+
+  /// Total workers (including the calling thread) executing one candidate's
+  /// morsels; <= 1 keeps execution on the calling thread.
+  int intra_threads = 1;
+
+  /// Driving-relation tuples per morsel — also the block executor's
+  /// interrupt-poll granularity.
+  size_t morsel_size = kDefaultMorselSize;
+
+  /// Smallest driving relation worth dispatching to the pool; below it the
+  /// scheduling overhead exceeds the win and morsels stay on the caller.
+  size_t intra_threshold = 4096;
+
+  /// Shared worker pool for morsel dispatch; not owned, may be null (serial).
+  ThreadPool* pool = nullptr;
+
+  /// Morsels actually go to the pool only when all three gates agree.
+  bool WantsParallel(size_t driving_rows) const {
+    return intra_threads > 1 && pool != nullptr &&
+           driving_rows >= intra_threshold;
+  }
+
+  /// Morsel size clamped away from 0 (a 0 would loop forever).
+  size_t MorselSize() const { return morsel_size == 0 ? 1 : morsel_size; }
+};
+
+}  // namespace fastqre

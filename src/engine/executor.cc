@@ -10,7 +10,7 @@ namespace fastqre {
 
 Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
     const Database& db, const PJQuery& query, std::function<bool()> interrupt,
-    const std::vector<VirtualJoin>& virtual_joins) {
+    const std::vector<VirtualJoin>& virtual_joins, const ExecPolicy& policy) {
   if (query.num_instances() == 0) {
     return Status::InvalidArgument("query has no instances");
   }
@@ -64,6 +64,7 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
 
   auto cursor = std::make_unique<QueryCursor>(PrivateTag{});
   cursor->db_ = &db;
+  cursor->policy_ = policy;
   cursor->interrupt_ = std::move(interrupt);
 
   // Pick the start instance: prefer one carrying selections so probing
@@ -174,17 +175,19 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
   }
 
   // Selections become index-key components (constants), so lookups return
-  // only rows already satisfying them.
+  // only rows already satisfying them. Each constant's slot is recorded so
+  // Rebind() can swap in a new probe tuple without replanning.
   std::vector<ColumnId> start_sel_cols;
   for (const auto& s : query.selections()) {
     int p = pos[s.instance];
     if (p == 0) {
       start_sel_cols.push_back(s.column);
-      cursor->steps_[0].key_sources.push_back(KeySource{-1, 0, s.value});
     } else {
       key_cols[p].push_back(s.column);
-      cursor->steps_[p].key_sources.push_back(KeySource{-1, 0, s.value});
     }
+    cursor->sel_slots_.emplace_back(static_cast<size_t>(p),
+                                    cursor->steps_[p].key_sources.size());
+    cursor->steps_[p].key_sources.push_back(KeySource{-1, 0, s.value});
   }
 
   // Build/fetch indexes.
@@ -263,6 +266,27 @@ void QueryCursor::InitCandidates(size_t pos) {
         steps_[d.from_pos].table->column(d.from_col).at(bound_[d.from_pos]);
     auto it = d.map->find(u);
     if (it == d.map->end()) return;  // nothing reachable: empty candidates
+    if (policy_.batch_probes) {
+      // Batched build: the cached reach list is a dense sorted ValueId span,
+      // probed one morsel at a time through LookupBatch — the vectorized
+      // containment filter of DESIGN.md §12. Append order (value order, then
+      // index row order per value) matches the scalar loop exactly.
+      const std::vector<ValueId>& vals = it->second;
+      const size_t chunk = policy_.MorselSize();
+      for (size_t lo = 0; lo < vals.size(); lo += chunk) {
+        const size_t len = std::min(chunk, vals.size() - lo);
+        rows_examined_ += len;
+        if (interrupt_ && interrupt_()) {
+          interrupted_ = true;
+          return;
+        }
+        (void)step.reach_index->LookupBatch(vals.data() + lo, len,
+                                            &batch_buf_);
+        owned.insert(owned.end(), batch_buf_.rows.begin(),
+                     batch_buf_.rows.end());
+      }
+      return;
+    }
     for (ValueId v : it->second) {
       ++rows_examined_;
       if ((rows_examined_ & kInterruptPollMask) == 0 && interrupt_ &&
@@ -289,6 +313,21 @@ void QueryCursor::InitCandidates(size_t pos) {
   }
   candidates_[pos] =
       key.size() == 1 ? &step.index->Lookup1(key[0]) : &step.index->Lookup(key);
+}
+
+void QueryCursor::Rebind(const ValueId* values, size_t n) {
+  // Replace the constants of the last n selections (AddSelection order):
+  // probing callers clone a base query (possibly carrying its own
+  // selections) and append one selection per projection column.
+  const size_t offset = sel_slots_.size() - n;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [p, k] = sel_slots_[offset + i];
+    steps_[p].key_sources[k].constant = values[i];
+  }
+  started_ = false;
+  done_ = false;
+  interrupted_ = false;
+  depth_ = -1;
 }
 
 bool QueryCursor::Next(std::vector<ValueId>* row) {

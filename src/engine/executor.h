@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/exec_policy.h"
 #include "engine/query.h"
 #include "storage/database.h"
 
@@ -76,15 +77,32 @@ class QueryCursor {
   /// whose later-planned endpoint has no physical index key drives that
   /// step's candidate rows from the cached endpoint set (one index probe
   /// per reachable value); otherwise it is applied as a row filter.
+  /// `policy` selects the probe kernels: with batch_probes on, reach-driven
+  /// candidate lists are built with one HashIndex::LookupBatch over the
+  /// cached value span instead of per-value probes. Result streams are
+  /// byte-identical either way.
   static Result<std::unique_ptr<QueryCursor>> Create(
       const Database& db, const PJQuery& query,
       std::function<bool()> interrupt = {},
-      const std::vector<VirtualJoin>& virtual_joins = {});
+      const std::vector<VirtualJoin>& virtual_joins = {},
+      const ExecPolicy& policy = {});
 
   /// Produces the next *raw* result row (one ValueId per projection, in
   /// projection order). Returns false at end-of-results. Rows are NOT
   /// deduplicated; callers wanting set semantics dedupe as they stream.
   bool Next(std::vector<ValueId>* row);
+
+  /// Re-binds the constants of the *last* `n` selections added to the query
+  /// this cursor was created from (in AddSelection order) and resets
+  /// iteration, so one planned cursor serves a whole batch of point probes —
+  /// the plan/index/alloc work of Create() is paid once per batch instead of
+  /// once per probe. rows_examined() keeps accumulating across rebinds;
+  /// interrupted() is cleared (the caller decides whether to continue).
+  /// Requires n <= the number of selections at Create time.
+  void Rebind(const ValueId* values, size_t n);
+
+  /// Number of selection constants Rebind() can replace.
+  size_t num_rebindable() const { return sel_slots_.size(); }
 
   /// Number of candidate rows examined so far (work metric for stats).
   uint64_t rows_examined() const { return rows_examined_; }
@@ -135,10 +153,16 @@ class QueryCursor {
   void InitCandidates(size_t pos);
 
   const Database* db_ = nullptr;
+  ExecPolicy policy_;
   std::vector<Step> steps_;
   std::vector<InstanceColumn> projections_;
   // projection -> (plan position, column)
   std::vector<std::pair<size_t, ColumnId>> proj_slots_;
+  // selection i -> (plan position, key_sources index) of its constant, in
+  // the order selections were added to the query; Rebind() swaps these.
+  std::vector<std::pair<size_t, size_t>> sel_slots_;
+  // Reusable batch-probe scratch for reach-driven candidate builds.
+  BatchMatches batch_buf_;
 
   // Iteration state.
   std::vector<const std::vector<RowId>*> candidates_;  // null => full scan

@@ -94,7 +94,8 @@ ParallelMappingResult RunMappingParallel(
     const ColumnMapping* mapping, const std::vector<Walk>* walks,
     const QreOptions* options, Feedback* feedback, QreStats* stats,
     WalkCache* walk_cache, const std::function<bool()>& budget_exceeded,
-    RankedComposer* composer, int need_answers, ResourceGovernor* governor) {
+    RankedComposer* composer, int need_answers, ResourceGovernor* governor,
+    const ExecPolicy& policy) {
   struct Item {
     uint64_t seq;
     CandidateQuery cand;
@@ -138,7 +139,7 @@ ParallelMappingResult RunMappingParallel(
                (budget_exceeded && budget_exceeded());
       };
       Validator validator(db, rout, rout_set, mapping, walks, options,
-                          feedback, stats, walk_cache, interrupt);
+                          feedback, stats, walk_cache, interrupt, policy);
       CandidateOutcome outcome = validator.Validate(item.cand);
       bool cancelled = false;
       if (outcome == CandidateOutcome::kBudgetExhausted) {
@@ -242,6 +243,11 @@ FastQre::FastQre(const Database* db, QreOptions options)
   cancel_token_ = std::make_shared<CancellationToken>();
   governor_ = std::make_shared<ResourceGovernor>(
       options_.memory_budget_bytes, cancel_token_, std::move(injector));
+  if (options_.intra_candidate_threads > 1) {
+    // N morsel workers per batch = the dispatching thread + (N-1) helpers.
+    intra_pool_ =
+        std::make_unique<ThreadPool>(options_.intra_candidate_threads - 1);
+  }
   if (options_.walk_cache_budget_bytes > 0) {
     walk_cache_ = std::make_shared<WalkCache>(options_.walk_cache_budget_bytes,
                                               options_.walk_cache_admission,
@@ -281,6 +287,7 @@ FastQre& FastQre::operator=(FastQre&& other) noexcept {
     walk_cache_ = std::move(other.walk_cache_);
     cancel_token_ = std::move(other.cancel_token_);
     governor_ = std::move(other.governor_);
+    intra_pool_ = std::move(other.intra_pool_);
     fault_spec_error_ = std::move(other.fault_spec_error_);
   }
   return *this;
@@ -319,6 +326,18 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
     std::string reason = run.reason();
     return reason.empty() ? std::string("time budget exceeded") : reason;
   };
+
+  // Intra-candidate execution policy (DESIGN.md §12), shared by every
+  // validator this call constructs. Verdicts and answers are identical for
+  // every setting; only the kernels and the morsel dispatch differ.
+  ExecPolicy exec_policy;
+  exec_policy.batch_probes = options_.use_batched_probes;
+  exec_policy.intra_threads = std::max(1, options_.intra_candidate_threads);
+  exec_policy.morsel_size =
+      static_cast<size_t>(std::max(1, options_.morsel_size));
+  exec_policy.intra_threshold =
+      static_cast<size_t>(std::max(0, options_.intra_row_threshold));
+  exec_policy.pool = intra_pool_.get();
 
   std::vector<QreAnswer> answers;
   auto attach_run_stats = [&](QreAnswer* a) {
@@ -396,7 +415,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
       ParallelMappingResult pr = RunMappingParallel(
           db_, &norm_rout, &rout_set, &mapping, &walks, &options_, &feedback,
           &stats, walk_cache_.get(), budget_exceeded, &composer, need,
-          governor_.get());
+          governor_.get(), exec_policy);
       stats.candidates_pruned_dead += composer.sets_pruned_dead();
       stats.walk_sets_expanded += composer.sets_expanded();
 
@@ -450,7 +469,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
     // ---- Serial validation path (validation_threads == 1) ----------------
     Validator validator(db_, &norm_rout, &rout_set, &mapping, &walks,
                         &options_, &feedback, &stats, walk_cache_.get(),
-                        budget_exceeded);
+                        budget_exceeded, exec_policy);
 
     CandidateQuery candidate;
     uint64_t tried = 0;

@@ -23,6 +23,7 @@ namespace fastqre {
 
 class CancellationToken;
 class ResourceGovernor;
+class ThreadPool;
 class WalkCache;
 
 /// \brief Optional explanation of a Reverse() run (QreOptions::collect_trace):
@@ -131,6 +132,12 @@ class FastQre {
   // hold nulls and must not be used, as usual).
   std::shared_ptr<CancellationToken> cancel_token_;
   std::shared_ptr<ResourceGovernor> governor_;
+  // Engine-owned pool for intra-candidate morsel execution (DESIGN.md §12);
+  // null unless QreOptions::intra_candidate_threads > 1. Shared by every
+  // validation thread of every Reverse() call on this engine: RunMorsels
+  // batches always complete on the dispatching thread itself, so sharing
+  // the pool can delay but never deadlock a candidate.
+  std::unique_ptr<ThreadPool> intra_pool_;
   // Deferred QreOptions::fault_spec / FASTQRE_FAULTS parse error, reported
   // by the next ReverseAll() call (constructors cannot return Status).
   Status fault_spec_error_;

@@ -83,6 +83,31 @@ struct QreOptions {
   /// never runs arbitrarily far ahead of the rank frontier.
   int validation_queue_capacity = 0;
 
+  /// Workers (including the validating thread itself) executing morsels
+  /// *inside* one candidate's materializing checks — block evaluation and
+  /// the per-R_out-tuple probe pass (DESIGN.md §12). 1 (the default) keeps
+  /// every candidate on its own validation thread. N > 1 dispatches morsels
+  /// onto an engine-owned pool shared across validation threads; morsel
+  /// results merge in morsel-index order, so answers stay byte-identical at
+  /// any setting.
+  int intra_candidate_threads = 1;
+
+  /// Driving-relation tuples per morsel for intra-candidate execution —
+  /// also the block executor's interrupt-poll granularity (a deadline or
+  /// Cancel() lands within one morsel of work). Clamped to >= 1.
+  int morsel_size = 2048;
+
+  /// Smallest driving relation (rows) dispatched to the intra-candidate
+  /// pool; below it morsels stay on the validating thread.
+  int intra_row_threshold = 4096;
+
+  /// Vectorized (batched) column probes: HashIndex::LookupBatch over dense
+  /// key vectors, columnar span filters in the block executor, and
+  /// rebind-amortized point probes in the validator. Off = the legacy
+  /// tuple-at-a-time kernels (ablation axis, experiment E14). Results are
+  /// byte-identical either way.
+  bool use_batched_probes = true;
+
   /// Number of R_out tuples bound by probing queries per candidate
   /// (the basic probing mechanism of Section 4.1; 0 disables).
   int probe_tuples = 2;

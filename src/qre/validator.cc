@@ -1,7 +1,10 @@
 #include "qre/validator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "engine/block_executor.h"
 #include "engine/executor.h"
 
@@ -23,7 +26,7 @@ Validator::Validator(const Database* db, const Table* rout,
                      const TupleSet* rout_set, const ColumnMapping* mapping,
                      const std::vector<Walk>* walks, const QreOptions* options,
                      Feedback* feedback, QreStats* stats, WalkCache* walk_cache,
-                     std::function<bool()> budget_exceeded)
+                     std::function<bool()> budget_exceeded, ExecPolicy policy)
     : db_(db),
       rout_(rout),
       rout_set_(rout_set),
@@ -33,7 +36,8 @@ Validator::Validator(const Database* db, const Table* rout,
       feedback_(feedback),
       stats_(stats),
       walk_cache_(walk_cache),
-      budget_exceeded_(std::move(budget_exceeded)) {}
+      budget_exceeded_(std::move(budget_exceeded)),
+      policy_(policy) {}
 
 Validator::Execution Validator::PrepareExecution(
     const CandidateQuery& candidate) {
@@ -88,7 +92,8 @@ CandidateOutcome Validator::ProbeCheck(const Execution& exec) {
       probe.AddSelection(projections[j].instance, projections[j].column,
                          rout_->column(static_cast<ColumnId>(j)).at(row));
     }
-    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_,
+                                      exec.vjoins, policy_);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> out_row;
     bool hit = (*cursor)->Next(&out_row);
@@ -105,7 +110,8 @@ CandidateOutcome Validator::ProbeCheck(const Execution& exec) {
     PJQuery probe = exec.query;
     const auto& proj0 = probe.projections()[0];
     probe.AddSelection(proj0.instance, proj0.column, rout_->column(0).at(0));
-    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
+    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_,
+                                      exec.vjoins, policy_);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> out_row;
     uint64_t streamed = 0;
@@ -244,24 +250,45 @@ bool Validator::WalkCoherent(int walk_id) {
   const auto projections = subquery.projections();
   bool coherent = true;
   size_t probed = 0;
+  // One cursor serves every probe: created on the first tuple, rebound for
+  // the rest (with batch_probes off, the legacy per-tuple replanning is
+  // kept as the ablation baseline). The accumulated rows_examined() is
+  // folded into the stats exactly once, on every exit path.
+  std::unique_ptr<QueryCursor> shared_cursor;
+  uint64_t counted_rows = 0;
+  auto count_rows = [&](const QueryCursor& cursor) {
+    const uint64_t delta = cursor.rows_examined() - counted_rows;
+    counted_rows = cursor.rows_examined();
+    stats_->validation_rows += delta;
+    stats_->coherence_rows += delta;
+  };
   // det: order-insensitive — forall-probe conjunction over needed tuples;
   // same verdict for every visiting order.
   for (const auto& tuple : needed) {
-    subquery.ClearSelections();
-    for (size_t j = 0; j < projections.size(); ++j) {
-      subquery.AddSelection(projections[j].instance, projections[j].column,
-                            tuple[j]);
-    }
-    auto cursor = QueryCursor::Create(*db_, subquery, budget_exceeded_);
-    if (!cursor.ok()) {
-      coherent = false;
-      break;
+    QueryCursor* cursor = nullptr;
+    if (policy_.batch_probes && shared_cursor != nullptr) {
+      shared_cursor->Rebind(tuple.data(), tuple.size());
+      cursor = shared_cursor.get();
+    } else {
+      subquery.ClearSelections();
+      for (size_t j = 0; j < projections.size(); ++j) {
+        subquery.AddSelection(projections[j].instance, projections[j].column,
+                              tuple[j]);
+      }
+      auto created =
+          QueryCursor::Create(*db_, subquery, budget_exceeded_, {}, policy_);
+      if (!created.ok()) {
+        coherent = false;
+        break;
+      }
+      shared_cursor = std::move(created).ValueOrDie();
+      counted_rows = 0;
+      cursor = shared_cursor.get();
     }
     std::vector<ValueId> row;
-    bool hit = (*cursor)->Next(&row);
-    stats_->validation_rows += (*cursor)->rows_examined();
-    stats_->coherence_rows += (*cursor)->rows_examined();
-    if ((*cursor)->interrupted()) {
+    bool hit = cursor->Next(&row);
+    count_rows(*cursor);
+    if (cursor->interrupted()) {
       // Unproven either way under timeout: do not memoize a verdict.
       return false;
     }
@@ -284,25 +311,108 @@ CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
   // index-backed point probe per R_out tuple, instead of streaming Q(D) —
   // which, for subset-failing candidates under exact semantics, would have
   // to drain the entire (possibly huge) result before concluding "missing".
+  const size_t rows = rout_->num_rows();
+  if (rows == 0) return CandidateOutcome::kGenerating;
   PJQuery probe = exec.query;
   const auto projections = probe.projections();
-  for (RowId r = 0; r < rout_->num_rows(); ++r) {
-    probe.ClearSelections();
-    for (size_t j = 0; j < projections.size(); ++j) {
-      probe.AddSelection(projections[j].instance, projections[j].column,
-                         rout_->column(static_cast<ColumnId>(j)).at(r));
+
+  if (!policy_.batch_probes) {
+    // Legacy scalar pass (ablation baseline): replan one cursor per tuple.
+    for (RowId r = 0; r < rows; ++r) {
+      probe.ClearSelections();
+      for (size_t j = 0; j < projections.size(); ++j) {
+        probe.AddSelection(projections[j].instance, projections[j].column,
+                           rout_->column(static_cast<ColumnId>(j)).at(r));
+      }
+      auto cursor =
+          QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
+      if (!cursor.ok()) return CandidateOutcome::kError;
+      std::vector<ValueId> out_row;
+      bool hit = (*cursor)->Next(&out_row);
+      stats_->validation_rows += (*cursor)->rows_examined();
+      stats_->alltuple_rows += (*cursor)->rows_examined();
+      if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
+      if (!hit) return CandidateOutcome::kMissingTuples;
+      if ((r & 0xff) == 0 && BudgetExceeded()) {
+        return CandidateOutcome::kBudgetExhausted;
+      }
     }
-    auto cursor = QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins);
-    if (!cursor.ok()) return CandidateOutcome::kError;
+    return CandidateOutcome::kGenerating;  // R_out ⊆ Q(D) established
+  }
+
+  // Batched pass (DESIGN.md §12): R_out is partitioned into morsels; each
+  // morsel worker plans one cursor and rebinds it per tuple, so the
+  // per-probe Create/plan cost — the dominant residual cost of E12's convoy
+  // tail — is paid once per morsel. The verdict is a conjunction over
+  // tuples, so it is independent of morsel completion order; a proven miss
+  // takes precedence over an interrupt (it is a true dismissal proof either
+  // way, and under no stop signal every configuration scans every tuple).
+  for (size_t j = 0; j < projections.size(); ++j) {
+    probe.AddSelection(projections[j].instance, projections[j].column,
+                       rout_->column(static_cast<ColumnId>(j)).at(0));
+  }
+  const size_t morsel = policy_.MorselSize();
+  const size_t num_morsels = (rows + morsel - 1) / morsel;
+  const std::shared_ptr<ResourceGovernor> governor = db_->governor();
+  std::atomic<bool> missing{false};
+  std::atomic<bool> interrupted{false};
+  std::atomic<bool> error{false};
+  std::atomic<uint64_t> examined{0};
+  auto run_morsel = [&](size_t m) {
+    if (missing.load(std::memory_order_relaxed) ||
+        interrupted.load(std::memory_order_relaxed) ||
+        error.load(std::memory_order_relaxed)) {
+      return;
+    }
+    // Fault site "morsel-worker": one poll per probe morsel; an injected
+    // alloc-fail dismisses this candidate only (kError), an injected cancel
+    // lands at the cursor's next interrupt poll.
+    if (governor != nullptr &&
+        governor->FaultPointAllocFails("morsel-worker")) {
+      error.store(true, std::memory_order_relaxed);
+      return;
+    }
+    auto created =
+        QueryCursor::Create(*db_, probe, budget_exceeded_, exec.vjoins,
+                            policy_);
+    if (!created.ok()) {
+      error.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::unique_ptr<QueryCursor> cursor = std::move(created).ValueOrDie();
+    std::vector<ValueId> vals(projections.size());
     std::vector<ValueId> out_row;
-    bool hit = (*cursor)->Next(&out_row);
-    stats_->validation_rows += (*cursor)->rows_examined();
-    stats_->alltuple_rows += (*cursor)->rows_examined();
-    if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
-    if (!hit) return CandidateOutcome::kMissingTuples;
-    if ((r & 0xff) == 0 && BudgetExceeded()) {
-      return CandidateOutcome::kBudgetExhausted;
+    const size_t lo = m * morsel;
+    const size_t hi = std::min(rows, lo + morsel);
+    for (size_t r = lo; r < hi; ++r) {
+      for (size_t j = 0; j < vals.size(); ++j) {
+        vals[j] = rout_->column(static_cast<ColumnId>(j))
+                      .at(static_cast<RowId>(r));
+      }
+      cursor->Rebind(vals.data(), vals.size());
+      bool hit = cursor->Next(&out_row);
+      if (cursor->interrupted()) {
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (!hit) {
+        missing.store(true, std::memory_order_relaxed);
+        break;
+      }
     }
+    examined.fetch_add(cursor->rows_examined(), std::memory_order_relaxed);
+  };
+  RunMorsels(policy_.WantsParallel(rows) ? policy_.pool : nullptr,
+             policy_.intra_threads - 1, num_morsels, run_morsel);
+  const uint64_t total = examined.load(std::memory_order_relaxed);
+  stats_->validation_rows += total;
+  stats_->alltuple_rows += total;
+  if (missing.load(std::memory_order_relaxed)) {
+    return CandidateOutcome::kMissingTuples;
+  }
+  if (error.load(std::memory_order_relaxed)) return CandidateOutcome::kError;
+  if (interrupted.load(std::memory_order_relaxed) || BudgetExceeded()) {
+    return CandidateOutcome::kBudgetExhausted;
   }
   return CandidateOutcome::kGenerating;  // R_out ⊆ Q(D) established
 }
@@ -321,8 +431,8 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     // streaming with an early exit on the first violation. Substitution
     // cannot change the emitted set: projections only touch endpoint
     // instances, which the reduced query retains.
-    auto cursor =
-        QueryCursor::Create(*db_, exec.query, budget_exceeded_, exec.vjoins);
+    auto cursor = QueryCursor::Create(*db_, exec.query, budget_exceeded_,
+                                      exec.vjoins, policy_);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> row;
     while ((*cursor)->Next(&row)) {
@@ -343,7 +453,8 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     // the block executor, then compare. No early exit of any kind. The block
     // executor knows nothing of virtual joins, so the unsubstituted query is
     // used here.
-    auto result = ExecuteBlock(*db_, candidate.query, "block", budget_exceeded_);
+    auto result = ExecuteBlock(*db_, candidate.query, "block", budget_exceeded_,
+                               policy_);
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kResourceExhausted) {
         // Either a global stop (time budget, cancel, memory exhaustion)
@@ -379,8 +490,8 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
 
   // Progressive evaluation (without probing): stream and stop at the first
   // contradiction.
-  auto cursor =
-      QueryCursor::Create(*db_, exec.query, budget_exceeded_, exec.vjoins);
+  auto cursor = QueryCursor::Create(*db_, exec.query, budget_exceeded_,
+                                    exec.vjoins, policy_);
   if (!cursor.ok()) return CandidateOutcome::kError;
 
   std::vector<ValueId> row;

@@ -48,11 +48,14 @@ class Validator {
   /// chains are replaced with virtual joins over cached reachability
   /// relations (DESIGN.md §9); verdicts and emitted answers are unchanged.
   /// `budget_exceeded` (may be empty) is polled during long streams.
+  /// `policy` selects the probe kernels and intra-candidate morsel dispatch
+  /// (DESIGN.md §12); verdicts are identical for every policy.
   Validator(const Database* db, const Table* rout, const TupleSet* rout_set,
             const ColumnMapping* mapping, const std::vector<Walk>* walks,
             const QreOptions* options, Feedback* feedback, QreStats* stats,
             WalkCache* walk_cache = nullptr,
-            std::function<bool()> budget_exceeded = {});
+            std::function<bool()> budget_exceeded = {},
+            ExecPolicy policy = {});
 
   /// Runs the dismissal cascade and, if needed, the full check.
   CandidateOutcome Validate(const CandidateQuery& candidate);
@@ -95,6 +98,7 @@ class Validator {
   QreStats* stats_;
   WalkCache* walk_cache_;
   std::function<bool()> budget_exceeded_;
+  ExecPolicy policy_;
 
   // Rows streamed by the partial probe before giving up (keeps the probe a
   // quick check even for unselective first columns).

@@ -40,4 +40,42 @@ HashIndex::HashIndex(const Table& table, std::vector<ColumnId> cols)
   estimated_bytes_ = bytes;
 }
 
+size_t HashIndex::LookupBatch(const ValueId* keys, size_t n,
+                              BatchMatches* out, size_t max_rows) const {
+  out->rows.clear();
+  out->offsets.clear();
+  out->offsets.reserve(n + 1);
+  out->offsets.push_back(0);
+  const size_t width = cols_.size();
+  if (width == 1) {
+    // Adjacent duplicate keys (common when the driving morsel is sorted or
+    // clustered) reuse the previous probe's posting list without re-hashing.
+    const std::vector<RowId>* last = nullptr;
+    ValueId last_key = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const ValueId k = keys[i];
+      if (last == nullptr || k != last_key) {
+        auto it = single_.find(k);
+        last = (it == single_.end()) ? &kEmpty() : &it->second;
+        last_key = k;
+      }
+      out->rows.insert(out->rows.end(), last->begin(), last->end());
+      out->offsets.push_back(out->rows.size());
+      if (max_rows > 0 && out->rows.size() >= max_rows) return i + 1;
+    }
+    return n;
+  }
+  std::vector<ValueId> key(width);
+  for (size_t i = 0; i < n; ++i) {
+    key.assign(keys + i * width, keys + (i + 1) * width);
+    auto it = multi_.find(key);
+    if (it != multi_.end()) {
+      out->rows.insert(out->rows.end(), it->second.begin(), it->second.end());
+    }
+    out->offsets.push_back(out->rows.size());
+    if (max_rows > 0 && out->rows.size() >= max_rows) return i + 1;
+  }
+  return n;
+}
+
 }  // namespace fastqre

@@ -14,6 +14,21 @@
 
 namespace fastqre {
 
+/// \brief Reusable result buffer of HashIndex::LookupBatch: the concatenated
+/// posting lists of a whole morsel of probe keys.
+///
+/// Key i's matches are rows[offsets[i] .. offsets[i+1]); offsets has one
+/// more entry than keys probed. Callers keep one BatchMatches alive across
+/// morsels so the buffers' capacity is paid once per join step.
+struct BatchMatches {
+  std::vector<RowId> rows;
+  std::vector<size_t> offsets;
+
+  size_t num_keys() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  const RowId* begin_of(size_t i) const { return rows.data() + offsets[i]; }
+  const RowId* end_of(size_t i) const { return rows.data() + offsets[i + 1]; }
+};
+
 /// \brief Equality index: (value tuple over `cols`) -> row ids.
 ///
 /// Single-column indexes (the overwhelmingly common case for pk-fk joins)
@@ -40,6 +55,18 @@ class HashIndex {
     auto it = multi_.find(key);
     return it == multi_.end() ? kEmpty() : it->second;
   }
+
+  /// Probes a whole morsel of keys in one pass, filling `out` with each
+  /// key's posting list in index row order — byte-identical to probing the
+  /// same keys one at a time with Lookup1 / Lookup. `keys` holds `n` keys of
+  /// width columns().size(), laid out key-major (key i starts at
+  /// keys[i * width]); missing keys contribute an empty extent. When
+  /// `max_rows` > 0 the batch stops early once out->rows reaches it (a
+  /// single key's matches are never split, so at least one key is always
+  /// consumed when n > 0 — the caller can bound its scratch buffer without
+  /// losing progress). Returns the number of keys consumed.
+  size_t LookupBatch(const ValueId* keys, size_t n, BatchMatches* out,
+                     size_t max_rows = 0) const;
 
   /// Estimated resident bytes (keys, posting lists, hash-node overhead),
   /// computed once at build time. Charged to the resource governor by the

@@ -66,6 +66,115 @@ TEST(HashIndexLookup, EmptyTable) {
   EXPECT_TRUE(multi.Lookup({kNullValueId, kNullValueId}).empty());
 }
 
+// --- LookupBatch (vectorized probes, DESIGN.md §12) ------------------------
+
+// Flattens a BatchMatches back into per-key vectors for comparison.
+std::vector<std::vector<RowId>> Extents(const BatchMatches& m) {
+  std::vector<std::vector<RowId>> out(m.num_keys());
+  for (size_t i = 0; i < m.num_keys(); ++i) {
+    out[i].assign(m.begin_of(i), m.end_of(i));
+  }
+  return out;
+}
+
+TEST(HashIndexLookupBatch, MatchesLookup1OnSingleColumn) {
+  Table t = MakeTable({{1, 10}, {2, 20}, {1, 30}, {3, 10}, {1, 10}});
+  HashIndex index(t, {0});
+  // Batch of every row's key, including duplicates adjacent (rows 2 and 4
+  // repeat key 1 — the memoized-duplicate fast path) and one guaranteed
+  // miss at the end.
+  std::vector<ValueId> keys;
+  for (RowId r = 0; r < t.num_rows(); ++r) keys.push_back(t.column(0).at(r));
+  keys.push_back(kNullValueId);
+  BatchMatches out;
+  EXPECT_EQ(index.LookupBatch(keys.data(), keys.size(), &out), keys.size());
+  ASSERT_EQ(out.num_keys(), keys.size());
+  auto extents = Extents(out);
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    EXPECT_EQ(extents[i], index.Lookup1(keys[i])) << "key " << i;
+  }
+  EXPECT_TRUE(extents.back().empty());  // the miss
+}
+
+TEST(HashIndexLookupBatch, MatchesLookupOnMultiColumn) {
+  Table t = MakeTable({{1, 10}, {1, 20}, {2, 10}, {1, 10}});
+  HashIndex index(t, {0, 1});
+  // Key-major layout, width 2: every row's key plus a mixed miss (2, 20).
+  std::vector<ValueId> keys;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    keys.push_back(t.column(0).at(r));
+    keys.push_back(t.column(1).at(r));
+  }
+  keys.push_back(t.column(0).at(2));
+  keys.push_back(t.column(1).at(1));
+  const size_t n = keys.size() / 2;
+  BatchMatches out;
+  EXPECT_EQ(index.LookupBatch(keys.data(), n, &out), n);
+  ASSERT_EQ(out.num_keys(), n);
+  auto extents = Extents(out);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_EQ(extents[i],
+              index.Lookup({keys[2 * i], keys[2 * i + 1]}))
+        << "key " << i;
+  }
+  EXPECT_TRUE(extents.back().empty());
+}
+
+TEST(HashIndexLookupBatch, EmptyBatchAndAllMisses) {
+  Table t = MakeTable({{1, 10}, {2, 20}});
+  HashIndex index(t, {0});
+  BatchMatches out;
+  EXPECT_EQ(index.LookupBatch(nullptr, 0, &out), 0u);
+  EXPECT_EQ(out.num_keys(), 0u);
+  EXPECT_TRUE(out.rows.empty());
+  // All-miss batch: every key absent, every extent empty, offsets intact.
+  std::vector<ValueId> misses(5, kNullValueId);
+  EXPECT_EQ(index.LookupBatch(misses.data(), misses.size(), &out),
+            misses.size());
+  ASSERT_EQ(out.num_keys(), misses.size());
+  EXPECT_TRUE(out.rows.empty());
+  for (size_t i = 0; i < out.num_keys(); ++i) {
+    EXPECT_EQ(out.begin_of(i), out.end_of(i));
+  }
+}
+
+TEST(HashIndexLookupBatch, MaxRowsStopsBetweenKeysNeverSplitsOne) {
+  // Key 1 has three matching rows; key 2 has one; key 3 has one.
+  Table t = MakeTable({{1, 10}, {1, 20}, {1, 30}, {2, 40}, {3, 50}});
+  HashIndex index(t, {0});
+  std::vector<ValueId> keys = {t.column(0).at(0), t.column(0).at(3),
+                               t.column(0).at(4)};
+  // A cap smaller than key 1's extent still consumes key 1 whole (progress
+  // guarantee: >= 1 key per call), but stops before key 2.
+  BatchMatches out;
+  EXPECT_EQ(index.LookupBatch(keys.data(), keys.size(), &out, 2), 1u);
+  ASSERT_EQ(out.num_keys(), 1u);
+  EXPECT_EQ(Extents(out)[0], index.Lookup1(keys[0]));
+  // Resuming from the consumed prefix drains the rest.
+  EXPECT_EQ(index.LookupBatch(keys.data() + 1, keys.size() - 1, &out, 2), 2u);
+  EXPECT_EQ(out.num_keys(), 2u);
+  // A cap of zero means unlimited.
+  EXPECT_EQ(index.LookupBatch(keys.data(), keys.size(), &out, 0), 3u);
+  EXPECT_EQ(out.num_keys(), 3u);
+  EXPECT_EQ(out.rows.size(), 5u);
+}
+
+TEST(HashIndexLookupBatch, DuplicateKeysInOneMorsel) {
+  Table t = MakeTable({{1, 10}, {2, 20}, {1, 30}});
+  HashIndex index(t, {0});
+  ValueId one = t.column(0).at(0);
+  ValueId two = t.column(0).at(1);
+  // Adjacent and non-adjacent duplicates both reproduce the full extent.
+  std::vector<ValueId> keys = {one, one, two, one};
+  BatchMatches out;
+  EXPECT_EQ(index.LookupBatch(keys.data(), keys.size(), &out), keys.size());
+  auto extents = Extents(out);
+  EXPECT_EQ(extents[0], (std::vector<RowId>{0, 2}));
+  EXPECT_EQ(extents[1], (std::vector<RowId>{0, 2}));
+  EXPECT_EQ(extents[2], (std::vector<RowId>{1}));
+  EXPECT_EQ(extents[3], (std::vector<RowId>{0, 2}));
+}
+
 TEST(HashIndexLookup, NullIdsAreIndexedLikeValues) {
   Table t("t", std::make_shared<Dictionary>());
   ASSERT_TRUE(t.AddColumn("a", ValueType::kInt64).ok());

@@ -206,6 +206,108 @@ TEST_F(ParallelQreTest, WalkCacheDeterminismMatrix) {
   }
 }
 
+TEST_F(ParallelQreTest, IntraCandidateDeterminismMatrix) {
+  // DESIGN.md §12: morsel-driven intra-candidate execution must not change
+  // answers. Every (intra threads, validation threads, walk-cache budget,
+  // kernel) combination must reproduce the all-defaults serial answer
+  // byte-for-byte — a tiny morsel size and threshold force the morsel path
+  // onto every candidate.
+  for (int i : {8, 9}) {  // L09/L10: the walk-heavy cyclic ladder entries
+    FastQre reference_engine(&db_, QreOptions());
+    QreAnswer reference =
+        reference_engine.Reverse(workload_[i].rout).ValueOrDie();
+
+    for (int intra : {1, 4}) {
+      for (int threads : {1, 8}) {
+        for (uint64_t budget : {uint64_t{4} << 10, uint64_t{64} << 20}) {
+          for (bool batch : {true, false}) {
+            QreOptions opts;
+            opts.intra_candidate_threads = intra;
+            opts.morsel_size = 7;
+            opts.intra_row_threshold = 1;
+            opts.use_batched_probes = batch;
+            opts.validation_threads = threads;
+            opts.walk_cache_budget_bytes = budget;
+            opts.walk_cache_admission = 0;
+            FastQre engine(&db_, opts);
+            QreAnswer got = engine.Reverse(workload_[i].rout).ValueOrDie();
+            SCOPED_TRACE(workload_[i].name + " intra=" + std::to_string(intra) +
+                         " threads=" + std::to_string(threads) + " budget=" +
+                         std::to_string(budget) + " batch=" +
+                         std::to_string(batch));
+            EXPECT_EQ(got.found, reference.found);
+            EXPECT_EQ(got.sql, reference.sql);
+            EXPECT_EQ(got.failure_reason, reference.failure_reason);
+            ExpectConsistentStats(got.stats, "intra matrix");
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ParallelQreTest, MorselWorkerCancelKeepsProvedAnswers) {
+  // An injected cancel firing inside a morsel worker must behave exactly
+  // like an external Cancel(): the merge never deadlocks, answers already
+  // proved are returned, and the truncated tail says "cancelled".
+  QreOptions opts;
+  opts.fault_spec = "morsel-worker=cancel@4";
+  opts.intra_candidate_threads = 4;
+  opts.morsel_size = 4;
+  opts.intra_row_threshold = 1;
+  FastQre engine(&db_, opts);
+  auto answers = engine.ReverseAll(workload_[3].rout, 3).ValueOrDie();
+  ASSERT_FALSE(answers.empty());
+  for (size_t k = 0; k < answers.size(); ++k) {
+    if (answers[k].found) {
+      Table regen = ExecuteToTable(db_, answers[k].query, "regen").ValueOrDie();
+      EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(workload_[3].rout))
+          << answers[k].sql;
+    } else {
+      EXPECT_EQ(k, answers.size() - 1) << "unfound entry not last";
+      EXPECT_EQ(answers[k].failure_reason, "cancelled");
+      EXPECT_TRUE(answers[k].stats.cancelled);
+    }
+  }
+}
+
+TEST_F(ParallelQreTest, MorselWorkerAllocFailDismissesCandidatesOnly) {
+  // An injected alloc-fail at the morsel-worker site is candidate-local: the
+  // affected candidate is dismissed (kError), the search carries on and ends
+  // cleanly — never as a whole-search memory abort, never deadlocked.
+  QreOptions opts;
+  opts.fault_spec = "morsel-worker=alloc-fail@2";
+  opts.intra_candidate_threads = 4;
+  opts.morsel_size = 4;
+  opts.intra_row_threshold = 1;
+  FastQre engine(&db_, opts);
+  QreAnswer a = engine.Reverse(workload_[3].rout).ValueOrDie();
+  EXPECT_NE(a.failure_reason, "memory budget exceeded");
+  ExpectConsistentStats(a.stats, "morsel alloc-fail");
+  if (a.found) {
+    Table regen = ExecuteToTable(db_, a.query, "regen").ValueOrDie();
+    EXPECT_EQ(TableToTupleSet(regen), TableToTupleSet(workload_[3].rout));
+  }
+}
+
+TEST_F(ParallelQreTest, MorselWorkerDelayChangesNothing) {
+  // A delay widening the morsel race windows must leave the answer
+  // byte-identical (the sanitizer jobs run this with TSan).
+  FastQre reference_engine(&db_, QreOptions());
+  QreAnswer reference =
+      reference_engine.Reverse(workload_[8].rout).ValueOrDie();
+  QreOptions opts;
+  opts.fault_spec = "morsel-worker=delay@1";
+  opts.intra_candidate_threads = 4;
+  opts.morsel_size = 4;
+  opts.intra_row_threshold = 1;
+  FastQre engine(&db_, opts);
+  QreAnswer got = engine.Reverse(workload_[8].rout).ValueOrDie();
+  EXPECT_EQ(got.found, reference.found);
+  EXPECT_EQ(got.sql, reference.sql);
+  EXPECT_EQ(got.failure_reason, reference.failure_reason);
+}
+
 TEST_F(ParallelQreTest, ZeroAndNegativeThreadsBehaveAsSerial) {
   for (int threads : {0, -3}) {
     QreOptions opts;
@@ -270,6 +372,39 @@ TEST(BoundedQueueTest, CloseUnblocksProducersAndDrainsConsumers) {
   EXPECT_TRUE(q.Pop(&v));  // buffered item still drains after Close
   EXPECT_EQ(v, 42);
   EXPECT_FALSE(q.Pop(&v));
+}
+
+TEST(RunMorselsTest, RunsEveryMorselExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(100);
+  RunMorsels(&pool, 3, counts.size(), [&](size_t i) { ++counts[i]; });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(RunMorselsTest, NullPoolAndZeroMorselsRunInline) {
+  std::vector<int> counts(50, 0);
+  RunMorsels(nullptr, 4, counts.size(), [&](size_t i) { ++counts[i]; });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], 1) << i;  // serial fallback: in order, once each
+  }
+  bool called = false;
+  RunMorsels(nullptr, 4, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(RunMorselsTest, ConcurrentBatchesOnSharedPoolBothComplete) {
+  // Two candidates sharing one single-threaded pool: each batch completes
+  // because the dispatching thread drains its own counter — pool capacity
+  // can delay helpers but never deadlock a batch (DESIGN.md §12).
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  std::thread t1([&] { RunMorsels(&pool, 1, 64, [&](size_t) { ++total; }); });
+  std::thread t2([&] { RunMorsels(&pool, 1, 64, [&](size_t) { ++total; }); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 128);
 }
 
 TEST(ThreadPoolTest, RunsAllSubmittedTasks) {

@@ -7,12 +7,18 @@
 //   fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv
 //       Materialize a ladder query's output as a CSV "report" to reverse.
 //   fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]
-//                   [--alpha A] [--all K] [--threads N] [--walk-cache-mb MB]
+//                   [--alpha A] [--all K] [--threads N] [--intra-threads N]
+//                   [--morsel-size M] [--no-batch] [--walk-cache-mb MB]
 //                   [--memory-budget-mb MB] [--cancel-after S]
 //                   [--stats] [--verify] [--trace]
 //       Reverse engineer a generating query for the report. --threads N
 //       validates candidates on N worker threads; the answer is identical
 //       to a single-threaded run (rank-deterministic), just faster.
+//       --intra-threads N additionally runs morsels *inside* one candidate's
+//       block evaluation and probe passes on N workers; --morsel-size sets
+//       the tuples-per-morsel granularity and --no-batch falls back to the
+//       scalar probe kernels (DESIGN.md §12) — all three leave the answer
+//       byte-identical.
 //       --memory-budget-mb caps the tracked search-path allocations
 //       (DESIGN.md §11; 0 = unlimited); --cancel-after fires Cancel() from a
 //       watchdog thread after S seconds — the external-cancellation test
@@ -55,6 +61,7 @@ int Usage() {
       "  fastqre demo-rout --db DIR --query L01..L10 --out FILE.csv\n"
       "  fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]\n"
       "                  [--alpha A] [--all K] [--threads N]\n"
+      "                  [--intra-threads N] [--morsel-size M] [--no-batch]\n"
       "                  [--walk-cache-mb MB] [--memory-budget-mb MB]\n"
       "                  [--cancel-after S] [--stats] [--verify] [--trace]\n"
       "  fastqre run --db DIR --sql QUERY [--limit N]\n"
@@ -186,6 +193,19 @@ int CmdReverse(const Flags& flags) {
     std::fprintf(stderr, "error: --threads must be >= 1\n");
     return 2;
   }
+  opts.intra_candidate_threads =
+      static_cast<int>(flags.GetInt("intra-threads", 1));
+  if (opts.intra_candidate_threads < 1) {
+    std::fprintf(stderr, "error: --intra-threads must be >= 1\n");
+    return 2;
+  }
+  opts.morsel_size =
+      static_cast<int>(flags.GetInt("morsel-size", opts.morsel_size));
+  if (opts.morsel_size < 1) {
+    std::fprintf(stderr, "error: --morsel-size must be >= 1\n");
+    return 2;
+  }
+  if (flags.Has("no-batch")) opts.use_batched_probes = false;
   long long cache_mb = flags.GetInt("walk-cache-mb", 64);
   if (cache_mb < 0) {
     std::fprintf(stderr, "error: --walk-cache-mb must be >= 0\n");
