@@ -1,0 +1,20 @@
+// The engine-wide interrupt-poll stride.
+//
+// Every cancellable loop — the pipelined cursor, the block executor's
+// morsels, walk-cache materialization, and (since the hash-index build
+// became interruptible) storage-layer index construction — polls its
+// interrupt callback every (kInterruptPollMask + 1) work items, so a
+// --budget-ms expiry, Cancel(), or a rank-cancellation signal lands within a
+// bounded amount of extra work in *any* phase. Defined here in common/ (not
+// engine/) because the storage layer must not depend on the engine; the
+// historical alias in engine/executor.h keeps existing call sites working.
+#pragma once
+
+#include <cstdint>
+
+namespace fastqre {
+
+/// \brief Interrupt-poll stride: poll every (mask + 1) work items.
+inline constexpr uint64_t kInterruptPollMask = 0xfff;
+
+}  // namespace fastqre

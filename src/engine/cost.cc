@@ -43,10 +43,14 @@ double CostEstimator::EstimateCost(const PJQuery& query) const {
     return cost;
   }
 
-  // For each later plan position, estimate fanout = rows / distinct(keys).
-  std::vector<double> fanout(n, 1.0);
+  // For each later plan position, estimate fanout = rows / distinct(keys);
+  // with SIP awareness, also a per-earlier-position semi-join selectivity
+  // min(1, distinct(later key) / distinct(earlier key)) — the fraction of
+  // earlier rows whose join value the later endpoint's presence bitmap can
+  // possibly contain (DESIGN.md §13).
   std::vector<bool> has_key(n, false);
   std::vector<double> key_distinct(n, 1.0);
+  std::vector<double> sip_sel(n, 1.0);
   for (const auto& j : query.joins()) {
     if (j.a == j.b) continue;
     int pa = pos[j.a], pb = pos[j.b];
@@ -57,17 +61,27 @@ double CostEstimator::EstimateCost(const PJQuery& query) const {
     const Column& col = db_->table(t).column(c);
     key_distinct[later] *= std::max<size_t>(1, col.NumDistinct());
     has_key[later] = true;
+    if (sip_aware_) {
+      int earlier = std::min(pa, pb);
+      const Column& ecol =
+          db_->table(query.instance_table(a_is_later ? j.b : j.a))
+              .column(a_is_later ? j.col_b : j.col_a);
+      double ed = static_cast<double>(std::max<size_t>(1, ecol.NumDistinct()));
+      double ld = static_cast<double>(std::max<size_t>(1, col.NumDistinct()));
+      sip_sel[earlier] *= std::min(1.0, ld / ed);
+    }
   }
 
   double card = static_cast<double>(
       std::max<size_t>(1, db_->table(query.instance_table(order[0])).num_rows()));
+  card *= sip_sel[0];
   double cost = card;
   for (size_t p = 1; p < n; ++p) {
     double rows = static_cast<double>(
         std::max<size_t>(1, db_->table(query.instance_table(order[p])).num_rows()));
     double distinct = std::min(key_distinct[p], rows);
     double f = has_key[p] ? rows / distinct : rows;
-    card *= f;
+    card *= f * sip_sel[p];
     cost += card;
   }
   return cost;

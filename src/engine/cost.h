@@ -16,7 +16,14 @@ namespace fastqre {
 /// \brief Cardinality-based execution-cost model for PJ queries.
 class CostEstimator {
  public:
-  explicit CostEstimator(const Database* db) : db_(db) {}
+  /// `sip_aware` mirrors ExecPolicy::use_sip in the model: when the
+  /// executors push sideways presence filters into joins (DESIGN.md §13),
+  /// each placed instance is additionally discounted by the semi-join
+  /// selectivity of its joins into later-placed instances — estimated from
+  /// distinct counts, so the model still executes nothing and builds
+  /// nothing. With SIP off the model is unchanged.
+  explicit CostEstimator(const Database* db, bool sip_aware = false)
+      : db_(db), sip_aware_(sip_aware) {}
 
   /// Estimated number of rows touched by a pipelined evaluation of `query`
   /// (sum of estimated intermediate cardinalities). Deterministic; does not
@@ -32,6 +39,7 @@ class CostEstimator {
 
  private:
   const Database* db_;
+  const bool sip_aware_;
 };
 
 }  // namespace fastqre

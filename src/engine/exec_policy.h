@@ -13,6 +13,7 @@
 
 namespace fastqre {
 
+class SubplanCache;
 class ThreadPool;
 
 /// \brief Default driving-relation tuples per morsel: large enough that the
@@ -41,6 +42,19 @@ struct ExecPolicy {
 
   /// Shared worker pool for morsel dispatch; not owned, may be null (serial).
   ThreadPool* pool = nullptr;
+
+  /// Sideways information passing (DESIGN.md §13): push per-(table, column)
+  /// presence bitmaps of future join partners into scan and probe steps, so
+  /// rows provably absent from every later endpoint never enter an
+  /// intermediate relation. Semantics-preserving — surviving rows keep their
+  /// visit order, so results stay byte-identical. Off = ablation axis (E15).
+  bool use_sip = true;
+
+  /// Cross-candidate memo of block-execution join prefixes (DESIGN.md §13);
+  /// not owned, may be null (no memoization — the --subplan-cache-mb 0
+  /// ablation cell). Hits replay the stored pre-filter enumeration count, so
+  /// every verdict is cache-state invariant.
+  SubplanCache* subplan_cache = nullptr;
 
   /// Morsels actually go to the pool only when all three gates agree.
   bool WantsParallel(size_t driving_rows) const {

@@ -157,6 +157,16 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
     key_cols[later].push_back(local_col);
     cursor->steps_[later].key_sources.push_back(
         KeySource{from_pos, from_col, kNullValueId});
+    if (policy.use_sip) {
+      // Sideways information passing: at the earlier endpoint, skip rows
+      // whose join value never occurs in the later table's join column —
+      // they cannot complete to a full binding, so no deeper step need be
+      // attempted for them (DESIGN.md §13).
+      cursor->steps_[from_pos].sip_filters.emplace_back(
+          from_col, &db.GetOrBuildPresenceFilter(
+                        query.instance_table(a_is_later ? j.a : j.b),
+                        local_col));
+    }
   }
 
   // Virtual joins attach to whichever endpoint is planned later, oriented so
@@ -172,6 +182,14 @@ Result<std::unique_ptr<QueryCursor>> QueryCursor::Create(
     spec.local_col = a_is_later ? vj.col_a : vj.col_b;
     spec.map = a_is_later ? vj.b_to_a : vj.a_to_b;
     cursor->steps_[later].reach_filters.push_back(spec);
+    // SIP for walk substitutions: the earlier endpoint tests its join value
+    // against the bound-side key domain of the reach relation — a value with
+    // no reachable partner fails every later containment check anyway.
+    const BitmapFilter* domain = a_is_later ? vj.b_domain : vj.a_domain;
+    if (policy.use_sip && domain != nullptr) {
+      cursor->steps_[spec.from_pos].sip_filters.emplace_back(spec.from_col,
+                                                             domain);
+    }
   }
 
   // Selections become index-key components (constants), so lookups return
@@ -240,6 +258,12 @@ bool QueryCursor::RowPasses(const Step& step, RowId row) const {
   }
   for (const auto& [col, val] : step.const_filters) {
     if (step.table->column(col).at(row) != val) return false;
+  }
+  for (const auto& [col, filter] : step.sip_filters) {
+    if (!filter->Test(step.table->column(col).at(row))) {
+      ++sip_skipped_;
+      return false;
+    }
   }
   for (const ReachSpec& rf : step.reach_filters) {
     ValueId u =

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interrupt.h"
 #include "common/result.h"
 #include "engine/exec_policy.h"
 #include "engine/query.h"
@@ -21,11 +22,9 @@
 
 namespace fastqre {
 
-/// \brief Interrupt-poll stride shared by the pipelined cursor, the block
-/// executor, and walk-cache materialization loops: the interrupt callback is
-/// polled every (mask + 1) work items, so a --budget-ms expiry (or a
-/// rank-cancellation signal) lands within a bounded amount of extra work.
-inline constexpr uint64_t kInterruptPollMask = 0xfff;
+// kInterruptPollMask historically lived here; it moved to common/interrupt.h
+// when the storage layer's index builds became interruptible (storage must
+// not depend on engine). The include above keeps every existing user.
 
 /// \brief Reachability map of a materialized walk chain: left-endpoint join
 /// value -> sorted distinct right-endpoint join values reachable across the
@@ -45,6 +44,13 @@ struct VirtualJoin {
   ColumnId col_b;
   const ReachMap* a_to_b;
   const ReachMap* b_to_a;
+  // Key-domain bitmaps (sideways information passing, DESIGN.md §13): bit v
+  // set iff v is a key of the corresponding map — a_domain for a_to_b,
+  // b_domain for b_to_a. May be null (no SIP for this join). The planner
+  // pushes the bound-side domain into the *earlier* endpoint's step so rows
+  // that reach nothing are skipped before any deeper binding is attempted.
+  const BitmapFilter* a_domain = nullptr;
+  const BitmapFilter* b_domain = nullptr;
 };
 
 /// \brief Streaming evaluator of a connected PJQuery.
@@ -107,6 +113,11 @@ class QueryCursor {
   /// Number of candidate rows examined so far (work metric for stats).
   uint64_t rows_examined() const { return rows_examined_; }
 
+  /// Rows skipped by sideways-information-passing filters (subset of
+  /// rows_examined(); each passed every local filter but was provably absent
+  /// from a later join partner).
+  uint64_t sip_rows_skipped() const { return sip_skipped_; }
+
   /// True if the last Next() returned false because the interrupt callback
   /// fired (result stream is then *incomplete*, not exhausted).
   bool interrupted() const { return interrupted_; }
@@ -138,6 +149,13 @@ class QueryCursor {
     std::vector<std::pair<ColumnId, ColumnId>> self_filters;
     // Leftover constant filters col = value.
     std::vector<std::pair<ColumnId, ValueId>> const_filters;
+    // Sideways-information-passing filters: a row of this step is skipped
+    // when its `first` column's value is provably absent from a later join
+    // partner's join column (`second`: that column's presence bitmap, or a
+    // virtual join's bound-side key domain). Skip-only-provably-absent: a
+    // failing row cannot complete to any full binding, so removing it leaves
+    // the surviving result stream byte-identical (DESIGN.md §13).
+    std::vector<std::pair<ColumnId, const BitmapFilter*>> sip_filters;
     // Virtual-join row filters (walk substitution).
     std::vector<ReachSpec> reach_filters;
     // When the step has no physical index key, one virtual join drives the
@@ -179,6 +197,9 @@ class QueryCursor {
   bool interrupted_ = false;
   std::function<bool()> interrupt_;
   uint64_t rows_examined_ = 0;
+  // Mutable: bumped inside the const row filter (RowPasses), the one place
+  // that knows a rejection was SIP's rather than a local predicate's.
+  mutable uint64_t sip_skipped_ = 0;
 };
 
 /// \brief Materializes the distinct projected rows of `query` into a new

@@ -1,0 +1,83 @@
+#include "engine/subplan_cache.h"
+
+namespace fastqre {
+
+SubplanCache::Handle SubplanCache::Lookup(const Signature& sig) {
+  MutexLock lock(&mu_);
+  Entry& entry = entries_[sig];
+  ++entry.uses;
+  if (entry.table) {
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    ++hits_;
+    return entry.table;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+bool SubplanCache::WantsInsert(const Signature& sig) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(sig);
+  if (it == entries_.end()) return false;  // never looked up: not admitted
+  return it->second.table == nullptr &&
+         it->second.uses >= static_cast<uint64_t>(admission_);
+}
+
+bool SubplanCache::Insert(const Signature& sig, Handle table) {
+  if (table == nullptr || table->bytes > budget_bytes_) return false;
+  // Degradation ladder level 2 (pipelined-only): stop materializing.
+  if (governor_ != nullptr && !governor_->materialization_allowed()) {
+    return false;
+  }
+  // Charge the governor BEFORE taking mu_: a failed charge can escalate the
+  // degradation ladder, whose pressure hook re-enters this cache via
+  // ShrinkTo (which takes mu_). Charging under the lock would deadlock.
+  // "subplan-build" doubles as a fault-injection site: an injected
+  // alloc-fail refuses the store (the candidate still completes — memoizing
+  // is an acceleration, never a correctness dependency).
+  bool charged = true;
+  if (governor_ != nullptr) {
+    charged = !governor_->FaultPointAllocFails("subplan-build") &&
+              governor_->TryCharge(table->bytes, "subplan-build");
+    if (!charged) return false;
+  }
+  MutexLock lock(&mu_);
+  Entry& entry = entries_[sig];
+  if (entry.table != nullptr ||
+      entry.uses < static_cast<uint64_t>(admission_)) {
+    // Lost an insert race, or not admitted (the producer snapshots on the
+    // advisory WantsInsert answer, which can go stale).
+    if (governor_ != nullptr) governor_->Release(table->bytes);
+    return false;
+  }
+  entry.table = std::move(table);
+  bytes_used_ += entry.table->bytes;
+  lru_.push_front(&entry);
+  entry.lru_it = lru_.begin();
+  EvictDownTo(budget_bytes_);
+  return true;
+}
+
+void SubplanCache::EvictDownTo(size_t target_bytes) {
+  while (bytes_used_ > target_bytes && !lru_.empty()) {
+    Entry* victim = lru_.back();
+    lru_.pop_back();
+    bytes_used_ -= victim->table->bytes;
+    // Release is atomic-only: safe while holding mu_.
+    if (governor_ != nullptr) governor_->Release(victim->table->bytes);
+    victim->table.reset();  // readers keep their pins
+    ++evictions_;
+  }
+}
+
+void SubplanCache::ShrinkTo(size_t target_bytes) {
+  MutexLock lock(&mu_);
+  EvictDownTo(target_bytes);
+}
+
+size_t SubplanCache::bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_used_;
+}
+
+}  // namespace fastqre

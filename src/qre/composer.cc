@@ -17,7 +17,7 @@ RankedComposer::RankedComposer(const Database* db, const ColumnMapping* mapping,
       options_(options),
       feedback_(feedback),
       budget_exceeded_(std::move(budget_exceeded)),
-      estimator_(db) {
+      estimator_(db, options->use_sip) {
   // Initialize PQ1 with all singleton walk sets (Algorithm 1 lines 1-2).
   for (int i = 0; i < static_cast<int>(walks_->size()); ++i) {
     pq1_.push(SetEntry{{i}, static_cast<double>((*walks_)[i].length())});

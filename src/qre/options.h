@@ -125,6 +125,29 @@ struct QreOptions {
   /// one-off walks never pay the materialization cost.
   int walk_cache_admission = 2;
 
+  /// Sideways information passing (DESIGN.md §13): push per-(table, column)
+  /// presence bitmaps — and walk relations' key-domain bitmaps — into scan
+  /// and probe steps of both executors, so rows provably absent from every
+  /// later join partner are skipped before entering an intermediate
+  /// relation. Semantics-preserving (answers stay byte-identical). Off =
+  /// ablation axis of experiment E15.
+  bool use_sip = true;
+
+  /// Byte budget of the cross-candidate subplan memoization cache
+  /// (SubplanCache): materialized block-execution join prefixes, keyed by
+  /// canonical prefix signature and shared across convoy candidates. Also
+  /// switches the exact extras check to the block path when nonzero. 0
+  /// disables memoization and keeps the legacy streaming extra-tuple hunt
+  /// (the --subplan-cache-mb 0 ablation cell of E15). Never changes
+  /// accepted answers (DESIGN.md §13).
+  uint64_t subplan_cache_budget_bytes = 64ull << 20;
+
+  /// Admission threshold of the subplan cache: a join prefix is snapshotted
+  /// once it has been requested this many times. 1 (the default) caches on
+  /// first execution — convoy candidates reuse prefixes immediately, and the
+  /// snapshot is a flat memcpy of an intermediate that was just built anyway.
+  int subplan_cache_admission = 1;
+
   // --- Ablation toggles (experiment E4). All on by default. ---------------
 
   /// Rank column mappings using CGMs (Sections 4.2-4.3). Off: mappings are

@@ -58,6 +58,19 @@ struct QreStats {
   RelaxedCounter walk_cache_evictions = 0;
   RelaxedCounter walk_cache_bytes = 0;
 
+  // Sideways information passing (DESIGN.md §13): rows skipped by presence/
+  // domain bitmap filters across both executors (each passed its local
+  // predicates but was provably absent from a later join partner).
+  RelaxedCounter sip_rows_skipped = 0;
+
+  // Subplan memoization cache (DESIGN.md §13). hits/misses count block-
+  // execution prefix lookups; bytes is a gauge snapshotted at answer time
+  // (resident memoized-prefix bytes).
+  RelaxedCounter subplan_cache_hits = 0;
+  RelaxedCounter subplan_cache_misses = 0;
+  RelaxedCounter subplan_cache_evictions = 0;
+  RelaxedCounter subplan_cache_bytes = 0;
+
   // Resource governor (DESIGN.md §11). peak_tracked_bytes is the high-water
   // mark of governor-charged bytes during the run; degradation_events counts
   // ladder escalations (shrink / pipelined-only / exhausted); cancelled is

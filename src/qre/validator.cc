@@ -65,6 +65,10 @@ Validator::Execution Validator::PrepareExecution(
     vj.col_b = sig.to_col;
     vj.a_to_b = sig.flipped ? &h->reverse : &h->forward;
     vj.b_to_a = sig.flipped ? &h->forward : &h->reverse;
+    // Key domains for SIP (DESIGN.md §13); the executor only consults them
+    // when policy_.use_sip is on.
+    vj.a_domain = sig.flipped ? &h->reverse_domain : &h->forward_domain;
+    vj.b_domain = sig.flipped ? &h->forward_domain : &h->reverse_domain;
     exec.vjoins.push_back(vj);
     exec.pins.push_back(std::move(h));
     materialized[i] = true;
@@ -99,6 +103,7 @@ CandidateOutcome Validator::ProbeCheck(const Execution& exec) {
     bool hit = (*cursor)->Next(&out_row);
     stats_->validation_rows += (*cursor)->rows_examined();
     stats_->probe_rows += (*cursor)->rows_examined();
+    stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
     if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
     if (!hit) return CandidateOutcome::kMissingTuples;
   }
@@ -120,9 +125,11 @@ CandidateOutcome Validator::ProbeCheck(const Execution& exec) {
       ++stats_->validation_rows;
       ++stats_->probe_rows;
       if (rout_set_->count(out_row) == 0) {
+        stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
         return CandidateOutcome::kExtraTuples;
       }
     }
+    stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
     if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
   }
   return CandidateOutcome::kGenerating;  // "not dismissed"
@@ -256,11 +263,14 @@ bool Validator::WalkCoherent(int walk_id) {
   // folded into the stats exactly once, on every exit path.
   std::unique_ptr<QueryCursor> shared_cursor;
   uint64_t counted_rows = 0;
+  uint64_t counted_sips = 0;
   auto count_rows = [&](const QueryCursor& cursor) {
     const uint64_t delta = cursor.rows_examined() - counted_rows;
     counted_rows = cursor.rows_examined();
     stats_->validation_rows += delta;
     stats_->coherence_rows += delta;
+    stats_->sip_rows_skipped += cursor.sip_rows_skipped() - counted_sips;
+    counted_sips = cursor.sip_rows_skipped();
   };
   // det: order-insensitive — forall-probe conjunction over needed tuples;
   // same verdict for every visiting order.
@@ -283,6 +293,7 @@ bool Validator::WalkCoherent(int walk_id) {
       }
       shared_cursor = std::move(created).ValueOrDie();
       counted_rows = 0;
+      counted_sips = 0;
       cursor = shared_cursor.get();
     }
     std::vector<ValueId> row;
@@ -331,6 +342,7 @@ CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
       bool hit = (*cursor)->Next(&out_row);
       stats_->validation_rows += (*cursor)->rows_examined();
       stats_->alltuple_rows += (*cursor)->rows_examined();
+      stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
       if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
       if (!hit) return CandidateOutcome::kMissingTuples;
       if ((r & 0xff) == 0 && BudgetExceeded()) {
@@ -358,6 +370,7 @@ CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
   std::atomic<bool> interrupted{false};
   std::atomic<bool> error{false};
   std::atomic<uint64_t> examined{0};
+  std::atomic<uint64_t> sip_skips{0};
   auto run_morsel = [&](size_t m) {
     if (missing.load(std::memory_order_relaxed) ||
         interrupted.load(std::memory_order_relaxed) ||
@@ -401,12 +414,14 @@ CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
       }
     }
     examined.fetch_add(cursor->rows_examined(), std::memory_order_relaxed);
+    sip_skips.fetch_add(cursor->sip_rows_skipped(), std::memory_order_relaxed);
   };
   RunMorsels(policy_.WantsParallel(rows) ? policy_.pool : nullptr,
              policy_.intra_threads - 1, num_morsels, run_morsel);
   const uint64_t total = examined.load(std::memory_order_relaxed);
   stats_->validation_rows += total;
   stats_->alltuple_rows += total;
+  stats_->sip_rows_skipped += sip_skips.load(std::memory_order_relaxed);
   if (missing.load(std::memory_order_relaxed)) {
     return CandidateOutcome::kMissingTuples;
   }
@@ -427,23 +442,62 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     if (options_->variant == QreVariant::kSuperset) {
       return CandidateOutcome::kGenerating;  // superset needs nothing more
     }
-    // Exact: R_out ⊆ Q(D) holds; it remains to rule out extra tuples by
-    // streaming with an early exit on the first violation. Substitution
-    // cannot change the emitted set: projections only touch endpoint
-    // instances, which the reduced query retains.
+    // Exact: R_out ⊆ Q(D) holds; it remains to rule out extra tuples.
+    if (policy_.subplan_cache != nullptr) {
+      // Block path with subplan memoization (DESIGN.md §13): convoy
+      // candidates share join prefixes, so the block executor resumes from
+      // the deepest cached intermediate instead of re-streaming the whole
+      // join per candidate — the cascade's dominant residual cost. The
+      // subset guard (= R_out) stops the projection at the first distinct
+      // tuple outside R_out, preserving the early-exit character of the
+      // streaming hunt. The block executor knows nothing of virtual joins,
+      // so the unsubstituted query is used (prefix signatures then align
+      // across the convoy regardless of which walks were materialized).
+      bool violated = false;
+      BlockRunStats brs;
+      auto result =
+          ExecuteBlock(*db_, candidate.query, "extras", budget_exceeded_,
+                       policy_, rout_set_, &violated, &brs);
+      stats_->validation_rows += brs.rows_enumerated;
+      stats_->fullscan_rows += brs.rows_enumerated;
+      stats_->sip_rows_skipped += brs.sip_rows_skipped;
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kResourceExhausted) {
+          // Global stop vs candidate-local exhaustion, exactly as in the
+          // non-progressive block path below.
+          return BudgetExceeded() ? CandidateOutcome::kBudgetExhausted
+                                  : CandidateOutcome::kError;
+        }
+        return CandidateOutcome::kError;
+      }
+      return violated ? CandidateOutcome::kExtraTuples
+                      : CandidateOutcome::kGenerating;
+    }
+    // Legacy streaming hunt (the --subplan-cache-mb 0 ablation cell): early
+    // exit on the first violation. Substitution cannot change the emitted
+    // set: projections only touch endpoint instances, which the reduced
+    // query retains.
     auto cursor = QueryCursor::Create(*db_, exec.query, budget_exceeded_,
                                       exec.vjoins, policy_);
     if (!cursor.ok()) return CandidateOutcome::kError;
     std::vector<ValueId> row;
+    auto fold_sip = [&] {
+      stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
+    };
     while ((*cursor)->Next(&row)) {
       ++stats_->validation_rows;
       ++stats_->fullscan_rows;
       if ((stats_->validation_rows & kInterruptPollMask) == 0 &&
           BudgetExceeded()) {
+        fold_sip();
         return CandidateOutcome::kBudgetExhausted;
       }
-      if (rout_set_->count(row) == 0) return CandidateOutcome::kExtraTuples;
+      if (rout_set_->count(row) == 0) {
+        fold_sip();
+        return CandidateOutcome::kExtraTuples;
+      }
     }
+    fold_sip();
     if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
     return CandidateOutcome::kGenerating;
   }
@@ -453,8 +507,10 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     // the block executor, then compare. No early exit of any kind. The block
     // executor knows nothing of virtual joins, so the unsubstituted query is
     // used here.
+    BlockRunStats brs;
     auto result = ExecuteBlock(*db_, candidate.query, "block", budget_exceeded_,
-                               policy_);
+                               policy_, nullptr, nullptr, &brs);
+    stats_->sip_rows_skipped += brs.sip_rows_skipped;
     if (!result.ok()) {
       if (result.status().code() == StatusCode::kResourceExhausted) {
         // Either a global stop (time budget, cancel, memory exhaustion)
@@ -498,14 +554,19 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
   // gov: bounded — at most |R_out| tuples ever inserted.
   TupleSet covered;
   covered.reserve(rout_set_->size());
+  auto fold_sip = [&] {
+    stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
+  };
   while ((*cursor)->Next(&row)) {
     ++stats_->validation_rows;
     if ((stats_->validation_rows & kInterruptPollMask) == 0 &&
         BudgetExceeded()) {
+      fold_sip();
       return CandidateOutcome::kBudgetExhausted;
     }
     if (rout_set_->count(row) == 0) {
       if (options_->variant == QreVariant::kExact) {
+        fold_sip();
         return CandidateOutcome::kExtraTuples;  // progressive early exit
       }
       continue;  // superset: extra tuples are allowed
@@ -513,9 +574,11 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     covered.insert(row);
     if (options_->variant == QreVariant::kSuperset &&
         covered.size() == rout_set_->size()) {
+      fold_sip();
       return CandidateOutcome::kGenerating;  // superset early exit
     }
   }
+  fold_sip();
   if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
   return covered.size() == rout_set_->size() ? CandidateOutcome::kGenerating
                                              : CandidateOutcome::kMissingTuples;

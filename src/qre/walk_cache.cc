@@ -75,7 +75,17 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
     for (ValueId v : vals) rel->reverse[v].push_back(u);
   }
   SortUnique(&rel->reverse);
-  rel->bytes = EstimateBytes(rel->forward) + EstimateBytes(rel->reverse);
+  // Key-domain bitmaps (SIP, DESIGN.md §13): one bit per dictionary entry.
+  const size_t universe = db.dictionary()->size();
+  rel->forward_domain = BitmapFilter(universe);
+  // det: order-insensitive — sets one bit per key; idempotent and commutative.
+  for (const auto& [u, vals] : rel->forward) rel->forward_domain.Set(u);
+  rel->reverse_domain = BitmapFilter(universe);
+  // det: order-insensitive — sets one bit per key; idempotent and commutative.
+  for (const auto& [v, vals] : rel->reverse) rel->reverse_domain.Set(v);
+  rel->bytes = EstimateBytes(rel->forward) + EstimateBytes(rel->reverse) +
+               rel->forward_domain.EstimatedBytes() +
+               rel->reverse_domain.EstimatedBytes();
   return rel;
 }
 

@@ -42,6 +42,15 @@ struct WalkRelation {
   ReachMap forward;  // canonical-left join value -> sorted reachable rights
   // gov: charged — accounted together with `forward` via `bytes`.
   ReachMap reverse;  // inverse of forward
+  // Key-domain bitmaps for sideways information passing (DESIGN.md §13):
+  // bit u set iff the corresponding map has key u, i.e. u reaches something
+  // across the chain. The validator hands them to the executor as
+  // VirtualJoin domains, so the earlier endpoint skips rows that reach
+  // nothing before any deeper binding is attempted.
+  // gov: charged — accounted together with the reach maps via `bytes`.
+  BitmapFilter forward_domain;
+  // gov: charged — accounted together with the reach maps via `bytes`.
+  BitmapFilter reverse_domain;
   size_t bytes = 0;  // estimated resident size (cost accounting)
 };
 

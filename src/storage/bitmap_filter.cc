@@ -1,0 +1,40 @@
+#include "storage/bitmap_filter.h"
+
+namespace fastqre {
+
+BitmapFilter BuildColumnPresenceFilter(const Table& table, ColumnId col,
+                                       size_t universe) {
+  // gov: charged — callers cache the filter through
+  // Database::GetOrBuildPresenceFilter, which charges "filter-build".
+  BitmapFilter filter(universe);
+  const Column& c = table.column(col);
+  const ValueId* data = c.data().data();
+  const size_t n = table.num_rows();
+  for (size_t r = 0; r < n; ++r) filter.Set(data[r]);
+  return filter;
+}
+
+CompositeKeyFilter::CompositeKeyFilter(const Table& table,
+                                       const std::vector<ColumnId>& cols) {
+  const size_t rows = table.num_rows();
+  // ~8 slots per row keeps the false-positive rate near 1/8 with a single
+  // hash function while the whole filter fits mid-level caches.
+  size_t bits = 64;
+  while (bits < rows * 8) bits <<= 1;
+  mask_ = bits - 1;
+  // gov: charged — callers cache the filter through
+  // Database::GetOrBuildKeyFilter, which charges "filter-build".
+  words_.assign(bits / 64, 0);
+  std::vector<const ValueId*> data(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    data[i] = table.column(cols[i]).data().data();
+  }
+  std::vector<ValueId> key(cols.size());
+  for (RowId r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = data[i][r];
+    const uint64_t h = Hash(key.data(), key.size()) & mask_;
+    words_[h >> 6] |= uint64_t{1} << (h & 63);
+  }
+}
+
+}  // namespace fastqre

@@ -1,0 +1,116 @@
+// BitmapFilter: a dense bitset over dictionary ValueIds, the carrier of
+// sideways information passing (DESIGN.md §13).
+//
+// The dictionary interns every distinct value of the database into a dense
+// 32-bit code, so "which values appear in column T.c" is one bit per
+// dictionary entry — a few hundred KB even for multi-million-row databases.
+// Executors push these filters sideways into joins: a row whose join-key
+// code is provably absent from the other endpoint's column (or from a
+// materialized walk relation's key domain) can be skipped before it enters
+// an intermediate relation, without ever changing which result tuples
+// survive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace fastqre {
+
+/// \brief Dense bitset keyed by ValueId. Test() of an id at or beyond the
+/// construction-time universe returns false — on a sealed database such ids
+/// were interned after the filter was built and cannot appear in the
+/// filtered column, so "absent" is exact, never a false negative.
+class BitmapFilter {
+ public:
+  BitmapFilter() = default;
+  explicit BitmapFilter(size_t universe)
+      : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+  /// Sets the bit for `v`. Requires v < universe().
+  void Set(ValueId v) {
+    uint64_t& word = words_[v >> 6];
+    const uint64_t bit = uint64_t{1} << (v & 63);
+    set_count_ += (word & bit) == 0 ? 1 : 0;
+    word |= bit;
+  }
+
+  /// True iff Set(v) happened. Out-of-universe ids are absent by definition.
+  bool Test(ValueId v) const {
+    return v < universe_ && (words_[v >> 6] >> (v & 63)) & 1;
+  }
+
+  size_t universe() const { return universe_; }
+
+  /// Number of distinct ids set — the filter's selectivity numerator for
+  /// SIP-aware cost estimation.
+  size_t set_count() const { return set_count_; }
+
+  /// Resident bytes, for resource-governor accounting.
+  size_t EstimatedBytes() const {
+    return sizeof(BitmapFilter) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t universe_ = 0;
+  size_t set_count_ = 0;
+  // Bounded by construction: universe/8 bytes, i.e. one bit per dictionary
+  // entry — callers holding a BitmapFilter by value charge it (the lint rule
+  // governed-alloc enforces the classification at every declaration site).
+  std::vector<uint64_t> words_;
+};
+
+/// \brief Builds the presence filter of one column: bit v set iff some row
+/// of `table` has value id v in column `col`. `universe` is the dictionary
+/// size at build time.
+BitmapFilter BuildColumnPresenceFilter(const Table& table, ColumnId col,
+                                       size_t universe);
+
+/// \brief Hashed presence filter over a composite column tuple: one bit per
+/// hash slot, set for every row's key tuple. MayContain() == false proves no
+/// row of the table carries that key combination (the probe can be skipped);
+/// true may be a hash collision, so the caller still consults the index.
+/// Single-column presence bitmaps cannot express this — on foreign-key data
+/// every component value exists somewhere, yet most *combinations* do not.
+/// Sized to ~one byte per row (power-of-two slots), so the filter stays
+/// cache-resident where the hash index it shields is not: the cheap first
+/// line of a sideways-passing miss rejection (DESIGN.md §13).
+class CompositeKeyFilter {
+ public:
+  CompositeKeyFilter(const Table& table, const std::vector<ColumnId>& cols);
+
+  /// True unless no row's `cols` tuple hashes to this key's slot. `width`
+  /// must equal the construction column count.
+  bool MayContain(const ValueId* key, size_t width) const {
+    const uint64_t h = Hash(key, width) & mask_;
+    return (words_[h >> 6] >> (h & 63)) & 1;
+  }
+
+  /// Resident bytes, for resource-governor accounting.
+  size_t EstimatedBytes() const {
+    return sizeof(CompositeKeyFilter) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  static uint64_t Hash(const ValueId* key, size_t width) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < width; ++i) {
+      h ^= key[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    // Finalizer: the slot index is taken from the low bits, so they must
+    // depend on every key component.
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  uint64_t mask_ = 0;
+  // Bounded by construction: ~one byte per table row; the database cache
+  // slot holding the filter charges these bytes as "filter-build".
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fastqre

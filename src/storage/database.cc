@@ -53,6 +53,13 @@ void Database::DetachGovernor(const ResourceGovernor* governor) const {
 
 const HashIndex& Database::GetOrBuildIndex(TableId t,
                                            std::vector<ColumnId> cols) const {
+  // No interrupt: TryGetOrBuildIndex cannot return nullptr.
+  return *TryGetOrBuildIndex(t, std::move(cols), {});
+}
+
+const HashIndex* Database::TryGetOrBuildIndex(
+    TableId t, std::vector<ColumnId> cols,
+    const std::function<bool()>& interrupt) const {
   std::shared_ptr<IndexSlot> slot;
   std::shared_ptr<ResourceGovernor> governor;
   bool inserted = false;
@@ -66,20 +73,96 @@ const HashIndex& Database::GetOrBuildIndex(TableId t,
     governor = caches_->governor;
   }
   if (!inserted) ++caches_->index_stats.cache_hits;
-  // Exactly one caller per key runs the build; concurrent requesters of the
-  // same key block here until the index is ready.
-  std::call_once(slot->once, [&] {
-    Timer timer;
-    slot->index = std::make_unique<HashIndex>(*tables_[t], std::move(cols));
-    if (governor != nullptr) {
-      // Required charge: the index is already built and cached for the
-      // database's lifetime; overflow degrades the search, not the build.
-      governor->Charge(slot->index->EstimatedBytes(), "index-build");
+  // Build-once state machine (see IndexSlot): one builder per slot at a
+  // time; waiters block until the slot is built or the builder aborts, in
+  // which case the first waiter whose own interrupt has not fired takes the
+  // build over.
+  {
+    MutexLock lock(&slot->mu);
+    for (;;) {
+      if (slot->state == IndexSlot::State::kBuilt) return slot->index.get();
+      if (slot->state == IndexSlot::State::kEmpty) {
+        if (interrupt && interrupt()) return nullptr;
+        slot->state = IndexSlot::State::kBuilding;
+        break;  // this caller builds
+      }
+      slot->cv.Wait(slot->mu);
     }
-    caches_->index_stats.build_seconds += timer.ElapsedSeconds();
-    ++caches_->index_stats.indexes_built;
+  }
+  // Build outside the slot lock so waiters (and requesters of other keys)
+  // are never blocked behind the row scan itself.
+  Timer timer;
+  std::unique_ptr<HashIndex> built =
+      HashIndex::Build(*tables_[t], std::move(cols), interrupt);
+  caches_->index_stats.build_seconds += timer.ElapsedSeconds();
+  MutexLock lock(&slot->mu);
+  if (built == nullptr) {
+    // Interrupted: publish nothing, hand the slot to a waiter (or leave it
+    // empty for a later caller to rebuild).
+    slot->state = IndexSlot::State::kEmpty;
+    slot->cv.NotifyAll();
+    return nullptr;
+  }
+  if (governor != nullptr) {
+    // Required charge: the index is already built and cached for the
+    // database's lifetime; overflow degrades the search, not the build.
+    governor->Charge(built->EstimatedBytes(), "index-build");
+  }
+  ++caches_->index_stats.indexes_built;
+  slot->index = std::move(built);
+  slot->state = IndexSlot::State::kBuilt;
+  slot->cv.NotifyAll();
+  return slot->index.get();
+}
+
+const BitmapFilter& Database::GetOrBuildPresenceFilter(TableId t,
+                                                       ColumnId c) const {
+  std::shared_ptr<FilterSlot> slot;
+  std::shared_ptr<ResourceGovernor> governor;
+  {
+    MutexLock lock(&caches_->mu);
+    auto [pos, fresh] =
+        caches_->filter_cache.try_emplace(std::make_pair(t, c), nullptr);
+    if (fresh) pos->second = std::make_shared<FilterSlot>();
+    slot = pos->second;
+    governor = caches_->governor;
+  }
+  // Presence filters are one bit per dictionary entry and built by a single
+  // linear column scan — cheap enough that the build-once slot can stay a
+  // plain call_once (no interruption needed, unlike index builds).
+  std::call_once(slot->once, [&] {
+    slot->filter = std::make_unique<BitmapFilter>(
+        BuildColumnPresenceFilter(*tables_[t], c, dict_->size()));
+    if (governor != nullptr) {
+      // Required charge: cached for the database's lifetime, like indexes.
+      governor->Charge(slot->filter->EstimatedBytes(), "filter-build");
+    }
   });
-  return *slot->index;
+  return *slot->filter;
+}
+
+const CompositeKeyFilter& Database::GetOrBuildKeyFilter(
+    TableId t, std::vector<ColumnId> cols) const {
+  std::shared_ptr<KeyFilterSlot> slot;
+  std::shared_ptr<ResourceGovernor> governor;
+  {
+    MutexLock lock(&caches_->mu);
+    auto [pos, fresh] = caches_->key_filter_cache.try_emplace(
+        std::make_pair(t, cols), nullptr);
+    if (fresh) pos->second = std::make_shared<KeyFilterSlot>();
+    slot = pos->second;
+    governor = caches_->governor;
+  }
+  // One linear scan hashing each row's key tuple — cheap enough for a plain
+  // call_once, like the single-column presence filters above.
+  std::call_once(slot->once, [&] {
+    slot->filter = std::make_unique<CompositeKeyFilter>(*tables_[t], cols);
+    if (governor != nullptr) {
+      // Required charge: cached for the database's lifetime, like indexes.
+      governor->Charge(slot->filter->EstimatedBytes(), "filter-build");
+    }
+  });
+  return *slot->filter;
 }
 
 const ColumnPattern& Database::GetColumnPattern(TableId t, ColumnId c) const {

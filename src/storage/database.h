@@ -10,10 +10,13 @@
 #include <utility>
 #include <vector>
 
+#include <functional>
+
 #include "common/counters.h"
 #include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/bitmap_filter.h"
 #include "storage/dictionary.h"
 #include "storage/index.h"
 #include "storage/pattern.h"
@@ -47,10 +50,12 @@ struct IndexBuildStats {
 ///
 /// Thread-safety: schema/data mutation (AddTable, AddForeignKey, appends)
 /// is single-threaded — the load phase. Once loaded, all logically-const
-/// reads, including the lazily-built index and pattern caches, are safe
-/// from any number of threads: each cache entry is built exactly once
-/// (per-key std::call_once) while other requesters of the same key block
-/// and requesters of different keys proceed.
+/// reads, including the lazily-built index, pattern and presence-filter
+/// caches, are safe from any number of threads: each cache entry is built
+/// exactly once (a per-key build-once slot) while other requesters of the
+/// same key block and requesters of different keys proceed. Index builds
+/// are additionally interruptible (TryGetOrBuildIndex): an aborted build
+/// publishes nothing and leaves its slot rebuildable.
 class Database {
  public:
   Database() : dict_(std::make_shared<Dictionary>()) {}
@@ -106,6 +111,31 @@ class Database {
   /// given columns of the given table.
   const HashIndex& GetOrBuildIndex(TableId t, std::vector<ColumnId> cols) const;
 
+  /// Like GetOrBuildIndex, but polls `interrupt` (may be empty) every
+  /// kInterruptPollMask rows of a build it runs itself and returns nullptr
+  /// if it fired — so a deadline or Cancel() lands *inside* a large
+  /// hash-join build instead of after it. An aborted build publishes
+  /// nothing; the cache slot stays rebuildable, and a concurrent waiter on
+  /// the same key takes the build over (or a later caller retries).
+  const HashIndex* TryGetOrBuildIndex(
+      TableId t, std::vector<ColumnId> cols,
+      const std::function<bool()>& interrupt) const;
+
+  /// Returns (building and caching on first use) the presence bitmap of one
+  /// column: bit v set iff value id v appears in t.c — the sideways
+  /// information passing filter source (DESIGN.md §13). One bit per
+  /// dictionary entry; bytes are charged to the attached governor as
+  /// "filter-build" (required charge, like index builds).
+  const BitmapFilter& GetOrBuildPresenceFilter(TableId t, ColumnId c) const;
+
+  /// Returns (building and caching on first use) the hashed presence filter
+  /// over a composite column tuple of `t` — the sideways-passing miss
+  /// rejection for multi-column join keys, where single-column presence
+  /// bitmaps are blind to absent value *combinations* (DESIGN.md §13).
+  /// ~One byte per table row, charged as "filter-build" like the bitmaps.
+  const CompositeKeyFilter& GetOrBuildKeyFilter(
+      TableId t, std::vector<ColumnId> cols) const;
+
   /// Returns (computing and caching on first use) the value pattern of a
   /// column — the per-column statistic behind cover-comparison pruning.
   /// Invalidated never: patterns are computed on sealed data (the QRE
@@ -149,13 +179,31 @@ class Database {
   // shared_ptr so a reference handed out stays valid for the Database's
   // lifetime regardless of map rebalancing. The whole cache state lives
   // behind a pointer to keep Database movable despite the mutex.
+  // Index slots are a small build-once state machine instead of a
+  // std::call_once: an *interruptible* build that aborts must leave the slot
+  // rebuildable (call_once would latch the abort forever). States:
+  // kEmpty -> kBuilding (one builder at a time, building outside the slot
+  // lock) -> kBuilt (terminal; `index` is immutable thereafter), or back to
+  // kEmpty when the builder's interrupt fired — waiters are notified and the
+  // first non-interrupted one takes the build over.
   struct IndexSlot {
-    std::once_flag once;
-    std::unique_ptr<HashIndex> index;
+    enum class State { kEmpty, kBuilding, kBuilt };
+    Mutex mu;
+    CondVar cv;
+    State state GUARDED_BY(mu) = State::kEmpty;
+    std::unique_ptr<HashIndex> index GUARDED_BY(mu);
   };
   struct PatternSlot {
     std::once_flag once;
     ColumnPattern pattern;
+  };
+  struct FilterSlot {
+    std::once_flag once;
+    std::unique_ptr<BitmapFilter> filter;
+  };
+  struct KeyFilterSlot {
+    std::once_flag once;
+    std::unique_ptr<CompositeKeyFilter> filter;
   };
   struct LazyCaches {
     Mutex mu;
@@ -166,8 +214,15 @@ class Database {
     IndexBuildStats index_stats;
     std::map<std::pair<TableId, ColumnId>, std::shared_ptr<PatternSlot>>
         pattern_cache GUARDED_BY(mu);
-    // Charged for index/pattern build bytes; held as shared_ptr so a build
-    // racing an engine teardown keeps the governor alive.
+    // Presence bitmaps for sideways information passing (DESIGN.md §13).
+    std::map<std::pair<TableId, ColumnId>, std::shared_ptr<FilterSlot>>
+        filter_cache GUARDED_BY(mu);
+    // Hashed composite-key presence filters (multi-column SIP).
+    std::map<std::pair<TableId, std::vector<ColumnId>>,
+             std::shared_ptr<KeyFilterSlot>>
+        key_filter_cache GUARDED_BY(mu);
+    // Charged for index/pattern/filter build bytes; held as shared_ptr so a
+    // build racing an engine teardown keeps the governor alive.
     std::shared_ptr<ResourceGovernor> governor GUARDED_BY(mu);
   };
   mutable std::unique_ptr<LazyCaches> caches_ = std::make_unique<LazyCaches>();

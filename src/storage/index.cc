@@ -1,20 +1,45 @@
 #include "storage/index.h"
 
+#include "common/interrupt.h"
+
 namespace fastqre {
 
 HashIndex::HashIndex(const Table& table, std::vector<ColumnId> cols)
     : cols_(std::move(cols)) {
+  (void)BuildRows(table, {});  // no interrupt: cannot fail
+}
+
+std::unique_ptr<HashIndex> HashIndex::Build(
+    const Table& table, std::vector<ColumnId> cols,
+    const std::function<bool()>& interrupt) {
+  auto index = std::make_unique<HashIndex>(DeferTag{}, std::move(cols));
+  if (!index->BuildRows(table, interrupt)) return nullptr;
+  return index;
+}
+
+bool HashIndex::BuildRows(const Table& table,
+                          const std::function<bool()>& interrupt) {
   const size_t n = table.num_rows();
+  if (cols_.empty()) {
+    estimated_bytes_ = sizeof(HashIndex);
+    return true;
+  }
   if (cols_.size() == 1) {
     const Column& c = table.column(cols_[0]);
     single_.reserve(n);
     for (RowId r = 0; r < n; ++r) {
+      if ((r & kInterruptPollMask) == 0 && interrupt && interrupt()) {
+        return false;
+      }
       single_[c.at(r)].push_back(r);
     }
   } else {
     multi_.reserve(n);
     std::vector<ValueId> key(cols_.size());
     for (RowId r = 0; r < n; ++r) {
+      if ((r & kInterruptPollMask) == 0 && interrupt && interrupt()) {
+        return false;
+      }
       for (size_t i = 0; i < cols_.size(); ++i) {
         key[i] = table.column(cols_[i]).at(r);
       }
@@ -38,6 +63,7 @@ HashIndex::HashIndex(const Table& table, std::vector<ColumnId> cols)
     }
   }
   estimated_bytes_ = bytes;
+  return true;
 }
 
 size_t HashIndex::LookupBatch(const ValueId* keys, size_t n,

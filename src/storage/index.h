@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -34,9 +36,28 @@ struct BatchMatches {
 /// Single-column indexes (the overwhelmingly common case for pk-fk joins)
 /// use a flat ValueId-keyed map; multi-column indexes key on the id tuple.
 class HashIndex {
+  // Constructor gate for Build(): only members can name DeferTag, yet the
+  // tagged constructor stays public so std::make_unique works (no naked
+  // `new`; see tools/lint_invariants.py rule naked-new).
+  struct DeferTag {
+    explicit DeferTag() = default;
+  };
+
  public:
   /// Builds the index eagerly over all rows of `table`.
   HashIndex(const Table& table, std::vector<ColumnId> cols);
+
+  explicit HashIndex(DeferTag, std::vector<ColumnId> cols)
+      : cols_(std::move(cols)) {}
+
+  /// Interruptible build: like the constructor, but polls `interrupt` (may
+  /// be empty) every kInterruptPollMask rows and returns nullptr if it
+  /// fired — so a deadline or Cancel() lands inside a large build instead of
+  /// after it (the hash-join build-side interrupt gap, DESIGN.md §13). An
+  /// aborted build publishes nothing.
+  static std::unique_ptr<HashIndex> Build(
+      const Table& table, std::vector<ColumnId> cols,
+      const std::function<bool()>& interrupt);
 
   const std::vector<ColumnId>& columns() const { return cols_; }
   size_t num_keys() const {
@@ -79,6 +100,11 @@ class HashIndex {
     static const std::vector<RowId> e;
     return e;
   }
+
+  // Shared body of the constructor and Build(): inserts all rows, polling
+  // `interrupt` per stride. Returns false (leaving the maps partial — the
+  // caller discards the object) when the interrupt fired.
+  bool BuildRows(const Table& table, const std::function<bool()>& interrupt);
 
   std::vector<ColumnId> cols_;
   size_t estimated_bytes_ = 0;

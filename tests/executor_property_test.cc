@@ -10,6 +10,8 @@
 #include "engine/block_executor.h"
 #include "engine/compare.h"
 #include "engine/executor.h"
+#include "engine/subplan_cache.h"
+#include "storage/csv.h"
 
 namespace fastqre {
 namespace {
@@ -149,6 +151,77 @@ TEST_P(ExecutorDifferential, SameInstanceFilterAgrees) {
   TupleSet actual =
       TableToTupleSet(ExecuteToTable(db, q, "actual").ValueOrDie());
   ASSERT_EQ(actual, expected) << "seed " << seed;
+}
+
+TEST_P(ExecutorDifferential, SipAndSubplanCacheAreSemanticsPreserving) {
+  // DESIGN.md §13: SIP filters and subplan memoization may only skip work,
+  // never change results. Every {use_sip} × {subplan cache} × {kernel}
+  // configuration must emit a byte-identical relation (CSV compare: row
+  // order included) and match the brute-force reference. The cache is
+  // shared across all trials of a seed, so later trials really consume
+  // prefixes stored by earlier ones (admission 0 stores on first offer).
+  const uint64_t seed = GetParam();
+  RandomDbOptions db_opts;
+  db_opts.seed = seed;
+  db_opts.num_tables = 3;
+  db_opts.min_rows = 8;
+  db_opts.max_rows = 25;
+  db_opts.extra_fk_edges = static_cast<int>(seed % 2);
+  Database db = BuildRandomDb(db_opts).ValueOrDie();
+
+  SubplanCache cache(/*budget_bytes=*/64 << 20, /*admission=*/0);
+  SubplanCache tiny_cache(/*budget_bytes=*/512, /*admission=*/0);
+  Rng rng(seed * 4099 + 3);
+  RandomQueryOptions q_opts;
+  q_opts.num_instances = 2 + static_cast<int>(seed % 2);
+  q_opts.num_projections = 2;
+  q_opts.min_rout_rows = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    auto wq = RandomCpjQuery(db, &rng, q_opts);
+    if (!wq.ok()) continue;
+    const TupleSet expected = BruteForce(db, wq->query);
+    ExecPolicy off;
+    off.use_sip = false;
+    const std::string baseline =
+        TableToCsv(ExecuteBlock(db, wq->query, "block", {}, off).ValueOrDie());
+    ASSERT_EQ(TableToTupleSet(
+                  ExecuteBlock(db, wq->query, "block", {}, off).ValueOrDie()),
+              expected)
+        << "seed " << seed << " trial " << trial << "\n"
+        << wq->query.ToSql(db);
+    for (bool sip : {false, true}) {
+      for (SubplanCache* memo : {static_cast<SubplanCache*>(nullptr), &cache,
+                                 &tiny_cache}) {
+        for (bool batch : {false, true}) {
+          ExecPolicy p;
+          p.use_sip = sip;
+          p.subplan_cache = memo;
+          p.batch_probes = batch;
+          auto got = ExecuteBlock(db, wq->query, "block", {}, p);
+          ASSERT_TRUE(got.ok()) << "seed " << seed << " trial " << trial;
+          EXPECT_EQ(TableToCsv(*got), baseline)
+              << "seed " << seed << " trial " << trial << " sip=" << sip
+              << " memo=" << (memo == &cache ? "64M" : memo ? "512B" : "off")
+              << " batch=" << batch << "\n"
+              << wq->query.ToSql(db);
+        }
+      }
+    }
+    // The pipelined cursor honours the same policy bit: SIP on and off must
+    // stream identical ordered rows.
+    std::vector<std::vector<ValueId>> streams[2];
+    for (int sip = 0; sip < 2; ++sip) {
+      ExecPolicy p;
+      p.use_sip = (sip == 1);
+      auto cursor =
+          QueryCursor::Create(db, wq->query, {}, {}, p).ValueOrDie();
+      std::vector<ValueId> row;
+      while (cursor->Next(&row)) streams[sip].push_back(row);
+    }
+    EXPECT_EQ(streams[0], streams[1])
+        << "seed " << seed << " trial " << trial << "\n"
+        << wq->query.ToSql(db);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorDifferential,

@@ -219,6 +219,40 @@ TEST_F(FaultInjectionTest, AllocFailAtBlockBufferExitsCleanly) {
   }
 }
 
+TEST_F(FaultInjectionTest, AllocFailAtSubplanCacheKeepsAnswersIdentical) {
+  // Refusing a subplan-cache store only makes convoy candidates recompute
+  // their join prefixes (DESIGN.md §13): the answer must stay byte-identical
+  // to the fault-free baseline.
+  QreOptions base;
+  base.subplan_cache_admission = 0;  // store on first offer: maximal traffic
+  QreAnswer reference = Run(9, base);
+  ASSERT_TRUE(reference.found) << reference.failure_reason;
+
+  for (int threads : {1, 8}) {
+    QreOptions opts = base;
+    opts.validation_threads = threads;
+    opts.fault_spec = "subplan-build=alloc-fail";
+    QreAnswer got = Run(9, opts);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.sql, reference.sql);
+    EXPECT_EQ(got.failure_reason, reference.failure_reason);
+    // Every store was refused, so no hit can have been served.
+    EXPECT_EQ(got.stats.subplan_cache_hits, 0u);
+  }
+}
+
+TEST_F(FaultInjectionTest, CancelAtSubplanCacheSiteExitsCleanly) {
+  QreOptions opts;
+  opts.subplan_cache_admission = 0;
+  opts.fault_spec = "subplan-build=cancel";
+  std::vector<QreAnswer> got = RunAll(9, opts);
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_FALSE(got.back().found);
+  EXPECT_EQ(got.back().failure_reason, "cancelled");
+  EXPECT_TRUE(got.back().stats.cancelled);
+}
+
 // ---- Delay injection: determinism under perturbed timing --------------------
 
 TEST_F(FaultInjectionTest, DelaysNeverChangeTheAnswer) {

@@ -1,0 +1,19 @@
+// Fixture: data-scaled filter and memo-table buffers declared with no
+// resource accounting classification — [governed-alloc] must flag all
+// three (presence bitmaps, composite-key filters, and subplan tables scale
+// with dictionary / table / intermediate size).
+#include "engine/subplan_cache.h"
+#include "storage/bitmap_filter.h"
+
+namespace fastqre {
+
+void MaterializeFilters() {
+  BitmapFilter presence(1u << 20);
+  CompositeKeyFilter keys = MakeKeyFilter();
+  SubplanTable snapshot;
+  (void)presence;
+  (void)keys;
+  (void)snapshot;
+}
+
+}  // namespace fastqre

@@ -1,6 +1,7 @@
 // Fixture: classified buffer declarations — [governed-alloc] stays quiet,
 // and references/pointers/function declarations are exempt without markers.
 #include "engine/compare.h"
+#include "storage/bitmap_filter.h"
 
 namespace fastqre {
 
@@ -11,10 +12,14 @@ void Accumulate(const TupleSet& input, TupleSet* output) {
   TupleSet projected;
   // gov: charged — bytes accounted to the governor as "block-buffer".
   std::vector<std::vector<RowId>> rows;
+  // gov: charged — cached via Database::GetOrBuildPresenceFilter
+  // ("filter-build").
+  BitmapFilter presence(64);
   (void)input;
   (void)output;
   (void)projected;
   (void)rows;
+  (void)presence;
 }
 
 }  // namespace fastqre

@@ -8,9 +8,10 @@
 //       Materialize a ladder query's output as a CSV "report" to reverse.
 //   fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]
 //                   [--alpha A] [--all K] [--threads N] [--intra-threads N]
-//                   [--morsel-size M] [--no-batch] [--walk-cache-mb MB]
+//                   [--morsel-size M] [--no-batch] [--no-sip]
+//                   [--walk-cache-mb MB] [--subplan-cache-mb MB]
 //                   [--memory-budget-mb MB] [--cancel-after S]
-//                   [--stats] [--verify] [--trace]
+//                   [--stats] [--stats-json] [--verify] [--trace]
 //       Reverse engineer a generating query for the report. --threads N
 //       validates candidates on N worker threads; the answer is identical
 //       to a single-threaded run (rank-deterministic), just faster.
@@ -19,10 +20,16 @@
 //       the tuples-per-morsel granularity and --no-batch falls back to the
 //       scalar probe kernels (DESIGN.md §12) — all three leave the answer
 //       byte-identical.
+//       --no-sip disables sideways-information-passing bitmap filters and
+//       --subplan-cache-mb sets the cross-candidate subplan memoization
+//       budget (0 disables; DESIGN.md §13) — the E15 ablation axes, again
+//       answer-preserving.
 //       --memory-budget-mb caps the tracked search-path allocations
 //       (DESIGN.md §11; 0 = unlimited); --cancel-after fires Cancel() from a
 //       watchdog thread after S seconds — the external-cancellation test
 //       hook, exercising the same path a Ctrl-C handler would.
+//       --stats-json prints the statistics of each answer as one JSON
+//       object per line (machine-readable counterpart of --stats).
 //   fastqre run --db DIR --sql "SELECT a.x FROM t a WHERE ..." [--limit N]
 //       Execute a PJ query and print its (distinct) result rows.
 //   fastqre tune --db DIR
@@ -62,8 +69,10 @@ int Usage() {
       "  fastqre reverse --db DIR --rout FILE.csv [--superset] [--budget S]\n"
       "                  [--alpha A] [--all K] [--threads N]\n"
       "                  [--intra-threads N] [--morsel-size M] [--no-batch]\n"
-      "                  [--walk-cache-mb MB] [--memory-budget-mb MB]\n"
-      "                  [--cancel-after S] [--stats] [--verify] [--trace]\n"
+      "                  [--no-sip] [--walk-cache-mb MB]\n"
+      "                  [--subplan-cache-mb MB] [--memory-budget-mb MB]\n"
+      "                  [--cancel-after S] [--stats] [--stats-json]\n"
+      "                  [--verify] [--trace]\n"
       "  fastqre run --db DIR --sql QUERY [--limit N]\n"
       "  fastqre tune --db DIR\n");
   return 2;
@@ -107,6 +116,66 @@ Flags ParseFlags(int argc, char** argv, int first) {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+// One answer's QreStats as a single-line JSON object (--stats-json). Every
+// counter of the human-readable report, under stable snake_case keys, so
+// scripts can diff ablation runs without scraping the text format.
+std::string StatsToJson(const QreStats& s, bool found,
+                        const std::string& failure_reason) {
+  std::string out = "{";
+  auto num = [&out](const char* key, uint64_t v) {
+    out += StringFormat("\"%s\":%llu,", key, static_cast<unsigned long long>(v));
+  };
+  auto flt = [&out](const char* key, double v) {
+    out += StringFormat("\"%s\":%.6f,", key, v);
+  };
+  out += StringFormat("\"found\":%s,", found ? "true" : "false");
+  if (!found) {
+    std::string escaped;
+    for (char c : failure_reason) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out += StringFormat("\"failure_reason\":\"%s\",", escaped.c_str());
+  }
+  flt("total_seconds", s.total_seconds);
+  flt("cover_seconds", s.cover_seconds);
+  flt("cgm_seconds", s.cgm_seconds);
+  num("cover_pairs_total", s.cover_pairs_total);
+  num("cover_pairs_pruned", s.cover_pairs_pruned);
+  num("cover_pairs_checked", s.cover_pairs_checked);
+  num("cgm_candidates_checked", s.cgm_candidates_checked);
+  num("num_cgms", s.num_cgms);
+  num("mappings_tried", s.mappings_tried);
+  num("walks_discovered", s.walks_discovered);
+  num("candidates_generated", s.candidates_generated);
+  num("candidates_validated", s.candidates_validated);
+  num("candidates_cancelled", s.candidates_cancelled);
+  num("walk_sets_expanded", s.walk_sets_expanded);
+  num("candidates_pruned_dead", s.candidates_pruned_dead);
+  num("candidates_dismissed_probe", s.candidates_dismissed_probe);
+  num("candidates_dismissed_walk", s.candidates_dismissed_walk);
+  num("walk_coherence_checks", s.walk_coherence_checks);
+  num("full_validations", s.full_validations);
+  num("validation_rows", s.validation_rows);
+  num("probe_rows", s.probe_rows);
+  num("coherence_rows", s.coherence_rows);
+  num("alltuple_rows", s.alltuple_rows);
+  num("fullscan_rows", s.fullscan_rows);
+  num("walk_cache_hits", s.walk_cache_hits);
+  num("walk_cache_misses", s.walk_cache_misses);
+  num("walk_cache_evictions", s.walk_cache_evictions);
+  num("walk_cache_bytes", s.walk_cache_bytes);
+  num("sip_rows_skipped", s.sip_rows_skipped);
+  num("subplan_cache_hits", s.subplan_cache_hits);
+  num("subplan_cache_misses", s.subplan_cache_misses);
+  num("subplan_cache_evictions", s.subplan_cache_evictions);
+  num("subplan_cache_bytes", s.subplan_cache_bytes);
+  num("peak_tracked_bytes", s.peak_tracked_bytes);
+  num("degradation_events", s.degradation_events);
+  out += StringFormat("\"cancelled\":%s}", s.cancelled ? "true" : "false");
+  return out;
 }
 
 int CmdGenTpch(const Flags& flags) {
@@ -206,12 +275,19 @@ int CmdReverse(const Flags& flags) {
     return 2;
   }
   if (flags.Has("no-batch")) opts.use_batched_probes = false;
+  if (flags.Has("no-sip")) opts.use_sip = false;
   long long cache_mb = flags.GetInt("walk-cache-mb", 64);
   if (cache_mb < 0) {
     std::fprintf(stderr, "error: --walk-cache-mb must be >= 0\n");
     return 2;
   }
   opts.walk_cache_budget_bytes = static_cast<uint64_t>(cache_mb) << 20;
+  long long subplan_mb = flags.GetInt("subplan-cache-mb", 64);
+  if (subplan_mb < 0) {
+    std::fprintf(stderr, "error: --subplan-cache-mb must be >= 0\n");
+    return 2;
+  }
+  opts.subplan_cache_budget_bytes = static_cast<uint64_t>(subplan_mb) << 20;
   long long mem_mb = flags.GetInt("memory-budget-mb", 0);
   if (mem_mb < 0) {
     std::fprintf(stderr, "error: --memory-budget-mb must be >= 0\n");
@@ -259,6 +335,10 @@ int CmdReverse(const Flags& flags) {
     }
     if (flags.Has("stats")) {
       std::printf("%s\n", a.stats.ToString().c_str());
+    }
+    if (flags.Has("stats-json")) {
+      std::printf("%s\n",
+                  StatsToJson(a.stats, a.found, a.failure_reason).c_str());
     }
     if (flags.Has("trace")) {
       std::printf("%s", a.trace.ToString().c_str());

@@ -20,7 +20,7 @@ about. Rules (ids in brackets):
       platform-stable Rng so every run is reproducible.
 
   [interrupt-poll-literal]  The interrupt poll stride must be written as
-      kInterruptPollMask (src/engine/executor.h), never as a hard-coded
+      kInterruptPollMask (src/common/interrupt.h), never as a hard-coded
       `& 0xfff` / `& 4095`: DESIGN.md §9 requires identical cancellation
       latency across the executor, block executor, and cache builds.
 
@@ -34,7 +34,8 @@ about. Rules (ids in brackets):
       the author's intent).
 
   [governed-alloc]  Every declaration of a materialization-sized buffer in
-      src/ — a by-value TupleSet / ReachMap, or a nested row buffer
+      src/ — a by-value TupleSet / ReachMap / BitmapFilter /
+      CompositeKeyFilter / SubplanTable, or a nested row buffer
       std::vector<std::vector<RowId|ValueId>> — must carry a resource
       accounting classification comment within the three preceding lines
       (or on the declaration line itself):
@@ -92,7 +93,7 @@ NO_SUPPRESSION_DIRS = ("src/qre/", "src/engine/")
 # File allowed to use raw randomness.
 RNG_HOME = "src/common/rng.h"
 # File that defines kInterruptPollMask.
-POLL_MASK_HOME = "src/engine/executor.h"
+POLL_MASK_HOME = "src/common/interrupt.h"
 
 # Type aliases that are unordered containers.
 UNORDERED_ALIASES = ("TupleSet", "ReachMap")
@@ -108,7 +109,9 @@ GOV_MARKER_RE = re.compile(
 # trailing '(' (which the lookahead exempts: functions *returning* these
 # types allocate at their own declaration sites, not here).
 GOVERNED_DECL_RES = (
-    re.compile(r"\b(?:TupleSet|ReachMap)\s+(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
+    re.compile(
+        r"\b(?:TupleSet|ReachMap|BitmapFilter|CompositeKeyFilter|"
+        r"SubplanTable)\s+(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
     re.compile(
         r"std::vector<\s*std::vector<\s*(?:RowId|ValueId)\s*>\s*>\s+"
         r"(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
