@@ -1,0 +1,25 @@
+// Must-flag: lock-order. The injected A->B / B->A inversion: Credit takes
+// accounts_mu_ then audit_mu_, Audit takes them in the opposite order, so
+// the merged acquisition graph has the 2-cycle
+//   Ledger::accounts_mu_ -> Ledger::audit_mu_ -> Ledger::accounts_mu_.
+#include "fixture_stubs.h"
+
+class Ledger {
+ public:
+  void Credit() {
+    MutexLock accounts(&accounts_mu_);
+    MutexLock audit(&audit_mu_);
+    balance_ += 1;
+  }
+
+  void Audit() {
+    MutexLock audit(&audit_mu_);
+    MutexLock accounts(&accounts_mu_);
+    balance_ -= 1;
+  }
+
+ private:
+  Mutex accounts_mu_;
+  Mutex audit_mu_;
+  int balance_ = 0;
+};

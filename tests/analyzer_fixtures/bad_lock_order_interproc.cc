@@ -1,0 +1,34 @@
+// Must-flag: lock-order, through a call. Neither function nests two scoped
+// lockers syntactically: Flush holds stats_mu_ while calling a helper that
+// takes entries_mu_, Refill does the reverse. Only the interprocedural
+// expansion (held -> acquires*(callee)) sees the cycle.
+#include "fixture_stubs.h"
+
+class Cache {
+ public:
+  void Flush() {
+    MutexLock stats(&stats_mu_);
+    DropEntries();
+  }
+
+  void Refill() {
+    MutexLock entries(&entries_mu_);
+    BumpStats();
+  }
+
+  void DropEntries() {
+    MutexLock entries(&entries_mu_);
+    entries_ = 0;
+  }
+
+  void BumpStats() {
+    MutexLock stats(&stats_mu_);
+    hits_ += 1;
+  }
+
+ private:
+  Mutex stats_mu_;
+  Mutex entries_mu_;
+  int entries_ = 0;
+  int hits_ = 0;
+};

@@ -1,0 +1,20 @@
+// Must-flag: poll-coverage, twice. SumAll iterates a TupleSet and ScanRows
+// walks RowId-indexed rows; neither nest ever reaches an interrupt poll,
+// RunControl check, or morsel boundary.
+#include "fixture_stubs.h"
+
+unsigned long SumAll(const TupleSet& tuples) {
+  unsigned long total = 0;
+  for (const auto& t : tuples) {
+    total += t.size();
+  }
+  return total;
+}
+
+unsigned long ScanRows(unsigned long num_rows) {
+  unsigned long total = 0;
+  for (RowId r = 0; r < num_rows; ++r) {
+    total += r;
+  }
+  return total;
+}

@@ -1,0 +1,17 @@
+// Must-flag: poll-coverage. The loop body only calls Weigh, and the
+// whole-program reaches-a-poll fixpoint proves Weigh never polls either —
+// delegating the body does not discharge the obligation.
+#include "fixture_stubs.h"
+
+static unsigned long Weigh(const std::vector<ValueId>& tuple) {
+  return tuple.size() * 2;
+}
+
+// det: order-insensitive - total is a commutative sum over tuple weights
+unsigned long WeighAll(const TupleSet& tuples) {
+  unsigned long total = 0;
+  for (const auto& t : tuples) {
+    total += Weigh(t);
+  }
+  return total;
+}

@@ -1,0 +1,17 @@
+// Must-flag: suppression, three ways — a justification that is too short,
+// an unknown pass name, and an attempt to suppress lock-order (which is a
+// whole-program property and cannot be waved through at one edge).
+#include "fixture_stubs.h"
+
+unsigned long Tally(const TupleSet& tuples) {
+  unsigned long total = 0;
+  // NOLINT-ANALYZER(poll-coverage): short
+  for (const auto& t : tuples) {
+    total += t.size();
+  }
+  // NOLINT-ANALYZER(made-up-pass): this pass identifier does not exist
+  total += 1;
+  // NOLINT-ANALYZER(lock-order): trying to hide an acquisition-order cycle
+  total += 2;
+  return total;
+}

@@ -1,0 +1,33 @@
+// Must-pass: governed-alloc. Every materialization-sized buffer carries a
+// `// gov:` classification, and references/parameters are exempt (they
+// alias storage charged at its owner).
+#include "fixture_stubs.h"
+
+TupleSet MakeResult();
+
+unsigned long AccumulateCharged() {
+  // gov: charged - fixture stand-in for a governor-charged result set
+  TupleSet seen;
+  // gov: charged - deduced TupleSet, charged at the producer
+  auto merged = MakeResult();
+  // gov: bounded - at most one entry per schema column, not per data row
+  std::vector<std::vector<RowId>> postings;
+  // gov: charged - walk endpoints, charged by the walk cache
+  ReachMap forward;
+  // gov: charged - memo table bytes are charged by its owning cache
+  std::unordered_map<std::vector<ValueId>, int, IdTupleHash> memo;
+  postings.reserve(4);
+  return seen.size() + merged.size() + postings.size() + forward.size() +
+         memo.size();
+}
+
+unsigned long CountThrough(const TupleSet& tuples) {
+  const TupleSet& alias = tuples;  // reference: exempt, owner pays
+  return alias.size() + tuples.size();
+}
+
+struct CacheShard {
+  // gov: charged - shard contents are charged on insert by the cache
+  TupleSet tuples_;
+  int generation_ = 0;
+};

@@ -1,0 +1,49 @@
+// Must-pass: lock-order. Every path agrees on accounts_mu_ before
+// audit_mu_ (scoped and manual acquisition), and hand-over-hand locking of
+// two objects of one class is a self-edge on the per-field graph, which is
+// deliberately not reported.
+#include "fixture_stubs.h"
+
+class Ledger {
+ public:
+  void Credit() {
+    MutexLock accounts(&accounts_mu_);
+    MutexLock audit(&audit_mu_);
+    balance_ += 1;
+  }
+
+  void Audit() {
+    MutexLock accounts(&accounts_mu_);
+    MutexLock audit(&audit_mu_);
+    balance_ -= 1;
+  }
+
+  void ManualSweep() {
+    accounts_mu_.Lock();
+    audit_mu_.Lock();
+    balance_ = 0;
+    audit_mu_.Unlock();
+    accounts_mu_.Unlock();
+  }
+
+ private:
+  Mutex accounts_mu_;
+  Mutex audit_mu_;
+  int balance_ = 0;
+};
+
+struct Node {
+  Mutex mu;
+  Node* next = nullptr;
+  int value = 0;
+};
+
+int HandOverHand(Node* head) {
+  head->mu.Lock();
+  Node* second = head->next;
+  second->mu.Lock();  // Node::mu -> Node::mu self-edge: not a cycle report
+  int v = second->value;
+  second->mu.Unlock();
+  head->mu.Unlock();
+  return v;
+}

@@ -1,0 +1,72 @@
+// Must-pass: poll-coverage. One data-scaled loop per legitimate coverage
+// story: the masked-counter idiom, a callback stop predicate, a helper that
+// polls (found by the call-graph fixpoint), a morsel-bounded body, an
+// input-bounded extent classified with `// poll: bounded`, and an explicit
+// suppression.
+#include "fixture_stubs.h"
+
+unsigned long SumMasked(const TupleSet& tuples, const RunControl& rc) {
+  unsigned long total = 0;
+  unsigned long seen = 0;
+  for (const auto& t : tuples) {
+    if ((++seen & kInterruptPollMask) == 0 && rc.ShouldStop()) break;
+    total += t.size();
+  }
+  return total;
+}
+
+unsigned long SumInterruptible(const TupleSet& tuples) {
+  auto interrupt = [] { return false; };
+  unsigned long total = 0;
+  for (const auto& t : tuples) {
+    if (interrupt()) break;
+    total += t.size();
+  }
+  return total;
+}
+
+inline bool PollOnce(unsigned long seen, const RunControl& rc) {
+  return (seen & kInterruptPollMask) == 0 && rc.ShouldStop();
+}
+
+unsigned long SumViaHelper(const TupleSet& tuples, const RunControl& rc) {
+  unsigned long total = 0;
+  unsigned long seen = 0;
+  // det: order-insensitive - total is a commutative sum; PollOnce only reads
+  for (const auto& t : tuples) {
+    if (PollOnce(++seen, rc)) break;
+    total += t.size();
+  }
+  return total;
+}
+
+unsigned long SumMorsels(unsigned long num_morsels) {
+  unsigned long grand = 0;
+  RunMorsels(nullptr, 3, num_morsels,
+             [&](unsigned long begin, unsigned long end) {
+               for (unsigned long m = begin; m < end; ++m) {
+                 for (RowId r = 0; r < 64; ++r) {
+                   grand += r;
+                 }
+               }
+             });
+  return grand;
+}
+
+unsigned long SumColumns(const TupleSet& schema_columns) {
+  unsigned long total = 0;
+  // poll: bounded - iterates the schema-sized column set, not data rows
+  for (const auto& t : schema_columns) {
+    total += t.size();
+  }
+  return total;
+}
+
+unsigned long SumSuppressed(const TupleSet& tuples) {
+  unsigned long total = 0;
+  // NOLINT-ANALYZER(poll-coverage): fixture-only helper with caller-bounded input
+  for (const auto& t : tuples) {
+    total += t.size();
+  }
+  return total;
+}

@@ -1,0 +1,180 @@
+// qre-analyzer shared state and data model (DESIGN.md §14).
+//
+// The tool runs one Clang frontend per translation unit listed on the
+// command line (compile flags from the exported compile_commands.json) and
+// accumulates per-TU facts into one AnalyzerState. All whole-program
+// reasoning — the mutex-acquisition graph, the reaches-a-poll fixpoint over
+// the call graph, find-site deduplication across shared headers — happens in
+// Finalize() (report.cc) after every TU has been visited.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qre_analyzer {
+
+// Pass identifiers, used in findings, suppressions, and SARIF rule ids.
+inline const char kPassLockOrder[] = "lock-order";
+inline const char kPassPollCoverage[] = "poll-coverage";
+inline const char kPassGovernedAlloc[] = "governed-alloc";
+inline const char kPassUnorderedEscape[] = "unordered-escape";
+inline const char kPassSuppression[] = "suppression";
+
+/// One reported problem. `file` is root-relative, `line` 1-based.
+struct Finding {
+  std::string file;
+  unsigned line = 0;
+  std::string pass;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (pass != o.pass) return pass < o.pass;
+    return message < o.message;
+  }
+};
+
+/// A source position for witness printing.
+struct SourcePos {
+  std::string file;
+  unsigned line = 0;
+};
+
+/// One observed "lock A held while acquiring lock B" event. Lock identities
+/// are canonicalized per *field* (Class::member) or per *variable*, not per
+/// object: two IndexSlot instances share one node. That granularity is what
+/// classic lock-order checkers use; it can merge distinct instances, so
+/// self-edges (A -> A) are not reported (hand-over-hand locking of two
+/// objects of one class is legitimate).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  SourcePos acquire_pos;   // where `to` was acquired
+  std::string function;    // enclosing function
+  unsigned held_line = 0;  // where `from` was acquired
+
+  bool operator<(const LockEdge& o) const {
+    if (from != o.from) return from < o.from;
+    return to < o.to;
+  }
+};
+
+/// A call made while at least one lock was held; expanded against the
+/// callee's transitive acquisition set in Finalize() so that
+/// "hold A, call f, f locks B" contributes the edge A -> B.
+struct CallUnderLock {
+  std::vector<std::string> held;
+  std::string callee;
+  SourcePos pos;
+  std::string function;
+};
+
+/// One top-level loop nest (a loop not syntactically inside another loop of
+/// the same function; lambda bodies count as their enclosing function).
+/// Pass 2 reasons at nest granularity: the repo's poll idiom is a masked
+/// check on a monotone work counter somewhere in the nest, not one poll per
+/// syntactic loop level.
+struct LoopNest {
+  SourcePos pos;             // the nest's outermost loop
+  std::string function;
+  bool has_poll = false;     // a poll statement occurs inside the nest
+  bool morsel_bounded = false;
+  // First data-scaled loop inside the nest, if any (what gets reported).
+  bool data_scaled = false;
+  SourcePos data_pos;
+  std::string trigger;       // human-readable reason it is data-scaled
+  std::set<std::string> callees;  // qualified names called inside the nest
+
+  bool operator<(const LoopNest& o) const {
+    if (pos.file != o.pos.file) return pos.file < o.pos.file;
+    return pos.line < o.pos.line;
+  }
+};
+
+/// Per-function whole-program facts, merged across TUs by qualified name.
+struct FunctionFacts {
+  bool polls_directly = false;   // contains a poll statement anywhere
+  bool reaches_poll = false;     // fixpoint result
+  std::set<std::string> callees;
+  // Locks acquired anywhere inside the function body (scoped lockers or
+  // manual Lock()), used for the interprocedural lock-order expansion.
+  std::set<std::string> acquires;
+};
+
+/// One unordered-container iteration site (pass 4).
+struct UnorderedSite {
+  SourcePos pos;
+  std::string function;
+  // Determinism classification comment found within 3 lines above.
+  enum class Marker { kNone, kSorted, kOrderInsensitive } marker = Marker::kNone;
+  // Body analysis verdict.
+  bool ordered_sink = false;      // appends/streams into an ordered sink
+  bool sink_sorted_after = false; // every ordered sink is std::sort-ed later
+  bool sink_all_local = true;     // every sink resolved to a function-local
+  bool only_safe_ops = true;      // body provably order-insensitive
+  std::string sink_desc;          // first ordered sink, for the message
+};
+
+/// One by-value data-scaled buffer declaration (pass 3).
+struct GovernedSite {
+  SourcePos pos;
+  std::string type_desc;   // which governed type matched, for the message
+  bool has_marker = false; // // gov: charged|bounded — <reason> present
+};
+
+struct Options {
+  std::string root;                       // absolute repo root
+  std::vector<std::string> restrict_dirs; // report findings only under these
+  std::vector<std::string> poll_dirs;     // pass-2 loops checked only here
+  std::string sarif_path;
+};
+
+/// Global accumulator shared by every TU's visitor.
+struct AnalyzerState {
+  Options opts;
+
+  std::map<std::string, FunctionFacts> functions;
+  std::set<LockEdge> lock_edges;
+  std::vector<CallUnderLock> calls_under_lock;
+  // Keyed by file:line of the nest's outermost loop for cross-TU merging.
+  std::map<std::string, LoopNest> loop_nests;
+  // Keyed by file:line for cross-TU dedup of header-resident sites.
+  std::map<std::string, UnorderedSite> unordered_sites;
+  std::map<std::string, GovernedSite> governed_sites;
+  std::set<Finding> findings;  // direct findings (suppression hygiene)
+
+  // Suppressions: "<file>:<line>" -> pass ids suppressed at that line.
+  std::map<std::string, std::set<std::string>> suppressions;
+  std::set<std::string> scanned_files;  // comment-scanned once per file
+
+  void AddFinding(const std::string& file, unsigned line,
+                  const std::string& pass, const std::string& message) {
+    findings.insert(Finding{file, line, pass, message});
+  }
+
+  bool IsSuppressed(const std::string& file, unsigned line,
+                    const std::string& pass) const {
+    // lock-order findings are whole-program properties; a cycle cannot be
+    // waved through at one of its edges.
+    if (pass == kPassLockOrder) return false;
+    for (unsigned l : {line, line == 0 ? 0u : line - 1}) {
+      auto it = suppressions.find(file + ":" + std::to_string(l));
+      if (it != suppressions.end() && it->second.count(pass) > 0) return true;
+    }
+    return false;
+  }
+};
+
+inline bool StartsWithAny(const std::string& path,
+                          const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (p.empty() || p == ".") return true;
+    if (path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace qre_analyzer

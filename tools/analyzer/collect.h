@@ -1,0 +1,17 @@
+// Per-TU fact collection for qre-analyzer (DESIGN.md §14).
+#pragma once
+
+#include <memory>
+
+#include "clang/Tooling/Tooling.h"
+
+#include "analyzer_state.h"
+
+namespace qre_analyzer {
+
+/// Returns a FrontendActionFactory whose actions append facts and findings
+/// to `state`. ClangTool runs TUs sequentially, so no locking is needed.
+std::unique_ptr<clang::tooling::FrontendActionFactory> MakeCollectorFactory(
+    AnalyzerState& state);
+
+}  // namespace qre_analyzer

@@ -1,0 +1,113 @@
+// qre-analyzer entry point: LibTooling driver over compile_commands.json.
+//
+// Usage:
+//   qre-analyzer -p build src/**/*.cc --root $PWD [--sarif out.sarif]
+//   qre-analyzer fixture.cc --root <dir> --restrict . --poll-dirs . \
+//       -- clang++ -std=c++17 -I<dir>
+//
+// Exit codes: 0 clean, 1 findings, 2 tool/parse failure.
+
+#include <string>
+#include <vector>
+
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/FileSystem.h"
+
+#include "collect.h"
+#include "report.h"
+
+namespace {
+
+llvm::cl::OptionCategory g_category("qre-analyzer options");
+
+llvm::cl::opt<std::string> g_root(
+    "root",
+    llvm::cl::desc("Repo root; reported paths are made relative to it "
+                   "(default: current directory)"),
+    llvm::cl::init(""), llvm::cl::cat(g_category));
+
+llvm::cl::opt<std::string> g_restrict(
+    "restrict",
+    llvm::cl::desc("Comma-separated path prefixes that findings are "
+                   "restricted to ('.' = everywhere; default 'src/')"),
+    llvm::cl::init("src/"), llvm::cl::cat(g_category));
+
+llvm::cl::opt<std::string> g_poll_dirs(
+    "poll-dirs",
+    llvm::cl::desc("Comma-separated prefixes whose loops the poll-coverage "
+                   "pass checks (default 'src/engine/,src/qre/')"),
+    llvm::cl::init("src/engine/,src/qre/"), llvm::cl::cat(g_category));
+
+llvm::cl::opt<std::string> g_sarif(
+    "sarif", llvm::cl::desc("Write findings as SARIF 2.1.0 to this path"),
+    llvm::cl::init(""), llvm::cl::cat(g_category));
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected =
+      clang::tooling::CommonOptionsParser::create(argc, argv, g_category);
+  if (!expected) {
+    llvm::errs() << llvm::toString(expected.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser& options = *expected;
+
+  qre_analyzer::AnalyzerState state;
+  if (g_root.empty()) {
+    llvm::SmallString<256> cwd;
+    llvm::sys::fs::current_path(cwd);
+    state.opts.root = std::string(cwd.str());
+  } else {
+    llvm::SmallString<256> real;
+    if (!llvm::sys::fs::real_path(g_root, real))
+      state.opts.root = std::string(real.str());
+    else
+      state.opts.root = g_root;
+  }
+  state.opts.restrict_dirs = SplitCommas(g_restrict);
+  state.opts.poll_dirs = SplitCommas(g_poll_dirs);
+  state.opts.sarif_path = g_sarif;
+
+  clang::tooling::ClangTool tool(options.getCompilations(),
+                                 options.getSourcePathList());
+  int tool_status = tool.run(qre_analyzer::MakeCollectorFactory(state).get());
+  if (tool_status != 0) {
+    llvm::errs() << "qre-analyzer: compilation failed (" << tool_status
+                 << ")\n";
+    return 2;
+  }
+
+  qre_analyzer::Finalize(state);
+  int findings = qre_analyzer::PrintText(state);
+
+  if (!state.opts.sarif_path.empty() &&
+      !qre_analyzer::WriteSarif(state, state.opts.sarif_path)) {
+    llvm::errs() << "qre-analyzer: failed to write SARIF to "
+                 << state.opts.sarif_path << "\n";
+    return 2;
+  }
+
+  if (findings == 0) {
+    llvm::outs() << "qre-analyzer: clean (" << state.loop_nests.size()
+                 << " loop nests, " << state.lock_edges.size()
+                 << " lock edges, " << state.governed_sites.size()
+                 << " governed buffers, " << state.unordered_sites.size()
+                 << " unordered iterations)\n";
+  }
+  return findings == 0 ? 0 : 1;
+}

@@ -1,0 +1,334 @@
+// Whole-program finalization: call-graph fixpoints, lock-cycle search, and
+// per-site verdicts for the four qre-analyzer passes (DESIGN.md §14).
+
+#include "report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qre_analyzer {
+namespace {
+
+std::string SimpleName(const std::string& qualified) {
+  size_t at = qualified.rfind("::");
+  return at == std::string::npos ? qualified : qualified.substr(at + 2);
+}
+
+/// reaches_poll fixpoint: a function reaches a poll if it polls directly or
+/// any callee does. Callee names that don't resolve to a known qualified
+/// name fall back to simple-name matching (overload sets and out-of-TU
+/// declarations all merge onto one node; lenient on purpose — a missed
+/// match would flag a covered loop, not hide an uncovered one... at the
+/// cost of trusting same-named helpers, which the fixture corpus pins).
+void ComputeReachesPoll(AnalyzerState& state) {
+  std::map<std::string, bool> by_simple;  // simple name -> any version polls
+  for (auto& [name, facts] : state.functions) {
+    facts.reaches_poll = facts.polls_directly;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, facts] : state.functions) {
+      bool& bucket = by_simple[SimpleName(name)];
+      if (facts.reaches_poll && !bucket) {
+        bucket = true;
+        changed = true;
+      }
+    }
+    for (auto& [name, facts] : state.functions) {
+      if (facts.reaches_poll) continue;
+      for (const std::string& callee : facts.callees) {
+        auto it = state.functions.find(callee);
+        bool callee_polls =
+            it != state.functions.end()
+                ? it->second.reaches_poll
+                : by_simple.count(SimpleName(callee)) > 0 &&
+                      by_simple.at(SimpleName(callee));
+        if (callee_polls) {
+          facts.reaches_poll = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Transitive closure of per-function lock acquisitions, then expansion of
+/// every call-made-under-lock into held -> acquires*(callee) edges.
+void ExpandInterproceduralEdges(AnalyzerState& state) {
+  std::map<std::string, std::set<std::string>> closure;
+  for (const auto& [name, facts] : state.functions)
+    closure[name] = facts.acquires;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, acquired] : closure) {
+      const FunctionFacts& facts = state.functions.at(name);
+      for (const std::string& callee : facts.callees) {
+        auto it = closure.find(callee);
+        if (it == closure.end()) continue;
+        for (const std::string& lock : it->second) {
+          if (acquired.insert(lock).second) changed = true;
+        }
+      }
+    }
+  }
+  for (const CallUnderLock& cul : state.calls_under_lock) {
+    auto it = closure.find(cul.callee);
+    if (it == closure.end()) continue;
+    for (const std::string& held : cul.held) {
+      for (const std::string& acquired : it->second) {
+        if (acquired == held) continue;
+        LockEdge edge;
+        edge.from = held;
+        edge.to = acquired;
+        edge.acquire_pos = cul.pos;
+        edge.function = cul.function + " -> " + cul.callee;
+        state.lock_edges.insert(std::move(edge));
+      }
+    }
+  }
+}
+
+/// DFS cycle search over the merged acquisition graph; every distinct cycle
+/// (by node set) is reported once, with the witness edges printed.
+void FindLockCycles(AnalyzerState& state) {
+  std::map<std::string, std::vector<const LockEdge*>> adj;
+  for (const LockEdge& e : state.lock_edges) adj[e.from].push_back(&e);
+
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<const LockEdge*> stack;
+  std::set<std::string> reported;  // normalized cycle node sets
+
+  // Recursive lambda via explicit stack of (node, next-edge-index).
+  struct Frame {
+    std::string node;
+    size_t next = 0;
+  };
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (color[start] != 0) continue;
+    std::vector<Frame> frames{{start, 0}};
+    color[start] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      auto it = adj.find(f.node);
+      if (it == adj.end() || f.next >= it->second.size()) {
+        color[f.node] = 2;
+        frames.pop_back();
+        if (!stack.empty()) stack.pop_back();
+        continue;
+      }
+      const LockEdge* e = it->second[f.next++];
+      if (color[e->to] == 1) {
+        // Back edge: the cycle is the stack suffix from e->to, plus e.
+        std::vector<const LockEdge*> cycle;
+        bool in = false;
+        for (const LockEdge* se : stack) {
+          if (se->from == e->to) in = true;
+          if (in) cycle.push_back(se);
+        }
+        cycle.push_back(e);
+        std::set<std::string> nodes;
+        for (const LockEdge* ce : cycle) nodes.insert(ce->from);
+        std::string key;
+        for (const std::string& n : nodes) key += n + "|";
+        if (reported.insert(key).second) {
+          std::string witness = "lock-order cycle: ";
+          for (const LockEdge* ce : cycle) {
+            witness += ce->from + " -> " + ce->to + " [" +
+                       ce->acquire_pos.file + ":" +
+                       std::to_string(ce->acquire_pos.line) + " in " +
+                       ce->function + "] ";
+          }
+          const LockEdge* anchor = cycle.back();
+          state.AddFinding(anchor->acquire_pos.file, anchor->acquire_pos.line,
+                           kPassLockOrder, witness);
+        }
+        continue;
+      }
+      if (color[e->to] == 0) {
+        color[e->to] = 1;
+        stack.push_back(e);
+        frames.push_back({e->to, 0});
+      }
+    }
+  }
+}
+
+void ReportPollCoverage(AnalyzerState& state) {
+  for (const auto& [key, nest] : state.loop_nests) {
+    (void)key;
+    if (!nest.data_scaled || nest.has_poll || nest.morsel_bounded) continue;
+    bool callee_polls = false;
+    for (const std::string& callee : nest.callees) {
+      auto it = state.functions.find(callee);
+      if (it != state.functions.end() && it->second.reaches_poll) {
+        callee_polls = true;
+        break;
+      }
+      // Simple-name fallback, mirroring ComputeReachesPoll.
+      for (const auto& [name, facts] : state.functions) {
+        if (facts.reaches_poll && SimpleName(name) == SimpleName(callee)) {
+          callee_polls = true;
+          break;
+        }
+      }
+      if (callee_polls) break;
+    }
+    if (callee_polls) continue;
+    if (state.IsSuppressed(nest.data_pos.file, nest.data_pos.line,
+                           kPassPollCoverage)) {
+      continue;
+    }
+    state.AddFinding(
+        nest.data_pos.file, nest.data_pos.line, kPassPollCoverage,
+        "data-scaled loop (" + nest.trigger + ") in " + nest.function +
+            " never reaches an interrupt poll, RunControl check, or morsel "
+            "boundary; poll every kInterruptPollMask iterations or mark "
+            "'// poll: bounded - <reason>' if the extent is input-bounded");
+  }
+}
+
+void ReportGovernedAlloc(AnalyzerState& state) {
+  for (const auto& [key, site] : state.governed_sites) {
+    (void)key;
+    if (site.has_marker) continue;
+    if (state.IsSuppressed(site.pos.file, site.pos.line, kPassGovernedAlloc))
+      continue;
+    state.AddFinding(
+        site.pos.file, site.pos.line, kPassGovernedAlloc,
+        "materialization-sized buffer (" + site.type_desc +
+            ") without a governor classification; charge it against the "
+            "ResourceGovernor and mark '// gov: charged - <reason>' or "
+            "justify '// gov: bounded - <reason>'");
+  }
+}
+
+void ReportUnorderedEscape(AnalyzerState& state) {
+  for (const auto& [key, site] : state.unordered_sites) {
+    (void)key;
+    if (state.IsSuppressed(site.pos.file, site.pos.line, kPassUnorderedEscape))
+      continue;
+    const bool escapes = site.ordered_sink && !site.sink_sorted_after;
+    switch (site.marker) {
+      case UnorderedSite::Marker::kSorted:
+        break;  // claimed sorted-after; trusted (spot-checked by pass logic)
+      case UnorderedSite::Marker::kOrderInsensitive:
+        // Only contradict the human classification when every sink resolved
+        // to a function-local variable: appends into members or out-params
+        // may legitimately be sorted by the caller (pass limitation,
+        // DESIGN.md §14).
+        if (escapes && site.sink_all_local) {
+          state.AddFinding(
+              site.pos.file, site.pos.line, kPassUnorderedEscape,
+              "unordered iteration in " + site.function +
+                  " is marked '// det: order-insensitive' but its body " +
+                  site.sink_desc +
+                  " without a later sort; reclassify as '// det: sorted' "
+                  "and sort the sink, or make the body order-insensitive");
+        }
+        break;
+      case UnorderedSite::Marker::kNone:
+        if (escapes) {
+          state.AddFinding(
+              site.pos.file, site.pos.line, kPassUnorderedEscape,
+              "unordered iteration order in " + site.function +
+                  " escapes into an ordered sink (body " + site.sink_desc +
+                  "); sort the sink afterwards and mark '// det: sorted', "
+                  "or restructure");
+        } else if (!site.only_safe_ops && !site.sink_sorted_after) {
+          state.AddFinding(
+              site.pos.file, site.pos.line, kPassUnorderedEscape,
+              "unordered iteration in " + site.function +
+                  " has body effects the analyzer cannot prove "
+                  "order-insensitive; classify with '// det: sorted' or "
+                  "'// det: order-insensitive - <reason>'");
+        }
+        // Provably-safe sites are demoted silently: no marker required.
+        break;
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Finalize(AnalyzerState& state) {
+  ComputeReachesPoll(state);
+  ExpandInterproceduralEdges(state);
+  FindLockCycles(state);
+  ReportPollCoverage(state);
+  ReportGovernedAlloc(state);
+  ReportUnorderedEscape(state);
+}
+
+int PrintText(const AnalyzerState& state) {
+  for (const Finding& f : state.findings) {
+    std::printf("%s:%u: [%s] %s\n", f.file.c_str(), f.line, f.pass.c_str(),
+                f.message.c_str());
+  }
+  return static_cast<int>(state.findings.size());
+}
+
+bool WriteSarif(const AnalyzerState& state, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [{\n"
+         "    \"tool\": {\"driver\": {\"name\": \"qre-analyzer\", "
+         "\"informationUri\": \"tools/analyzer\", \"rules\": [\n";
+  const char* const passes[] = {kPassLockOrder, kPassPollCoverage,
+                                kPassGovernedAlloc, kPassUnorderedEscape,
+                                kPassSuppression};
+  for (size_t i = 0; i < 5; ++i) {
+    out << "      {\"id\": \"" << passes[i] << "\"}"
+        << (i + 1 < 5 ? ",\n" : "\n");
+  }
+  out << "    ]}},\n"
+         "    \"results\": [\n";
+  size_t i = 0;
+  for (const Finding& f : state.findings) {
+    out << "      {\"ruleId\": \"" << JsonEscape(f.pass)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+        << "}}}]}";
+    out << (++i < state.findings.size() ? ",\n" : "\n");
+  }
+  out << "    ]\n  }]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace qre_analyzer

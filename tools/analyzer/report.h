@@ -1,0 +1,24 @@
+// Whole-program finalization and output for qre-analyzer (DESIGN.md §14).
+#pragma once
+
+#include <string>
+
+#include "analyzer_state.h"
+
+namespace qre_analyzer {
+
+/// Runs the whole-program reasoning over the merged per-TU facts: the
+/// reaches-a-poll fixpoint, the interprocedural lock-edge expansion plus
+/// cycle search, and the per-site verdicts for passes 2-4. Appends the
+/// resulting findings to `state.findings`.
+void Finalize(AnalyzerState& state);
+
+/// Prints findings as "path:line: [pass] message" lines to stdout.
+/// Returns the number of findings.
+int PrintText(const AnalyzerState& state);
+
+/// Writes findings as a minimal SARIF 2.1.0 log to `path`. Returns false
+/// on I/O failure.
+bool WriteSarif(const AnalyzerState& state, const std::string& path);
+
+}  // namespace qre_analyzer

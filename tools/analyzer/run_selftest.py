@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""qre-analyzer fixture-corpus self-test.
+
+Runs the analyzer over every TU in tests/analyzer_fixtures/:
+
+  * ``bad_<pass>*.cc``  must produce at least one finding of exactly that
+    pass (filename with trailing digits stripped, underscores as hyphens,
+    extra ``_<variant>`` suffixes allowed: ``bad_lock_order_interproc.cc``
+    must trip ``lock-order``);
+  * ``good_*.cc``       must produce no findings at all.
+
+Also smoke-checks the SARIF writer on one must-flag fixture. Exits 77
+(ctest SKIP) when the analyzer binary has not been built — local builds
+without the Clang CMake package are expected to skip, CI builds it.
+
+Usage: run_selftest.py --analyzer <path> --fixtures <dir>
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+PASSES = (
+    "lock-order",
+    "poll-coverage",
+    "governed-alloc",
+    "unordered-escape",
+    "suppression",
+)
+
+# Fixture loops deliberately live at the corpus root; scope the pass-2
+# directory filter so only the poll fixtures' loops need poll coverage.
+POLL_PREFIXES = "bad_poll,good_poll"
+
+
+def expected_pass(name: str) -> str:
+    """bad_lock_order_interproc.cc -> lock-order."""
+    stem = name[len("bad_"):].removesuffix(".cc").rstrip("0123456789")
+    for pass_id in PASSES:
+        prefix = pass_id.replace("-", "_")
+        if stem == prefix or stem.startswith(prefix + "_"):
+            return pass_id
+    raise SystemExit(f"self-test: cannot map fixture {name!r} to a pass id")
+
+
+def run_one(analyzer: str, fixtures: pathlib.Path, tu: pathlib.Path,
+            sarif: pathlib.Path | None) -> subprocess.CompletedProcess:
+    cmd = [
+        analyzer,
+        str(tu),
+        f"--root={fixtures}",
+        "--restrict=.",
+        f"--poll-dirs={POLL_PREFIXES}",
+    ]
+    if sarif is not None:
+        cmd.append(f"--sarif={sarif}")
+    cmd += ["--", "-std=c++17", f"-I{fixtures}"]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--analyzer", required=True)
+    ap.add_argument("--fixtures", required=True)
+    args = ap.parse_args()
+
+    analyzer = pathlib.Path(args.analyzer)
+    fixtures = pathlib.Path(args.fixtures).resolve()
+    if not analyzer.is_file():
+        print(f"SKIP: analyzer binary not built ({analyzer}); "
+              "install libclang-dev + llvm-dev and reconfigure")
+        return 77
+
+    tus = sorted(fixtures.glob("*.cc"))
+    if not tus:
+        print(f"self-test: no fixtures under {fixtures}")
+        return 1
+
+    sarif_dir = pathlib.Path(tempfile.mkdtemp(prefix="qre-analyzer-sarif-"))
+    failures = []
+    sarif_checked = False
+    for tu in tus:
+        sarif = None
+        if not sarif_checked and tu.name.startswith("bad_"):
+            sarif = sarif_dir / f"{tu.stem}.sarif.json"
+        proc = run_one(str(analyzer), fixtures, tu, sarif)
+        output = proc.stdout + proc.stderr
+        if proc.returncode == 2:
+            failures.append(f"{tu.name}: analyzer failed to parse:\n{output}")
+            continue
+        if tu.name.startswith("bad_"):
+            want = expected_pass(tu.name)
+            if proc.returncode != 1 or f"[{want}]" not in output:
+                failures.append(
+                    f"{tu.name}: expected a [{want}] finding, got rc="
+                    f"{proc.returncode}:\n{output}")
+            elif sarif is not None:
+                doc = json.loads(sarif.read_text())
+                results = doc["runs"][0]["results"]
+                if not any(r["ruleId"] == want for r in results):
+                    failures.append(
+                        f"{tu.name}: SARIF output lacks a {want} result")
+                sarif.unlink()
+                sarif_checked = True
+        else:
+            if proc.returncode != 0:
+                failures.append(
+                    f"{tu.name}: expected clean, rc={proc.returncode}:\n"
+                    f"{output}")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    print(f"self-test: {len(tus) - len(failures)}/{len(tus)} fixtures ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Runs qre-analyzer over every TU in src/, using the build tree's exported
+compile_commands.json. Exits 77 (ctest SKIP) when the analyzer binary is
+not built (no Clang CMake package at configure time). Exit 1 means the tool
+reported findings; fix them or classify the sites (// gov:, // det:,
+// poll: bounded, or NOLINT-ANALYZER where policy allows).
+
+Usage: run_src.py --analyzer <path> --build <dir> --root <repo> [--sarif f]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--analyzer", required=True)
+    ap.add_argument("--build", required=True)
+    ap.add_argument("--root", required=True)
+    ap.add_argument("--sarif", default="")
+    args = ap.parse_args()
+
+    analyzer = pathlib.Path(args.analyzer)
+    if not analyzer.is_file():
+        print(f"SKIP: analyzer binary not built ({analyzer}); "
+              "install libclang-dev + llvm-dev and reconfigure")
+        return 77
+    build = pathlib.Path(args.build)
+    if not (build / "compile_commands.json").is_file():
+        print(f"SKIP: no compile_commands.json under {build}")
+        return 77
+
+    root = pathlib.Path(args.root).resolve()
+    tus = sorted(str(p) for p in (root / "src").rglob("*.cc"))
+    if not tus:
+        print(f"run_src: no TUs under {root}/src")
+        return 1
+
+    cmd = [str(analyzer), "-p", str(build), f"--root={root}"]
+    if args.sarif:
+        cmd.append(f"--sarif={args.sarif}")
+    cmd += tus
+    proc = subprocess.run(cmd, cwd=root)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
