@@ -1,0 +1,13 @@
+// Fixture: ad-hoc poll stride — a masked-counter zero test against a mask
+// that is not kInterruptPollMask changes cancellation latency for this one
+// loop (the shape that slipped into mapping state expansion as `& 0x3ff`).
+#include <cstdint>
+#include <functional>
+
+bool Expand(const std::function<bool()>& budget_exceeded) {
+  uint64_t states = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    if ((++states & 0x3ff) == 0 && budget_exceeded()) return false;
+  }
+  return true;
+}

@@ -1,0 +1,10 @@
+// Fixture: linted as bench/bad_atomic_order.cc — the atomic-order rule
+// applies to benchmark harness code too (a seq_cst default in the
+// measurement loop skews what is being measured).
+#include <atomic>
+#include <cstdint>
+
+uint64_t BenchBump(std::atomic<uint64_t>& ops) {
+  ops.fetch_add(1);
+  return ops.load();
+}

@@ -1,0 +1,13 @@
+// Fixture: linted as bench/bad_interrupt_poll_literal.cc — hard-coded poll
+// strides are banned in the bench harness as well, so benchmark cancel
+// behavior matches production.
+#include <cstdint>
+#include <functional>
+
+bool BenchDrive(const std::function<bool()>& interrupt) {
+  uint64_t work = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    if ((++work & 4095) == 0 && interrupt()) return false;
+  }
+  return true;
+}

@@ -1,0 +1,13 @@
+// Fixture: linted as bench/good_naked_new.cc — the naked-new rule is
+// scoped to src/, so harness allocations under bench/ are allowed (this
+// file must lint clean).
+struct Sample {
+  int value = 0;
+};
+
+int Measure() {
+  Sample* s = new Sample();
+  int v = s->value;
+  delete s;
+  return v;
+}

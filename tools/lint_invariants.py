@@ -1,51 +1,44 @@
 #!/usr/bin/env python3
 """Project-invariant linter for FastQRE (DESIGN.md §10).
 
-Enforces determinism and concurrency invariants no off-the-shelf tool knows
-about. Rules (ids in brackets):
-
-  [unordered-iter]  Every range-for over an unordered container
-      (std::unordered_map/set, TupleSet, ReachMap, Column::DistinctSet())
-      must carry a determinism classification comment within the three
-      preceding lines (or on the loop line itself):
-          // det: sorted — <where the order is restored>
-          // det: order-insensitive — <why iteration order cannot leak>
-      Unordered iteration order varies across libstdc++ versions and hash
-      seeds; an unclassified site is one refactor away from leaking
-      nondeterminism into ranked answers, stats output, or artifacts.
+Enforces the textual determinism and concurrency invariants no
+off-the-shelf tool knows about. The AST-accurate checks (unordered
+iteration escape, governed allocation classification, lock order,
+interrupt-poll coverage) live in the Clang-based qre-analyzer
+(tools/analyzer/, DESIGN.md §14); this linter keeps the rules that are
+purely lexical and therefore cheap to run everywhere, including on files
+that never reach a compile command. Rules (ids in brackets):
 
   [raw-random]  rand()/srand()/std::random_device/std::mt19937 and
       wall-clock seeding (time(0)/time(NULL)/time(nullptr)) are banned
-      outside src/common/rng.h. All randomness flows through the seeded,
-      platform-stable Rng so every run is reproducible.
+      outside src/common/rng.h — in src/, tools/, and bench/ alike. All
+      randomness flows through the seeded, platform-stable Rng so every
+      run (and every benchmark) is reproducible.
 
   [interrupt-poll-literal]  The interrupt poll stride must be written as
       kInterruptPollMask (src/common/interrupt.h), never as a hard-coded
-      `& 0xfff` / `& 4095`: DESIGN.md §9 requires identical cancellation
-      latency across the executor, block executor, and cache builds.
+      `& 0xfff` / `& 4095`, and never as an ad-hoc stride like
+      `(counter & 0x3ff) == 0`: DESIGN.md §9 requires identical
+      cancellation latency across the executor, block executor, and cache
+      builds. Applies to src/, tools/, and bench/.
 
   [naked-new]  No naked `new` / `delete` expressions in src/ — ownership
-      goes through std::make_unique/std::make_shared/containers.
+      goes through std::make_unique/std::make_shared/containers. (bench/
+      and tools/ are exempt: harness code may allocate as it likes.)
 
-  [atomic-order]  Atomic operations in src/ must pass an explicit
-      std::memory_order argument, and memory_order_seq_cst is banned
-      (policy, DESIGN.md §10: relaxed for monotonic counters, acquire /
-      release for flag handoff; seq_cst is never needed here and hides
-      the author's intent).
-
-  [governed-alloc]  Every declaration of a materialization-sized buffer in
-      src/ — a by-value TupleSet / ReachMap / BitmapFilter /
-      CompositeKeyFilter / SubplanTable, or a nested row buffer
-      std::vector<std::vector<RowId|ValueId>> — must carry a resource
-      accounting classification comment within the three preceding lines
-      (or on the declaration line itself):
-          // gov: charged — <which governor site accounts the bytes>
-          // gov: bounded — <why the size is small by construction>
-      These are the types whose instances scale with data size; an
-      unclassified one is how an allocation escapes the resource governor's
-      memory budget (DESIGN.md §11).
+  [atomic-order]  Atomic operations in src/, tools/, and bench/ must pass
+      an explicit std::memory_order argument, and memory_order_seq_cst is
+      banned (policy, DESIGN.md §10: relaxed for monotonic counters,
+      acquire / release for flag handoff; seq_cst is never needed here
+      and hides the author's intent).
 
   [bad-suppression]  Suppressions must be well-formed (see below).
+
+The former [unordered-iter] and [governed-alloc] rules were superseded by
+qre-analyzer's unordered-escape and governed-alloc passes, which see
+through typedefs, `auto`, and templates and can prove sites safe instead
+of demanding a comment. The `// det:` / `// gov:` marker grammar is
+unchanged — the analyzer consumes the same comments.
 
 Suppression: a finding on line N is suppressed by a comment on line N or
 N-1 of the form
@@ -58,7 +51,9 @@ Exit status: 0 = clean, 1 = findings, 2 = usage error.
 Self-test mode (`--self-test <fixture-dir>`): fixture files named
 bad_<rule>*.cc must produce at least one finding of <rule> (underscores in
 the filename map to hyphens in the rule id); good_*.cc must produce none.
-Fixtures are linted as if they lived under src/.
+Fixtures are linted as if they lived under src/; a bench_ filename prefix
+lints the fixture as if it lived under bench/ instead (pinning the
+per-root rule scoping).
 """
 
 import argparse
@@ -66,24 +61,20 @@ import os
 import re
 import sys
 
-ROOTS = ("src", "tools")
+ROOTS = ("src", "tools", "bench")
 EXTENSIONS = (".h", ".cc")
 
 # Rule ids.
-UNORDERED_ITER = "unordered-iter"
 RAW_RANDOM = "raw-random"
 INTERRUPT_LITERAL = "interrupt-poll-literal"
 NAKED_NEW = "naked-new"
 ATOMIC_ORDER = "atomic-order"
-GOVERNED_ALLOC = "governed-alloc"
 BAD_SUPPRESSION = "bad-suppression"
 ALL_RULES = {
-    UNORDERED_ITER,
     RAW_RANDOM,
     INTERRUPT_LITERAL,
     NAKED_NEW,
     ATOMIC_ORDER,
-    GOVERNED_ALLOC,
     BAD_SUPPRESSION,
 }
 
@@ -95,29 +86,8 @@ RNG_HOME = "src/common/rng.h"
 # File that defines kInterruptPollMask.
 POLL_MASK_HOME = "src/common/interrupt.h"
 
-# Type aliases that are unordered containers.
-UNORDERED_ALIASES = ("TupleSet", "ReachMap")
-
 SUPPRESSION_RE = re.compile(
     r"//\s*NOLINT-INVARIANT\(([a-z-]*)\)\s*:?\s*(.*)$")
-DET_MARKER_RE = re.compile(
-    r"//.*\bdet:\s*(sorted|order-insensitive)\b[\s:—–-]*(\S.*)?$")
-GOV_MARKER_RE = re.compile(
-    r"//.*\bgov:\s*(charged|bounded)\b[\s:—–-]*(\S.*)?$")
-# By-value declarations of data-scaled buffer types. The \b after the
-# captured name keeps backtracking from shortening a function name past its
-# trailing '(' (which the lookahead exempts: functions *returning* these
-# types allocate at their own declaration sites, not here).
-GOVERNED_DECL_RES = (
-    re.compile(
-        r"\b(?:TupleSet|ReachMap|BitmapFilter|CompositeKeyFilter|"
-        r"SubplanTable)\s+(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
-    re.compile(
-        r"std::vector<\s*std::vector<\s*(?:RowId|ValueId)\s*>\s*>\s+"
-        r"(?![*&])([A-Za-z_]\w*)\b(?!\s*\()"),
-)
-FOR_KEYWORD_RE = re.compile(r"\bfor\s*\(")
-IDENT_RE = re.compile(r"[A-Za-z_]\w*")
 
 ATOMIC_OP_RE = re.compile(
     r"\.(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
@@ -132,6 +102,11 @@ RAW_RANDOM_RES = (
 )
 
 INTERRUPT_LITERAL_RE = re.compile(r"&\s*(?:0x[fF]{3}\b|4095\b)")
+# Ad-hoc poll strides: a masked-counter zero test against a mask that is
+# not kInterruptPollMask (the `(counter & 0x3ff) == 0` shape). Plain
+# `& 0x3ff` hash masking is NOT matched — only the poll idiom is.
+ADHOC_POLL_STRIDE_RE = re.compile(
+    r"&\s*(?:0x3[fF]{2}|1023|0x[fF]{2}|255|0x[fF]{4}|65535)\s*\)\s*==\s*0")
 NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|\[|[A-Za-z_:])")
 NAKED_DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*]")
 SEQ_CST_RE = re.compile(r"\bmemory_order_seq_cst\b|\bmemory_order::seq_cst\b")
@@ -205,87 +180,6 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def unordered_decl_res():
-    decl_res = [
-        re.compile(
-            r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>"
-            r"[\s&*]*\b([A-Za-z_]\w*)",
-            re.DOTALL),
-    ]
-    for alias in UNORDERED_ALIASES:
-        decl_res.append(
-            re.compile(r"\b%s\b(?:\s*[&*]+\s*|\s+)([A-Za-z_]\w*)" % alias))
-    return decl_res
-
-
-def names_in_text(text):
-    """Names declared in `text` with an unordered container type.
-
-    Covers members, locals, parameters, and functions *returning* an
-    unordered type (iterating directly over such a call is just as
-    order-sensitive as iterating a variable).
-    """
-    names = set()
-    for rx in unordered_decl_res():
-        for m in rx.finditer(text):
-            name = m.group(1)
-            if name in ("const", "return", "new", "if"):
-                continue
-            names.add(name)
-    return names
-
-
-def collect_unordered_names(stripped_texts):
-    """Tree-wide unordered names (for cross-file field/function access).
-
-    Only headers contribute (fields like WalkRelation::forward and
-    functions returning unordered types are what other files can touch),
-    and only names of 3+ characters — cross-file matching on loop-helper
-    locals like `s` or `m` would flag unrelated loops. Names declared in
-    a .cc stay file-local via names_in_text().
-    """
-    names = set()
-    for path, text in stripped_texts.items():
-        if not path.endswith(".h"):
-            continue
-        names |= {n for n in names_in_text(text) if len(n) >= 3}
-    return names
-
-
-def range_for_seq_exprs(text):
-    """Yields (offset, seq_expr) for each range-based for in `text`.
-
-    Parses the for-header with balanced parentheses and splits at the
-    single top-level `:` (ignoring `::`); headers containing a top-level
-    `;` are classic for-loops and are skipped.
-    """
-    for kw in FOR_KEYWORD_RE.finditer(text):
-        open_idx = text.index("(", kw.start())
-        depth = 0
-        colon = -1
-        close_idx = -1
-        classic = False
-        for j in range(open_idx, min(len(text), open_idx + 2000)):
-            c = text[j]
-            if c == "(" or c == "[" or c == "{":
-                depth += 1
-            elif c == ")" or c == "]" or c == "}":
-                depth -= 1
-                if depth == 0:
-                    close_idx = j
-                    break
-            elif c == ";" and depth == 1:
-                classic = True
-                break
-            elif c == ":" and depth == 1:
-                if text[j + 1:j + 2] == ":" or text[j - 1:j] == ":":
-                    continue
-                colon = j
-        if classic or colon < 0 or close_idx < 0:
-            continue
-        yield colon + 1, text[colon + 1:close_idx]
-
-
 def find_suppressions(raw_lines, vpath, findings):
     """Maps line number -> set of suppressed rule ids; validates syntax."""
     suppressed = {}
@@ -312,24 +206,6 @@ def find_suppressions(raw_lines, vpath, findings):
     return suppressed
 
 
-def has_det_marker(raw_lines, line_no):
-    """True if lines line_no-3 .. line_no carry a det: classification."""
-    for idx in range(max(1, line_no - 3), line_no + 1):
-        m = DET_MARKER_RE.search(raw_lines[idx - 1])
-        if m and m.group(2):  # classification + non-empty reason
-            return True
-    return False
-
-
-def has_gov_marker(raw_lines, line_no):
-    """True if lines line_no-3 .. line_no carry a gov: classification."""
-    for idx in range(max(1, line_no - 3), line_no + 1):
-        m = GOV_MARKER_RE.search(raw_lines[idx - 1])
-        if m and m.group(2):  # classification + non-empty reason
-            return True
-    return False
-
-
 def balanced_call_args(text, open_paren_idx, limit=600):
     """Returns the argument text of a call starting at '('."""
     depth = 0
@@ -343,7 +219,7 @@ def balanced_call_args(text, open_paren_idx, limit=600):
     return text[open_paren_idx + 1:open_paren_idx + limit]
 
 
-def lint_file(vpath, raw_text, stripped_text, unordered_names):
+def lint_file(vpath, raw_text, stripped_text):
     findings = []
     raw_lines = raw_text.splitlines()
     stripped_lines = stripped_text.splitlines()
@@ -370,20 +246,6 @@ def lint_file(vpath, raw_text, stripped_text, unordered_names):
             return
         findings.append(Finding(vpath, line_no, rule, message))
 
-    # --- unordered-iter ------------------------------------------------------
-    file_names = names_in_text(stripped_text)
-    for offset, seq_expr in range_for_seq_exprs(stripped_text):
-        idents = set(IDENT_RE.findall(seq_expr))
-        if not (idents & (unordered_names | file_names)) \
-                and "DistinctSet" not in idents:
-            continue
-        line_no = line_of(offset)
-        if not has_det_marker(raw_lines, line_no):
-            add(line_no, UNORDERED_ITER,
-                "iteration over an unordered container needs a determinism "
-                "classification: '// det: sorted — <where>' or "
-                "'// det: order-insensitive — <why>' within 3 lines above")
-
     # --- raw-random ----------------------------------------------------------
     if vpath != RNG_HOME:
         for rx in RAW_RANDOM_RES:
@@ -393,11 +255,15 @@ def lint_file(vpath, raw_text, stripped_text, unordered_names):
                     f"use the seeded Rng from {RNG_HOME}")
 
     # --- interrupt-poll-literal ---------------------------------------------
-    if vpath != POLL_MASK_HOME and vpath.startswith("src/"):
+    if vpath != POLL_MASK_HOME:
         for m in INTERRUPT_LITERAL_RE.finditer(stripped_text):
             add(line_of(m.start()), INTERRUPT_LITERAL,
                 "hard-coded interrupt poll stride — use kInterruptPollMask "
                 f"({POLL_MASK_HOME})")
+        for m in ADHOC_POLL_STRIDE_RE.finditer(stripped_text):
+            add(line_of(m.start()), INTERRUPT_LITERAL,
+                "ad-hoc poll stride — cancellation latency must be uniform; "
+                f"use kInterruptPollMask ({POLL_MASK_HOME})")
 
     # --- naked-new -----------------------------------------------------------
     if vpath.startswith("src/"):
@@ -411,39 +277,19 @@ def lint_file(vpath, raw_text, stripped_text, unordered_names):
             add(line_of(m.start()), NAKED_NEW,
                 "naked 'delete' — ownership must be RAII-managed")
 
-    # --- atomic-order --------------------------------------------------------
-    if vpath.startswith("src/"):
-        for m in ATOMIC_OP_RE.finditer(stripped_text):
-            args = balanced_call_args(stripped_text, m.end() - 1)
-            op = m.group(1)
-            needs_order = True
-            if op in ("compare_exchange_weak", "compare_exchange_strong"):
-                needs_order = "memory_order" not in args
-            elif op in ("load",) and args.strip() == "":
-                needs_order = True
-            else:
-                needs_order = "memory_order" not in args
-            if needs_order and "memory_order" not in args:
-                add(line_of(m.start()), ATOMIC_ORDER,
-                    f".{op}() without an explicit std::memory_order argument "
-                    "(policy: relaxed for monotonic counters, acquire/release "
-                    "for flag handoff — DESIGN.md §10)")
-        for m in SEQ_CST_RE.finditer(stripped_text):
+    # --- atomic-order (every root: src/, tools/, bench/) ---------------------
+    for m in ATOMIC_OP_RE.finditer(stripped_text):
+        args = balanced_call_args(stripped_text, m.end() - 1)
+        op = m.group(1)
+        if "memory_order" not in args:
             add(line_of(m.start()), ATOMIC_ORDER,
-                "memory_order_seq_cst is banned by policy (DESIGN.md §10): "
-                "state the ordering the algorithm actually needs")
-
-    # --- governed-alloc ------------------------------------------------------
-    if vpath.startswith("src/"):
-        for rx in GOVERNED_DECL_RES:
-            for m in rx.finditer(stripped_text):
-                line_no = line_of(m.start())
-                if not has_gov_marker(raw_lines, line_no):
-                    add(line_no, GOVERNED_ALLOC,
-                        "data-scaled buffer declaration needs a resource "
-                        "accounting classification: '// gov: charged — "
-                        "<governor site>' or '// gov: bounded — <why small>' "
-                        "within 3 lines above (DESIGN.md §11)")
+                f".{op}() without an explicit std::memory_order argument "
+                "(policy: relaxed for monotonic counters, acquire/release "
+                "for flag handoff — DESIGN.md §10)")
+    for m in SEQ_CST_RE.finditer(stripped_text):
+        add(line_of(m.start()), ATOMIC_ORDER,
+            "memory_order_seq_cst is banned by policy (DESIGN.md §10): "
+            "state the ordering the algorithm actually needs")
 
     return findings
 
@@ -459,17 +305,13 @@ def iter_source_files(root):
 
 def lint_tree(root):
     paths = list(iter_source_files(root))
-    raw = {}
-    stripped = {}
-    for p in paths:
-        with open(p, encoding="utf-8") as f:
-            raw[p] = f.read()
-        stripped[p] = strip_comments_and_strings(raw[p])
-    unordered_names = collect_unordered_names(stripped)
     findings = []
     for p in paths:
+        with open(p, encoding="utf-8") as f:
+            raw = f.read()
+        stripped = strip_comments_and_strings(raw)
         vpath = os.path.relpath(p, root).replace(os.sep, "/")
-        findings.extend(lint_file(vpath, raw[p], stripped[p], unordered_names))
+        findings.extend(lint_file(vpath, raw, stripped))
     return findings
 
 
@@ -483,24 +325,23 @@ def self_test(fixture_dir):
         print(f"self-test: no fixtures found in {fixture_dir}", file=sys.stderr)
         return 2
 
-    # Unordered-name collection runs over the fixture set itself, mirroring
-    # the tree-wide pass.
-    raw = {}
-    stripped = {}
-    for p in fixture_paths:
-        with open(p, encoding="utf-8") as f:
-            raw[p] = f.read()
-        stripped[p] = strip_comments_and_strings(raw[p])
-    unordered_names = collect_unordered_names(stripped)
-
     checked = 0
     for p in fixture_paths:
         name = os.path.basename(p)
-        vpath = "src/" + name  # fixtures are linted as if under src/
-        findings = lint_file(vpath, raw[p], stripped[p], unordered_names)
+        # Fixtures are linted as if under src/; a bench_ prefix pins the
+        # per-root scoping by linting the file as if it lived under bench/.
+        effective = name
+        vroot = "src/"
+        if name.startswith("bench_"):
+            effective = name[len("bench_"):]
+            vroot = "bench/"
+        vpath = vroot + effective
+        with open(p, encoding="utf-8") as f:
+            raw = f.read()
+        findings = lint_file(vpath, raw, strip_comments_and_strings(raw))
         rules_hit = {f.rule for f in findings}
-        if name.startswith("bad_"):
-            stem = os.path.splitext(name)[0][len("bad_"):]
+        if effective.startswith("bad_"):
+            stem = os.path.splitext(effective)[0][len("bad_"):]
             expected = re.sub(r"\d+$", "", stem).rstrip("_").replace("_", "-")
             if expected not in ALL_RULES:
                 failures.append(f"{name}: unknown expected rule '{expected}'")
@@ -509,7 +350,7 @@ def self_test(fixture_dir):
                     f"{name}: expected a [{expected}] finding, got "
                     f"{sorted(rules_hit) or 'none'}")
             checked += 1
-        elif name.startswith("good_"):
+        elif effective.startswith("good_"):
             if findings:
                 failures.append(
                     f"{name}: expected clean, got: "
@@ -524,7 +365,8 @@ def self_test(fixture_dir):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", default=".",
-                    help="repository root (scans <root>/src and <root>/tools)")
+                    help="repository root (scans <root>/src, <root>/tools, "
+                         "and <root>/bench)")
     ap.add_argument("--self-test", metavar="FIXTURE_DIR",
                     help="run the fixture self-test instead of linting")
     args = ap.parse_args()
