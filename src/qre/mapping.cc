@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/interrupt.h"
 #include "common/strings.h"
 
 namespace fastqre {
@@ -109,7 +110,7 @@ bool MappingEnumerator::Next(ColumnMapping* out) {
   const uint32_t num_cols = static_cast<uint32_t>(rout_->num_columns());
   while (!queue_.empty()) {
     if (states_expanded_ >= options_->max_mapping_states) return false;
-    if ((states_expanded_ & 0x3ff) == 0 && budget_exceeded_ &&
+    if ((states_expanded_ & kInterruptPollMask) == 0 && budget_exceeded_ &&
         budget_exceeded_()) {
       return false;
     }
