@@ -41,7 +41,8 @@ bool GroupCoherent(const Database& db, const Table& rout, TableId t,
   const HashIndex& index = db.GetOrBuildIndex(t, db_cols);
   // gov: bounded — one projection of R_out (small by problem definition),
   // freed at scope exit.
-  TupleSet out_tuples = ProjectToTupleSet(rout, out_cols);
+  TupleSet out_tuples = ProjectToTupleSet(rout, out_cols, interrupt);
+  if (interrupt && interrupt()) return false;
   uint64_t work = 0;
   // det: order-insensitive — forall-probe; any visiting order reaches the
   // same boolean verdict.
@@ -181,7 +182,9 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
     // the c' value.
     // gov: bounded — one table projection for the transient certainty test,
     // freed each iteration.
-    TupleSet group_tuples = ProjectToTupleSet(db.table(cgm.table), cgm.DbColumns());
+    TupleSet group_tuples =
+        ProjectToTupleSet(db.table(cgm.table), cgm.DbColumns(), interrupt);
+    if (stopped()) break;
     std::unordered_set<ValueId> key_values;
     size_t key_pos = 0;
     {
@@ -191,8 +194,13 @@ CgmSet DiscoverCgms(const Database& db, const Table& rout,
       }
     }
     // det: order-insensitive — set insertion; only the final cardinality
-    // is compared.
-    for (const auto& tuple : group_tuples) key_values.insert(tuple[key_pos]);
+    // is compared. A mid-loop stop leaves key_values partial, so the size
+    // test below stays false and no certainty is pinned under interrupt.
+    uint64_t scanned = 0;
+    for (const auto& tuple : group_tuples) {
+      if ((++scanned & kInterruptPollMask) == 0 && stopped()) break;
+      key_values.insert(tuple[key_pos]);
+    }
     if (key_values.size() == group_tuples.size()) cgm.certain = true;
   }
 

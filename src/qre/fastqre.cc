@@ -40,6 +40,8 @@ Result<Table> NormalizeRout(const Database& db, const Table& rout) {
   // freed at scope exit.
   TupleSet seen;
   seen.reserve(rout.num_rows());
+  // poll: bounded — one pass over R_out's rows (small by problem
+  // definition); normalization finishes before any budget can expire.
   for (RowId r = 0; r < rout.num_rows(); ++r) {
     std::vector<ValueId> ids(rout.num_columns());
     if (same_dict) {
@@ -390,7 +392,8 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
   FASTQRE_ASSIGN_OR_RETURN(Table norm_rout, NormalizeRout(*db_, rout));
   // gov: bounded — one set copy of R_out (small by problem definition),
   // alive for the whole search.
-  const TupleSet rout_set = TableToTupleSet(norm_rout);
+  const TupleSet rout_set = TableToTupleSet(norm_rout, budget_exceeded);
+  if (run.ShouldStop()) return aborted(stop_reason());
 
   ColumnCover cover = ComputeColumnCover(*db_, norm_rout, options_, &stats);
   if (cover.HasEmptyCover()) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 
+#include "common/interrupt.h"
 #include "common/thread_pool.h"
 #include "engine/block_executor.h"
 #include "engine/executor.h"
@@ -178,7 +179,8 @@ bool Validator::TryCachedCoherence(const Walk& walk, bool* verdict) {
   // Per needed tuple: the endpoint rows matching the tuple's bindings, and
   // whether any pair of them is connected by the materialized chain.
   // gov: bounded — one projection of R_out, freed at scope exit.
-  TupleSet needed = ProjectToTupleSet(*rout_, out_cols);
+  TupleSet needed = ProjectToTupleSet(*rout_, out_cols, budget_exceeded_);
+  if (BudgetExceeded()) return false;  // No verdict: partial needed-set.
   std::vector<ValueId> key_from(from_cols.size()), key_to(to_cols.size());
   std::vector<ValueId> us, vs;
   size_t probed = 0;
@@ -223,7 +225,7 @@ bool Validator::TryCachedCoherence(const Walk& walk, bool* verdict) {
       coherent = false;
       break;
     }
-    if ((++probed & 0xff) == 0 && BudgetExceeded()) {
+    if ((++probed & kInterruptPollMask) == 0 && BudgetExceeded()) {
       // Unproven either way under timeout: no verdict (caller won't memoize).
       return false;
     }
@@ -253,7 +255,8 @@ bool Validator::WalkCoherent(int walk_id) {
   // tuple (binding the subquery's projection columns), so an incoherent
   // walk is detected without draining the subquery's full result.
   // gov: bounded — one projection of R_out, freed at scope exit.
-  TupleSet needed = ProjectToTupleSet(*rout_, out_cols);
+  TupleSet needed = ProjectToTupleSet(*rout_, out_cols, budget_exceeded_);
+  if (BudgetExceeded()) return false;  // No verdict: partial needed-set.
   const auto projections = subquery.projections();
   bool coherent = true;
   size_t probed = 0;
@@ -307,7 +310,7 @@ bool Validator::WalkCoherent(int walk_id) {
       coherent = false;
       break;
     }
-    if ((++probed & 0xff) == 0 && BudgetExceeded()) {
+    if ((++probed & kInterruptPollMask) == 0 && BudgetExceeded()) {
       // Unproven either way: do not memoize a verdict under timeout.
       return false;
     }
@@ -345,7 +348,7 @@ CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
       stats_->sip_rows_skipped += (*cursor)->sip_rows_skipped();
       if ((*cursor)->interrupted()) return CandidateOutcome::kBudgetExhausted;
       if (!hit) return CandidateOutcome::kMissingTuples;
-      if ((r & 0xff) == 0 && BudgetExceeded()) {
+      if ((r & kInterruptPollMask) == 0 && BudgetExceeded()) {
         return CandidateOutcome::kBudgetExhausted;
       }
     }
@@ -528,20 +531,28 @@ CandidateOutcome Validator::FullCheck(const CandidateQuery& candidate,
     // gov: charged — the block result's bytes were charged (and released)
     // as "block-buffer" inside ExecuteBlock; this projection of it is
     // transient and scope-bounded.
-    TupleSet result_set = TableToTupleSet(*result);
+    TupleSet result_set = TableToTupleSet(*result, budget_exceeded_);
+    if (BudgetExceeded()) return CandidateOutcome::kBudgetExhausted;
+    // The containment checks return a conservative false under interrupt, so
+    // each verdict is re-checked against the budget before it can classify
+    // (and thereby prune) the candidate.
+    CandidateOutcome out;
     if (options_->variant == QreVariant::kExact) {
       if (result_set.size() != rout_set_->size()) {
-        return !IsSubsetOf(*rout_set_, result_set)
-                   ? CandidateOutcome::kMissingTuples
-                   : CandidateOutcome::kExtraTuples;
+        out = !IsSubsetOf(*rout_set_, result_set, budget_exceeded_)
+                  ? CandidateOutcome::kMissingTuples
+                  : CandidateOutcome::kExtraTuples;
+      } else {
+        out = IsSubsetOf(result_set, *rout_set_, budget_exceeded_)
+                  ? CandidateOutcome::kGenerating
+                  : CandidateOutcome::kExtraTuples;
       }
-      return IsSubsetOf(result_set, *rout_set_)
-                 ? CandidateOutcome::kGenerating
-                 : CandidateOutcome::kExtraTuples;
+    } else {
+      out = IsSubsetOf(*rout_set_, result_set, budget_exceeded_)
+                ? CandidateOutcome::kGenerating
+                : CandidateOutcome::kMissingTuples;
     }
-    return IsSubsetOf(*rout_set_, result_set)
-               ? CandidateOutcome::kGenerating
-               : CandidateOutcome::kMissingTuples;
+    return BudgetExceeded() ? CandidateOutcome::kBudgetExhausted : out;
   }
 
   // Progressive evaluation (without probing): stream and stop at the first
