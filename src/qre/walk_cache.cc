@@ -8,22 +8,33 @@ namespace {
 
 // Estimated resident bytes of a ReachMap: per entry, the key, the vector
 // header, the value payload, and ~16 bytes of node/bucket overhead.
-size_t EstimateBytes(const ReachMap& m) {
+size_t EstimateBytes(const ReachMap& m, const std::function<bool()>& interrupt) {
   size_t bytes = sizeof(ReachMap);
+  uint64_t scanned = 0;
   // det: order-insensitive — commutative byte sum.
   for (const auto& [key, vals] : m) {
+    if ((++scanned & kInterruptPollMask) == 0 && interrupt && interrupt()) {
+      return bytes;  // Partial estimate: the interrupted caller discards it.
+    }
     bytes += sizeof(key) + sizeof(vals) + vals.capacity() * sizeof(ValueId) + 16;
   }
   return bytes;
 }
 
-void SortUnique(ReachMap* m) {
+// Returns false when `interrupt` fired mid-canonicalization (entries sorted
+// so far stay sorted; the caller abandons the whole relation).
+bool SortUnique(ReachMap* m, const std::function<bool()>& interrupt) {
+  uint64_t scanned = 0;
   // det: order-insensitive — per-entry sort+dedup; entries are independent.
   for (auto& [key, vals] : *m) {
+    if ((++scanned & kInterruptPollMask) == 0 && interrupt && interrupt()) {
+      return false;
+    }
     std::sort(vals.begin(), vals.end());
     vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
     vals.shrink_to_fit();
   }
+  return true;
 }
 
 }  // namespace
@@ -62,7 +73,7 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
         vals.insert(vals.end(), it->second.begin(), it->second.end());
       }
     }
-    SortUnique(&cur);
+    if (!SortUnique(&cur, interrupt)) return nullptr;
     next = std::move(cur);
   }
 
@@ -74,18 +85,26 @@ std::unique_ptr<WalkRelation> BuildWalkRelation(
     if (interrupted()) return nullptr;
     for (ValueId v : vals) rel->reverse[v].push_back(u);
   }
-  SortUnique(&rel->reverse);
+  if (!SortUnique(&rel->reverse, interrupt)) return nullptr;
   // Key-domain bitmaps (SIP, DESIGN.md §13): one bit per dictionary entry.
   const size_t universe = db.dictionary()->size();
   rel->forward_domain = BitmapFilter(universe);
   // det: order-insensitive — sets one bit per key; idempotent and commutative.
-  for (const auto& [u, vals] : rel->forward) rel->forward_domain.Set(u);
+  for (const auto& [u, vals] : rel->forward) {
+    if (interrupted()) return nullptr;
+    rel->forward_domain.Set(u);
+  }
   rel->reverse_domain = BitmapFilter(universe);
   // det: order-insensitive — sets one bit per key; idempotent and commutative.
-  for (const auto& [v, vals] : rel->reverse) rel->reverse_domain.Set(v);
-  rel->bytes = EstimateBytes(rel->forward) + EstimateBytes(rel->reverse) +
+  for (const auto& [v, vals] : rel->reverse) {
+    if (interrupted()) return nullptr;
+    rel->reverse_domain.Set(v);
+  }
+  rel->bytes = EstimateBytes(rel->forward, interrupt) +
+               EstimateBytes(rel->reverse, interrupt) +
                rel->forward_domain.EstimatedBytes() +
                rel->reverse_domain.EstimatedBytes();
+  if (interrupt && interrupt()) return nullptr;  // Partial byte estimate.
   return rel;
 }
 
