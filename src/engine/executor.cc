@@ -427,6 +427,8 @@ Result<Table> ExecuteToTable(const Database& db, const PJQuery& query,
     FASTQRE_RETURN_NOT_OK(out.AddColumn(col_name, src.type()));
   }
 
+  // NOLINT-ANALYZER(governed-alloc): CLI/test materialization helper off
+  // the governed search path; validation materializes via the block executor.
   std::unordered_set<std::vector<ValueId>, IdTupleHash> seen;
   std::vector<ValueId> row;
   while (cursor->Next(&row)) {

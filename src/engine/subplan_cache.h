@@ -134,6 +134,8 @@ class SubplanCache {
   mutable Mutex mu_;
   // Entries are never erased (only their tables are dropped), so Entry
   // pointers held by the LRU list stay stable.
+  // gov: charged — each entry's table bytes are charged as "subplan-build"
+  // and released on eviction; map nodes are per-signature metadata.
   std::unordered_map<Signature, Entry, IdTupleHash> entries_ GUARDED_BY(mu_);
   std::list<Entry*> lru_ GUARDED_BY(mu_);  // front = most recently used
   size_t bytes_used_ GUARDED_BY(mu_) = 0;

@@ -138,6 +138,8 @@ class WalkCache {
   mutable Mutex mu_;
   // Entries are never erased (only their relations are dropped), so Entry
   // pointers handed around under mu_ stay stable.
+  // gov: charged — relations are charged in FinishBuild and released on
+  // eviction; map nodes hold per-signature admission metadata only.
   std::unordered_map<std::vector<uint32_t>, Entry, IdTupleHash> entries_
       GUARDED_BY(mu_);
   std::list<Entry*> lru_ GUARDED_BY(mu_);  // front = most recently used

@@ -109,6 +109,8 @@ class HashIndex {
   std::vector<ColumnId> cols_;
   size_t estimated_bytes_ = 0;
   std::unordered_map<ValueId, std::vector<RowId>> single_;
+  // gov: charged — EstimatedBytes() covers both maps; the cache owner
+  // charges it as "index-build" when the built index is published.
   std::unordered_map<std::vector<ValueId>, std::vector<RowId>, IdTupleHash> multi_;
 };
 
