@@ -1,0 +1,389 @@
+// E16 — service throughput and answer integrity: a closed loop of client
+// threads drives an in-process JobManager with >= 1000 jobs (mixed normal /
+// cancel / starved-slice flavours across four tenants) and audits every
+// completed stream against a direct batch run of the same engine:
+//
+//   * zero lost, duplicated, or reordered answers — a fully completed job's
+//     stream must be byte-identical to FastQre::ReverseAll on the same
+//     R_out, and a cancelled or memory-stopped job's proved answers must be
+//     an exact prefix of it (rank barrier, DESIGN.md §8);
+//   * admission safety — the global BudgetPool's high-water mark must never
+//     exceed its configured capacity, and everything must drain to zero
+//     (no leaked slices, no stuck in-flight seats) once the loop ends.
+//
+// Reported: per-flavour completion counts, p50/p99 submit-to-terminal
+// latency, end-to-end throughput, and typed-rejection (retry) counts from
+// the closed loop. Overrides: FASTQRE_BENCH_SCALE, FASTQRE_BENCH_JOBS.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+#include "server/job_manager.h"
+#include "storage/csv.h"
+
+using namespace fastqre;
+
+namespace {
+
+enum class Flavour { kNormal, kCancel, kStarved };
+
+struct JobSpec {
+  Flavour flavour = Flavour::kNormal;
+  size_t query = 0;  // workload index
+  int limit = 1;
+};
+
+struct ReferenceAnswer {
+  bool found = false;
+  std::string sql;
+  std::string failure_reason;
+};
+
+// Per-client-thread tally, merged after join (no shared mutable state on
+// the hot path beyond the JobManager under test).
+struct ClientStats {
+  std::vector<double> latencies;  // submit -> terminal, seconds
+  uint64_t done = 0;
+  uint64_t cancelled = 0;
+  uint64_t memory_stopped = 0;
+  uint64_t retries = 0;  // typed rejections absorbed by the closed loop
+  std::vector<std::string> violations;
+
+  void Violate(std::string message) {
+    if (violations.size() < 8) violations.push_back(std::move(message));
+  }
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::BenchScale(0.001);
+  const int total_jobs =
+      static_cast<int>(bench::EnvDouble("FASTQRE_BENCH_JOBS", 1000));
+  const int kClientThreads = 16;
+  const std::vector<std::string> kTenants = {"acme", "globex", "initech",
+                                             "umbrella"};
+
+  Database db = BuildTpch({.scale_factor = scale, .seed = 3}).ValueOrDie();
+  auto workload = StandardTpchWorkload(db).ValueOrDie();
+  // Fast half of the ladder for the bulk of the traffic; the hardest query
+  // for cancels, so cancellation actually lands mid-run.
+  const size_t kEasyQueries = std::min<size_t>(5, workload.size());
+  const size_t kHardQuery = workload.size() - 1;
+
+  std::vector<std::string> rout_csv(workload.size());
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    rout_csv[qi] = TableToCsv(workload[qi].rout);
+  }
+
+  // Batch references: for each (query, limit, governor slice) the traffic
+  // uses, the exact answer stream a lone engine produces under the same
+  // options the JobManager builds — the slice IS the engine's memory
+  // budget, and the stream (content, ranking, and any truncation tail) is
+  // deterministic per budget, so the service must reproduce these streams
+  // byte for byte. Populated before the clients start; read-only after.
+  std::map<std::tuple<size_t, int, uint64_t>, std::vector<ReferenceAnswer>>
+      references;
+  auto reference_for = [&](size_t qi, int limit, uint64_t slice_bytes)
+      -> const std::vector<ReferenceAnswer>& {
+    auto key = std::make_tuple(qi, limit, slice_bytes);
+    auto it = references.find(key);
+    if (it == references.end()) {
+      QreOptions opts;
+      opts.memory_budget_bytes = slice_bytes;
+      FastQre engine(&db, opts);
+      auto answers = engine.ReverseAll(workload[qi].rout, limit).ValueOrDie();
+      std::vector<ReferenceAnswer> refs;
+      for (const auto& a : answers) {
+        refs.push_back({a.found, a.sql, a.failure_reason});
+      }
+      it = references.emplace(key, std::move(refs)).first;
+    }
+    return it->second;
+  };
+
+  JobManagerConfig config;
+  config.worker_threads = 8;
+  // Slices are comfortable for this scale: a budget that bites mid-run
+  // makes the stream depend on cross-engine cache warming (degradation
+  // fires at interleaving-dependent points), which would invalidate the
+  // byte-identical audit. Memory-pressure behaviour is exercised by the
+  // starved flavour instead, whose 1-byte slice pins the ladder from the
+  // first charge and is therefore deterministic again.
+  config.admission.global_budget_bytes = 768ull << 20;
+  config.admission.default_slice_bytes = 64ull << 20;
+  config.admission.max_slice_bytes = 64ull << 20;
+  // Deliberately below the client count, and with a finite per-tenant
+  // rate, so the closed loop actually exercises the kSaturated and
+  // kRateLimited rejection paths rather than sailing through.
+  config.admission.max_in_flight_jobs = 12;
+  config.admission.tenant_rate_per_second = 50;
+  config.admission.tenant_burst = 25;
+  JobManager manager(config);
+  const Status attached = manager.AttachDatabase("tpch", &db);
+  if (!attached.ok()) {
+    std::printf("FAIL: %s\n", attached.message().c_str());
+    return 1;
+  }
+
+  // Deterministic traffic deck: built once, then striped across the client
+  // threads. ~15% cancels, ~15% starved slices, the rest normal.
+  Rng rng(16);
+  std::vector<JobSpec> deck;
+  for (int i = 0; i < total_jobs; ++i) {
+    JobSpec spec;
+    const double roll = rng.UniformDouble();
+    if (roll < 0.15) {
+      spec.flavour = Flavour::kCancel;
+      spec.query = kHardQuery;
+      spec.limit = 8;
+    } else if (roll < 0.30) {
+      spec.flavour = Flavour::kStarved;
+      spec.query = rng.Uniform(kEasyQueries);
+      spec.limit = 2;
+    } else {
+      spec.flavour = Flavour::kNormal;
+      spec.query = rng.Uniform(kEasyQueries);
+      spec.limit = 1 + static_cast<int>(rng.Uniform(3));
+    }
+    deck.push_back(spec);
+    // Warm the reference map before the clients start (read-only after).
+    const uint64_t slice = spec.flavour == Flavour::kStarved
+                               ? 1
+                               : config.admission.default_slice_bytes;
+    (void)reference_for(spec.query, spec.limit, slice);
+  }
+
+  std::printf(
+      "TPC-H scale=%.4g (%zu total rows), %d jobs, %d client threads, "
+      "%d workers, pool=%lluMB slice=%lluMB in-flight cap=%d\n\n",
+      scale, db.TotalRows(), total_jobs, kClientThreads,
+      config.worker_threads,
+      static_cast<unsigned long long>(config.admission.global_budget_bytes >>
+                                      20),
+      static_cast<unsigned long long>(config.admission.default_slice_bytes >>
+                                      20),
+      config.admission.max_in_flight_jobs);
+
+  std::vector<ClientStats> stats(kClientThreads);
+  Timer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      ClientStats& my = stats[c];
+      Rng coin(SplitMix64(static_cast<uint64_t>(c) + 99));
+      for (int i = c; i < total_jobs; i += kClientThreads) {
+        const JobSpec& spec = deck[static_cast<size_t>(i)];
+        Request req;
+        req.verb = Verb::kSubmit;
+        req.db = "tpch";
+        req.tenant = kTenants[static_cast<size_t>(i) % kTenants.size()];
+        req.rout_csv = rout_csv[spec.query];
+        req.options.limit = spec.limit;
+        if (spec.flavour == Flavour::kStarved) {
+          req.options.memory_budget_bytes = 1;  // clamps to a 1-byte slice
+        }
+
+        Timer latency;
+        JobManager::SubmitOutcome out;
+        for (;;) {
+          out = manager.Submit(req);
+          if (out.error == WireError::kNone) break;
+          if (out.error == WireError::kRateLimited ||
+              out.error == WireError::kSaturated ||
+              out.error == WireError::kBudgetExhausted) {
+            // Closed loop: typed rejection -> brief backoff -> retry.
+            ++my.retries;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+          }
+          my.Violate("unexpected submit rejection: " +
+                     std::string(WireErrorToString(out.error)) + ": " +
+                     out.message);
+          break;
+        }
+        if (out.error != WireError::kNone) continue;
+
+        // Cancel flavour: roughly half cancel immediately (racing job
+        // start), half wait for the first streamed answer first.
+        const bool cancel_early =
+            spec.flavour == Flavour::kCancel && coin.Chance(0.5);
+        if (cancel_early) (void)manager.Cancel(out.job_id);
+
+        std::vector<WireAnswer> streamed;
+        bool cancel_sent = cancel_early;
+        JobState terminal = JobState::kQueued;
+        std::string terminal_reason;
+        for (;;) {
+          auto progress =
+              manager.WaitAnswers(out.job_id, streamed.size(), 0.25);
+          if (!progress.ok()) {
+            my.Violate("WaitAnswers failed: " + progress.status().message());
+            break;
+          }
+          for (const auto& a : progress->answers) streamed.push_back(a);
+          if (spec.flavour == Flavour::kCancel && !cancel_sent &&
+              !streamed.empty()) {
+            (void)manager.Cancel(out.job_id);
+            cancel_sent = true;
+          }
+          if (progress->complete) {
+            terminal = progress->state;
+            terminal_reason = progress->failure_reason;
+            break;
+          }
+        }
+        my.latencies.push_back(latency.ElapsedSeconds());
+
+        // ---- Integrity audit against the batch reference. --------------
+        const uint64_t slice = spec.flavour == Flavour::kStarved
+                                   ? 1
+                                   : config.admission.default_slice_bytes;
+        const std::vector<ReferenceAnswer>& ref =
+            reference_for(spec.query, spec.limit, slice);
+        bool structurally_ok = true;
+        for (size_t k = 0; k < streamed.size(); ++k) {
+          if (streamed[k].index != static_cast<int>(k)) {
+            my.Violate("gap or duplicate at stream index " +
+                       std::to_string(k));
+            structurally_ok = false;
+            break;
+          }
+          if (!streamed[k].found && k + 1 != streamed.size()) {
+            my.Violate("unfound tail entry is not last");
+            structurally_ok = false;
+            break;
+          }
+        }
+        if (structurally_ok) {
+          // Proved answers are committed under the rank barrier, so even a
+          // truncated stream must match the reference rank for rank.
+          for (size_t k = 0; k < streamed.size(); ++k) {
+            if (!streamed[k].found) break;
+            if (k >= ref.size() || !ref[k].found ||
+                streamed[k].sql != ref[k].sql) {
+              my.Violate(workload[spec.query].name + ": streamed answer " +
+                         std::to_string(k) +
+                         " is not the batch answer at that rank");
+              break;
+            }
+          }
+        }
+        if (terminal == JobState::kDone) {
+          // Ran to its own conclusion (exhausted the limit, or stopped at
+          // its memory budget): the stream — truncation tail included —
+          // must be byte-identical to the batch run at the same budget.
+          bool identical = streamed.size() == ref.size();
+          for (size_t k = 0; identical && k < ref.size(); ++k) {
+            identical = streamed[k].found == ref[k].found &&
+                        streamed[k].sql == ref[k].sql &&
+                        streamed[k].failure_reason == ref[k].failure_reason;
+          }
+          if (!identical) {
+            my.Violate(workload[spec.query].name +
+                       ": completed stream differs from batch (" +
+                       std::to_string(streamed.size()) + " vs " +
+                       std::to_string(ref.size()) + " entries)");
+          }
+          if (terminal_reason == "memory budget exceeded") {
+            ++my.memory_stopped;
+          } else {
+            ++my.done;
+          }
+        } else if (terminal == JobState::kCancelled) {
+          ++my.cancelled;
+        } else {
+          my.Violate("unexpected terminal state " +
+                     std::string(JobStateToString(terminal)) + " (" +
+                     terminal_reason + ")");
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  // ---- Merge + report. --------------------------------------------------
+  std::vector<double> all_latencies;
+  uint64_t done = 0, cancelled = 0, memory_stopped = 0, retries = 0;
+  std::vector<std::string> violations;
+  for (const ClientStats& s : stats) {
+    all_latencies.insert(all_latencies.end(), s.latencies.begin(),
+                         s.latencies.end());
+    done += s.done;
+    cancelled += s.cancelled;
+    memory_stopped += s.memory_stopped;
+    retries += s.retries;
+    for (const std::string& v : s.violations) {
+      if (violations.size() < 16) violations.push_back(v);
+    }
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+
+  TablePrinter table("E16: service closed loop (submit -> terminal)",
+                     {"metric", "value"});
+  table.AddRow({"jobs completed", FormatCount(all_latencies.size())});
+  table.AddRow({"  done (full stream)", FormatCount(done)});
+  table.AddRow({"  cancelled", FormatCount(cancelled)});
+  table.AddRow({"  memory-stopped", FormatCount(memory_stopped)});
+  table.AddRow({"typed rejections retried", FormatCount(retries)});
+  table.AddRow({"p50 latency", FormatDuration(Percentile(all_latencies, 0.50))});
+  table.AddRow({"p99 latency", FormatDuration(Percentile(all_latencies, 0.99))});
+  table.AddRow({"throughput",
+                StringFormat("%.0f jobs/s",
+                             static_cast<double>(all_latencies.size()) /
+                                 wall_s)});
+  table.AddRow({"wall time", FormatDuration(wall_s)});
+  table.Print();
+
+  const AdmissionController& admission = manager.admission();
+  const uint64_t pool_peak = admission.pool().peak_reserved_bytes();
+  const uint64_t pool_total = admission.pool().total_bytes();
+  bool ok = violations.empty();
+  if (pool_peak > pool_total) {
+    ok = false;
+    std::printf("FAIL: pool peak %llu exceeds capacity %llu\n",
+                static_cast<unsigned long long>(pool_peak),
+                static_cast<unsigned long long>(pool_total));
+  }
+  if (admission.pool().reserved_bytes() != 0 ||
+      admission.in_flight_jobs() != 0) {
+    ok = false;
+    std::printf("FAIL: admission state not drained (reserved=%llu, "
+                "in-flight=%d)\n",
+                static_cast<unsigned long long>(
+                    admission.pool().reserved_bytes()),
+                admission.in_flight_jobs());
+  }
+  for (const std::string& v : violations) {
+    std::printf("FAIL: %s\n", v.c_str());
+  }
+
+  std::printf(
+      "\nIntegrity: %s — every completed stream matched its batch run, "
+      "truncated\nstreams were exact prefixes, and the admission pool's "
+      "high-water mark\n(%llu MB) stayed within its %llu MB capacity with "
+      "everything released.\n",
+      ok ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(pool_peak >> 20),
+      static_cast<unsigned long long>(pool_total >> 20));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Token-bucket rate limiting for the admission controller (DESIGN.md §15).
+//
+// A TokenBucket holds up to `burst` tokens and refills at `rate_per_second`.
+// Each admitted request costs one token; an empty bucket means the caller
+// is over its rate and the request is rejected with a typed error (the
+// server never silently queues rate-limited work — honest back-pressure).
+//
+// Time is an explicit argument rather than a hidden clock read so the
+// admission tests are deterministic: they drive the bucket with a synthetic
+// timeline instead of sleeping. Callers in the server pass a monotonic
+// Timer's ElapsedSeconds().
+//
+// Not internally synchronized: the AdmissionController calls it under its
+// own mutex (one bucket per tenant, all mutations already serialized).
+#pragma once
+
+#include <algorithm>
+
+namespace fastqre {
+
+/// \brief Deterministic token bucket: capacity `burst`, refill
+/// `rate_per_second`. A rate of 0 disables limiting (TryAcquire always
+/// succeeds).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_second, double burst)
+      : rate_(rate_per_second < 0 ? 0 : rate_per_second),
+        burst_(burst < 1 ? 1 : burst),
+        tokens_(burst_) {}
+
+  /// Refills for the elapsed time and takes `cost` tokens if available.
+  /// `now_seconds` must be monotone non-decreasing across calls (a step
+  /// backwards is clamped to no refill, never to a negative balance).
+  bool TryAcquire(double now_seconds, double cost = 1.0) {
+    if (rate_ <= 0) return true;
+    Refill(now_seconds);
+    if (tokens_ + 1e-9 < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Tokens available at `now_seconds` (refills as a side effect).
+  double Available(double now_seconds) {
+    Refill(now_seconds);
+    return tokens_;
+  }
+
+  double rate_per_second() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(double now_seconds) {
+    const double dt = std::max(0.0, now_seconds - last_seconds_);
+    last_seconds_ = std::max(last_seconds_, now_seconds);
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  }
+
+  const double rate_;
+  const double burst_;
+  double tokens_;
+  double last_seconds_ = 0.0;
+};
+
+}  // namespace fastqre

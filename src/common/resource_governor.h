@@ -158,6 +158,64 @@ class ResourceGovernor {
   std::atomic<int> level_{0};
 };
 
+/// \brief Carves per-job byte slices out of one global service budget
+/// (DESIGN.md §15). The admission controller reserves a slice before a job
+/// is admitted and the job's own ResourceGovernor is constructed with that
+/// slice as its budget, so the sum of every in-flight job's budget never
+/// exceeds the global pool — the multi-tenant counterpart of the per-engine
+/// governor. Reservation is a CAS loop on one atomic; a `total_bytes` of 0
+/// disables the pool (every TryReserve succeeds, accounting still runs).
+///
+/// Memory-order note (policy in common/counters.h): reserved/peak are pure
+/// accounting — no data is published through them (the job's governor does
+/// its own charging) — so relaxed is correct and required here.
+class BudgetPool {
+ public:
+  explicit BudgetPool(uint64_t total_bytes) : total_(total_bytes) {}
+
+  /// Reserves `bytes` from the pool; false (nothing reserved) when the
+  /// reservation would overflow the global budget.
+  bool TryReserve(uint64_t bytes) {
+    uint64_t cur = reserved_.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint64_t next = cur + bytes;
+      if (total_ != 0 && (next > total_ || next < cur)) return false;
+      if (reserved_.compare_exchange_weak(cur, next,
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+        UpdatePeak(next);
+        return true;
+      }
+    }
+  }
+
+  /// Returns a previous reservation to the pool.
+  void Release(uint64_t bytes) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t total_bytes() const { return total_; }
+  uint64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_reserved_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdatePeak(uint64_t now) {
+    uint64_t prev = peak_.load(std::memory_order_relaxed);
+    while (prev < now && !peak_.compare_exchange_weak(
+                             prev, now, std::memory_order_relaxed,
+                             std::memory_order_relaxed)) {
+    }
+  }
+
+  const uint64_t total_;
+  std::atomic<uint64_t> reserved_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
 /// \brief Why a search run stopped early. Recorded once (first cause wins)
 /// so concurrent pollers agree on the reported failure_reason.
 enum class StopCause { kNone, kDeadline, kCancelled, kMemory };

@@ -17,6 +17,7 @@
 // teeth (a deliberately unguarded access must fail to compile).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -157,6 +158,17 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed Wait(): returns false iff `seconds` elapsed with no
+  /// notification. Spurious wakeups return true — callers loop on their
+  /// predicate either way, so the distinction only matters for giving up.
+  bool WaitFor(Mutex& mu, double seconds) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status st =
+        cv_.wait_for(native, std::chrono::duration<double>(seconds));
+    native.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -242,7 +242,12 @@ Result<Table> ExecuteBlock(const Database& db, const PJQuery& query,
   // ResourceExhausted to kError); it never aborts the whole search.
   // Memoized prefixes served from the subplan cache are charged there
   // ("subplan-build") instead, for the cache's lifetime.
-  const std::shared_ptr<ResourceGovernor> governor = db.governor();
+  // The policy's governor is the engine driving this candidate; the
+  // database attachment is only a fallback for standalone executor use —
+  // it is last-attach-wins across engines, so charging it here would let a
+  // concurrent engine's exhausted ladder dismiss THIS engine's candidates.
+  const std::shared_ptr<ResourceGovernor> governor =
+      policy.governor != nullptr ? policy.governor : db.governor();
   std::atomic<uint64_t> charged_bytes{0};
   BlockChargeGuard charge_guard{governor, charged_bytes};
 

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 namespace fastqre {
 
+class ResourceGovernor;
 class SubplanCache;
 class ThreadPool;
 
@@ -55,6 +57,16 @@ struct ExecPolicy {
   /// ablation cell). Hits replay the stored pre-filter enumeration count, so
   /// every verdict is cache-state invariant.
   SubplanCache* subplan_cache = nullptr;
+
+  /// The governor charged (and polled for injected faults) for
+  /// candidate-local execution state — the driving engine's own accounting
+  /// identity. The Database's attached governor is NOT used for this: that
+  /// attachment is last-attach-wins across engines sharing the database, so
+  /// a concurrently constructed engine (possibly with a tiny budget) would
+  /// have its ladder refuse another engine's charges and silently dismiss
+  /// its candidates. Null falls back to the database attachment, for
+  /// standalone executor use outside an engine.
+  std::shared_ptr<ResourceGovernor> governor;
 
   /// Morsels actually go to the pool only when all three gates agree.
   bool WantsParallel(size_t driving_rows) const {

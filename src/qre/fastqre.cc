@@ -318,6 +318,11 @@ Result<QreAnswer> FastQre::Reverse(const Table& rout) const {
 
 Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
                                                    int limit) const {
+  return ReverseAll(rout, limit, AnswerCallback());
+}
+
+Result<std::vector<QreAnswer>> FastQre::ReverseAll(
+    const Table& rout, int limit, const AnswerCallback& on_answer) const {
   if (rout.num_columns() == 0) {
     return Status::InvalidArgument("R_out has no columns");
   }
@@ -356,8 +361,19 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
   exec_policy.pool = intra_pool_.get();
   exec_policy.use_sip = options_.use_sip;
   exec_policy.subplan_cache = subplan_cache_.get();
+  // Candidate-local charges go to THIS engine's governor, never the
+  // database attachment (which a concurrent engine may have displaced).
+  exec_policy.governor = governor_;
 
   std::vector<QreAnswer> answers;
+  // Single append point for the result vector: every entry is streamed to
+  // `on_answer` exactly as it is committed, so the streamed sequence is the
+  // returned vector (DESIGN.md §15). All three call sites run on this
+  // thread after the rank barrier, so the callback never races itself.
+  auto publish = [&](QreAnswer a) {
+    answers.push_back(std::move(a));
+    if (on_answer) on_answer(answers.back());
+  };
   auto attach_run_stats = [&](QreAnswer* a) {
     a->stats.walk_cache_bytes = walk_cache_ ? walk_cache_->bytes() : 0;
     // Engine-lifetime tallies snapshotted at answer time (exact per-run
@@ -384,7 +400,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
     if (trace_ptr != nullptr) a.trace = *trace_ptr;
     a.stats = stats;
     attach_run_stats(&a);
-    answers.push_back(std::move(a));
+    publish(std::move(a));
     return std::move(answers);
   };
 
@@ -479,7 +495,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
           a.trace = trace;
           a.stats = stats;
           attach_run_stats(&a);
-          answers.push_back(std::move(a));
+          publish(std::move(a));
           // Fault site "answer-found": fires once per accepted answer, so a
           // cancel@n schedule can truncate ReverseAll() after exactly n
           // answers (the truncation-semantics regression tests).
@@ -529,7 +545,7 @@ Result<std::vector<QreAnswer>> FastQre::ReverseAll(const Table& rout,
           a.stats.candidates_pruned_dead += composer.sets_pruned_dead();
           a.stats.walk_sets_expanded += composer.sets_expanded();
           attach_run_stats(&a);
-          answers.push_back(std::move(a));
+          publish(std::move(a));
           // See the parallel path: per-answer fault site for truncation
           // tests.
           governor_->FaultPoint("answer-found");

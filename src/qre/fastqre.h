@@ -9,6 +9,7 @@
 // evaluation) and Feedback.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,23 @@ class FastQre {
   /// answers already found are returned followed by one unfound entry whose
   /// failure_reason records why the tail was truncated.
   Result<std::vector<QreAnswer>> ReverseAll(const Table& rout, int limit) const;
+
+  /// Observer of answers as they are accepted (the server's streaming hook).
+  /// Invoked with each entry exactly as it is appended to the eventual
+  /// ReverseAll result — found answers carry a full job-scoped stats
+  /// snapshot, and the one possible unfound tail entry carries the
+  /// failure_reason. Because acceptance happens under the rank barrier
+  /// (DESIGN.md §8), the streamed order equals the final rank order and the
+  /// streamed SQL is byte-identical to the batch result at any thread count.
+  using AnswerCallback = std::function<void(const QreAnswer&)>;
+
+  /// ReverseAll with a streaming observer: `on_answer` (may be empty) fires
+  /// on the search thread for every entry of the returned vector, in order,
+  /// at the moment the entry is proved. The callback must not call back
+  /// into this engine (other than Cancel(), which is always safe).
+  Result<std::vector<QreAnswer>> ReverseAll(const Table& rout, int limit,
+                                            const AnswerCallback& on_answer)
+      const;
 
   /// Cooperatively cancels every in-flight and future Reverse()/ReverseAll()
   /// call on this engine, from any thread. The search stops at its next

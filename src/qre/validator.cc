@@ -368,7 +368,10 @@ CandidateOutcome Validator::AllTupleProbe(const Execution& exec) {
   }
   const size_t morsel = policy_.MorselSize();
   const size_t num_morsels = (rows + morsel - 1) / morsel;
-  const std::shared_ptr<ResourceGovernor> governor = db_->governor();
+  // The engine's own governor (see ExecPolicy::governor); the database
+  // attachment is only the standalone fallback.
+  const std::shared_ptr<ResourceGovernor> governor =
+      policy_.governor != nullptr ? policy_.governor : db_->governor();
   std::atomic<bool> missing{false};
   std::atomic<bool> interrupted{false};
   std::atomic<bool> error{false};

@@ -1,0 +1,73 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace fastqre {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config), pool_(config.global_budget_bytes) {}
+
+AdmissionController::Admission AdmissionController::Admit(
+    const std::string& tenant, uint64_t requested_slice_bytes,
+    double now_seconds) {
+  Admission result;
+
+  uint64_t slice = requested_slice_bytes == 0 ? config_.default_slice_bytes
+                                              : requested_slice_bytes;
+  slice = std::min(slice, config_.max_slice_bytes);
+
+  {
+    MutexLock lock(&mu_);
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(tenant, TokenBucket(config_.tenant_rate_per_second,
+                                            config_.tenant_burst))
+               .first;
+    }
+    if (!it->second.TryAcquire(now_seconds)) {
+      result.error = WireError::kRateLimited;
+      result.message = "tenant \"" + tenant + "\" is over its submit rate (" +
+                       std::to_string(config_.tenant_rate_per_second) +
+                       "/s, burst " + std::to_string(config_.tenant_burst) +
+                       ")";
+      return result;
+    }
+    if (in_flight_ >= config_.max_in_flight_jobs) {
+      result.error = WireError::kSaturated;
+      result.message =
+          "server is at its in-flight job cap (" +
+          std::to_string(config_.max_in_flight_jobs) + ")";
+      return result;
+    }
+    // Reserve the seat and the slice together under the lock: two racing
+    // admits must not both pass the seat check, and a seat without a slice
+    // (or vice versa) would leak on the early-return paths.
+    if (!pool_.TryReserve(slice)) {
+      result.error = WireError::kBudgetExhausted;
+      result.message = "global memory pool cannot fund a " +
+                       std::to_string(slice) + "-byte slice (" +
+                       std::to_string(pool_.reserved_bytes()) + " of " +
+                       std::to_string(pool_.total_bytes()) +
+                       " bytes reserved)";
+      return result;
+    }
+    ++in_flight_;
+  }
+
+  result.slice_bytes = slice;
+  return result;
+}
+
+void AdmissionController::Release(uint64_t slice_bytes) {
+  pool_.Release(slice_bytes);
+  MutexLock lock(&mu_);
+  --in_flight_;
+}
+
+int AdmissionController::in_flight_jobs() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+}  // namespace fastqre

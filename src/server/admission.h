@@ -1,0 +1,85 @@
+// Per-tenant admission control for the QRE service (DESIGN.md §15.3).
+//
+// Every submit passes three gates, in order, each with its own typed
+// rejection so clients can tell "back off" from "shrink your ask":
+//
+//   1. Rate:   a per-tenant token bucket (cost 1 per submit). Empty bucket
+//              -> kRateLimited. Buckets are created on first use; an idle
+//              tenant's bucket refills to burst and stays there.
+//   2. Load:   a cap on in-flight jobs (queued + running) across all
+//              tenants. Full -> kSaturated.
+//   3. Memory: the job's governor slice is carved out of the global
+//              BudgetPool. requested == 0 takes the default slice; any
+//              request is clamped to max_slice_bytes. Pool can't fund it
+//              -> kBudgetExhausted.
+//
+// A job that passes all three holds its slice until Release() — the
+// JobManager calls that exactly once per admitted job, in its terminal
+// state transition, so pool.reserved_bytes() is always the sum of live
+// slices and pool.peak_reserved_bytes() bounds the service's worst case.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rate_limiter.h"
+#include "common/resource_governor.h"
+#include "common/thread_annotations.h"
+#include "server/protocol.h"
+
+namespace fastqre {
+
+struct AdmissionConfig {
+  /// Global memory pool all job slices are carved from; 0 = unlimited.
+  uint64_t global_budget_bytes = 0;
+  /// Slice handed to a job that doesn't ask for one.
+  uint64_t default_slice_bytes = 64ull << 20;
+  /// Hard cap on any single job's slice (clamps client requests).
+  uint64_t max_slice_bytes = 256ull << 20;
+  /// Token-bucket submits/second per tenant; 0 disables rate limiting.
+  double tenant_rate_per_second = 0.0;
+  /// Token-bucket burst per tenant.
+  double tenant_burst = 8.0;
+  /// Cap on jobs admitted but not yet released (queued + running).
+  int max_in_flight_jobs = 64;
+};
+
+class AdmissionController {
+ public:
+  /// Outcome of one Admit() call. error == kNone means admitted and
+  /// slice_bytes is reserved in the pool until Release(slice_bytes).
+  struct Admission {
+    WireError error = WireError::kNone;
+    std::string message;
+    uint64_t slice_bytes = 0;
+  };
+
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Runs the three gates for one submit. `now_seconds` is injected (any
+  /// monotonic clock) so tests drive the token buckets deterministically.
+  /// Thread-safe.
+  Admission Admit(const std::string& tenant, uint64_t requested_slice_bytes,
+                  double now_seconds);
+
+  /// Returns an admitted job's slice to the pool and frees its in-flight
+  /// seat. Must be called exactly once per successful Admit().
+  void Release(uint64_t slice_bytes);
+
+  int in_flight_jobs() const;
+  const BudgetPool& pool() const { return pool_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  const AdmissionConfig config_;
+  BudgetPool pool_;
+
+  mutable Mutex mu_;
+  // std::map for deterministic iteration should diagnostics ever walk it
+  // (unordered iteration is banned from observable output, DESIGN.md §10).
+  std::map<std::string, TokenBucket> buckets_ GUARDED_BY(mu_);
+  int in_flight_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,437 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace fastqre {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Shortest double rendering that round-trips; integers-valued doubles keep
+// a trailing ".0" so the type survives a round trip.
+void AppendDouble(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; the protocol never produces them, but serialize
+    // defensively rather than emitting invalid output.
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Try shorter forms first (matches how printf-based stats elsewhere in
+  // the repo stay readable).
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, d);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      std::memcpy(buf, probe, sizeof(probe));
+      break;
+    }
+  }
+  *out += buf;
+  if (std::strpbrk(buf, ".eE") == nullptr) *out += ".0";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    FASTQRE_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        FASTQRE_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      FASTQRE_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue v;
+      FASTQRE_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      out->Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue v;
+      FASTQRE_RETURN_NOT_OK(ParseValue(&v, depth + 1));
+      out->Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          FASTQRE_RETURN_NOT_OK(ParseHex4(&code));
+          // Surrogate pair -> one code point.
+          if (code >= 0xD800 && code <= 0xDBFF &&
+              pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+              text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned low = 0;
+            FASTQRE_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return Error("invalid number");
+    if (integral) {
+      int64_t i = 0;
+      if (std::sscanf(tok.c_str(), "%lld",
+                      reinterpret_cast<long long*>(&i)) == 1) {
+        *out = JsonValue::Int(i);
+        return Status::OK();
+      }
+    }
+    double d = 0.0;
+    if (std::sscanf(tok.c_str(), "%lf", &d) != 1) {
+      return Error("invalid number");
+    }
+    *out = JsonValue::Double(d);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Get(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+int64_t JsonValue::GetInt(const std::string& key, int64_t fallback) const {
+  const JsonValue* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsInt() : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Get(key);
+  return (v != nullptr && v->is_bool()) ? v->AsBool() : fallback;
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      out = std::to_string(int_);
+      break;
+    case Type::kDouble:
+      AppendDouble(double_, &out);
+      break;
+    case Type::kString:
+      AppendEscaped(string_, &out);
+      break;
+    case Type::kArray: {
+      out = "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += items_[i].Serialize();
+      }
+      out += "]";
+      break;
+    }
+    case Type::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ",";
+        first = false;
+        AppendEscaped(k, &out);
+        out += ":";
+        out += v.Serialize();
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace fastqre

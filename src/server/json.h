@@ -1,0 +1,130 @@
+// Minimal JSON value model for the wire protocol (DESIGN.md §15).
+//
+// Dependency-free by project rule: the container bakes in no JSON library,
+// so the protocol layer carries its own small recursive-descent parser and
+// serializer. Deliberately tiny — only what the length-prefixed frame
+// payloads need:
+//
+//  * Objects preserve insertion order (a vector of pairs, not a hash map),
+//    so serialization is deterministic and the unordered-iteration rules
+//    (DESIGN.md §10/§14) never apply.
+//  * Numbers remember whether they were written as integers: job ids and
+//    byte counts round-trip exactly as int64; everything else is double.
+//  * Strings are byte sequences: UTF-8 passes through untouched, control
+//    characters and quotes are escaped on output, \uXXXX escapes decode to
+//    UTF-8 on input.
+//  * Parse depth is capped so a hostile payload cannot recurse the stack
+//    out (the frame length cap in protocol.h bounds breadth the same way).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fastqre {
+
+/// \brief One JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.type_ = Type::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v;
+    v.type_ = Type::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  // Object access. Get returns nullptr when the key is absent; the typed
+  // getters additionally fall back when the value has the wrong type, so
+  // protocol parsing reads like a schema.
+  const JsonValue* Get(const std::string& key) const;
+  void Set(std::string key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Compact single-line serialization (no whitespace). Deterministic:
+  /// object members serialize in insertion order.
+  std::string Serialize() const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+}  // namespace fastqre

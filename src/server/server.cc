@@ -1,0 +1,237 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fastqre {
+namespace {
+
+/// How long one WaitAnswers pull blocks while streaming a submit. Short
+/// enough that Stop() is observed promptly, long enough to not busy-poll.
+constexpr double kStreamPollSeconds = 0.2;
+
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a client that disconnected mid-stream must surface as
+    // an error return, not a process-killing SIGPIPE.
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(JobManager* manager, ServerConfig config)
+    : manager_(manager), config_(config) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s =
+        Status::IOError("bind: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    const Status s =
+        Status::IOError("listen: " + std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocked accept(); close alone may not on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    MutexLock lock(&mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop(), or unrecoverable
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    MutexLock lock(&mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  FrameReader reader;
+  char buf[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // orderly client close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    reader.Feed(buf, static_cast<size_t>(n));
+    std::string payload;
+    for (;;) {
+      Result<bool> next = reader.Next(&payload);
+      if (!next.ok()) {
+        // Unrecoverable framing error: answer once, drop the connection.
+        WriteResponse(fd, MakeErrorResponse(WireError::kInvalidArgument,
+                                            next.status().message()));
+        open = false;
+        break;
+      }
+      if (!*next) break;
+      Result<Request> req = ParseRequest(payload);
+      if (!req.ok()) {
+        const std::string& msg = req.status().message();
+        const WireError code =
+            msg.compare(0, 16, "version-mismatch") == 0
+                ? WireError::kVersionMismatch
+                : WireError::kInvalidArgument;
+        if (!WriteResponse(fd, MakeErrorResponse(code, msg))) {
+          open = false;
+          break;
+        }
+        continue;
+      }
+      if (!Dispatch(fd, *req)) {
+        open = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  // The fd stays in conn_fds_ until Stop(); shutdown() on a closed fd is
+  // harmless (EBADF) because fds are never reused: we don't remove entries
+  // to keep the bookkeeping race-free without a per-connection state
+  // machine. Connection counts here are test-scale, not C10K.
+}
+
+bool Server::Dispatch(int fd, const Request& req) {
+  switch (req.verb) {
+    case Verb::kListDbs: {
+      Response resp;
+      resp.kind = Response::Kind::kDbList;
+      resp.dbs = manager_->ListDbs();
+      return WriteResponse(fd, resp);
+    }
+    case Verb::kStatus:
+    case Verb::kCancel: {
+      Result<WireJobStatus> status = req.verb == Verb::kStatus
+                                         ? manager_->GetStatus(req.job_id)
+                                         : manager_->Cancel(req.job_id);
+      if (!status.ok()) {
+        return WriteResponse(
+            fd, MakeErrorResponse(WireError::kNotFound,
+                                  status.status().message()));
+      }
+      Response resp;
+      resp.kind = Response::Kind::kStatus;
+      resp.status = *status;
+      return WriteResponse(fd, resp);
+    }
+    case Verb::kSubmit: {
+      const JobManager::SubmitOutcome outcome = manager_->Submit(req);
+      if (outcome.error != WireError::kNone) {
+        return WriteResponse(fd,
+                             MakeErrorResponse(outcome.error, outcome.message));
+      }
+      if (!WriteResponse(fd, MakeAcceptedResponse(outcome.job_id))) {
+        return false;
+      }
+      // Stream the job's answers on this connection until the stream
+      // completes or the server stops (the job itself survives either way).
+      size_t cursor = 0;
+      for (;;) {
+        if (stopping_.load(std::memory_order_acquire)) return false;
+        Result<JobManager::StreamProgress> pull = manager_->WaitAnswers(
+            outcome.job_id, cursor, kStreamPollSeconds);
+        if (!pull.ok()) {
+          return WriteResponse(fd,
+                               MakeErrorResponse(WireError::kInternal,
+                                                 pull.status().message()));
+        }
+        for (const WireAnswer& answer : pull->answers) {
+          Response resp;
+          resp.kind = Response::Kind::kAnswer;
+          resp.job_id = outcome.job_id;
+          resp.answer = answer;
+          if (!WriteResponse(fd, resp)) return false;
+        }
+        cursor += pull->answers.size();
+        if (pull->complete) {
+          Response done;
+          done.kind = Response::Kind::kDone;
+          done.job_id = outcome.job_id;
+          done.state = pull->state;
+          done.failure_reason = pull->failure_reason;
+          done.answers = cursor;
+          return WriteResponse(fd, done);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool Server::WriteResponse(int fd, const Response& resp) {
+  const std::string frame = EncodeFrame(SerializeResponse(resp));
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+}  // namespace fastqre

@@ -1,0 +1,80 @@
+// TCP front end of the QRE service (DESIGN.md §15.4).
+//
+// A thin, dependency-free adapter from POSIX sockets to the JobManager:
+// one acceptor thread, one thread per connection, length-prefixed JSON
+// frames (protocol.{h,cc}) in both directions. All policy — admission,
+// budgets, job lifecycle — lives in the JobManager; this layer only moves
+// frames and maps verbs to calls.
+//
+// Connection model: a connection is a request pipeline. status / cancel /
+// list-dbs get one response frame each. submit gets an `accepted` frame and
+// then *blocks the connection* streaming `answer` frames as the job proves
+// them, ending with a `done` frame — so a client runs N concurrent jobs by
+// opening N connections (which is also what makes the admission gates
+// observable per connection). The job keeps running server-side if the
+// client disconnects mid-stream; cancel it from another connection if the
+// answers are no longer wanted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "server/job_manager.h"
+
+namespace fastqre {
+
+struct ServerConfig {
+  /// Port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() — the tests and the CI integration job rely on this).
+  uint16_t port = 0;
+  /// Listen backlog.
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  /// `manager` must outlive the server.
+  Server(JobManager* manager, ServerConfig config);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the acceptor thread. Fails (IOError) if the
+  /// port is taken.
+  Status Start();
+
+  /// The bound port (useful with ServerConfig::port == 0). 0 before Start().
+  uint16_t port() const { return port_; }
+
+  /// Closes the listener, shuts down live connections, joins all threads.
+  /// Does NOT shut down the JobManager — jobs outlive their connections by
+  /// design; the owner decides when to drain them.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Dispatches one parsed request, writing one or more response frames.
+  /// Returns false when the connection should close (write failure).
+  bool Dispatch(int fd, const Request& req);
+  bool WriteResponse(int fd, const Response& resp);
+
+  JobManager* const manager_;
+  const ServerConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  Mutex mu_;
+  std::vector<int> conn_fds_ GUARDED_BY(mu_);
+  std::vector<std::thread> conn_threads_ GUARDED_BY(mu_);
+  std::thread acceptor_;
+};
+
+}  // namespace fastqre

@@ -1,0 +1,194 @@
+// Unit tests for the admission-control primitives (DESIGN.md §15.3): the
+// deterministic TokenBucket, the BudgetPool slice carve-out, and the
+// AdmissionController's three typed gates (rate / load / memory).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rate_limiter.h"
+#include "common/resource_governor.h"
+#include "server/admission.h"
+
+namespace fastqre {
+namespace {
+
+// ---- TokenBucket -----------------------------------------------------------
+
+TEST(TokenBucketTest, BurstThenEmpty) {
+  TokenBucket bucket(/*rate_per_second=*/1.0, /*burst=*/3.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));  // burst spent, no time passed
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  TokenBucket bucket(2.0, 2.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  // 0.5s at 2/s refills one token.
+  EXPECT_TRUE(bucket.TryAcquire(0.5));
+  EXPECT_FALSE(bucket.TryAcquire(0.5));
+  // Refill caps at burst, not beyond.
+  EXPECT_NEAR(bucket.Available(100.0), 2.0, 1e-9);
+}
+
+TEST(TokenBucketTest, ZeroRateDisables) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+}
+
+TEST(TokenBucketTest, ClockStepBackwardsIsClamped) {
+  TokenBucket bucket(1.0, 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(10.0));
+  // A step backwards must not mint tokens or go negative.
+  EXPECT_FALSE(bucket.TryAcquire(5.0));
+  EXPECT_TRUE(bucket.TryAcquire(11.0));
+}
+
+// ---- BudgetPool ------------------------------------------------------------
+
+TEST(BudgetPoolTest, ReserveReleasePeak) {
+  BudgetPool pool(1000);
+  EXPECT_TRUE(pool.TryReserve(600));
+  EXPECT_TRUE(pool.TryReserve(400));
+  EXPECT_FALSE(pool.TryReserve(1));  // full
+  EXPECT_EQ(pool.reserved_bytes(), 1000u);
+  pool.Release(400);
+  EXPECT_EQ(pool.reserved_bytes(), 600u);
+  EXPECT_TRUE(pool.TryReserve(400));
+  EXPECT_EQ(pool.peak_reserved_bytes(), 1000u);
+}
+
+TEST(BudgetPoolTest, ZeroTotalIsUnlimited) {
+  BudgetPool pool(0);
+  EXPECT_TRUE(pool.TryReserve(1ull << 60));
+  EXPECT_TRUE(pool.TryReserve(1ull << 60));
+  EXPECT_EQ(pool.reserved_bytes(), 2ull << 60);
+}
+
+TEST(BudgetPoolTest, ConcurrentReserveNeverOvershoots) {
+  constexpr uint64_t kTotal = 64;
+  constexpr uint64_t kSlice = 1;
+  BudgetPool pool(kTotal);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> admitted{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (pool.TryReserve(kSlice)) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          pool.Release(kSlice);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.reserved_bytes(), 0u);
+  EXPECT_LE(pool.peak_reserved_bytes(), kTotal);
+  EXPECT_GT(admitted.load(std::memory_order_relaxed), 0u);
+}
+
+// ---- AdmissionController ---------------------------------------------------
+
+AdmissionConfig SmallConfig() {
+  AdmissionConfig config;
+  config.global_budget_bytes = 100;
+  config.default_slice_bytes = 10;
+  config.max_slice_bytes = 50;
+  config.tenant_rate_per_second = 0;  // rate gate off unless a test opts in
+  config.max_in_flight_jobs = 4;
+  return config;
+}
+
+TEST(AdmissionControllerTest, DefaultAndClampedSlices) {
+  AdmissionController ctl(SmallConfig());
+  auto a = ctl.Admit("t", 0, 0.0);
+  EXPECT_EQ(a.error, WireError::kNone);
+  EXPECT_EQ(a.slice_bytes, 10u);  // default
+  auto b = ctl.Admit("t", 75, 0.0);
+  EXPECT_EQ(b.error, WireError::kNone);
+  EXPECT_EQ(b.slice_bytes, 50u);  // clamped to max_slice_bytes
+  EXPECT_EQ(ctl.pool().reserved_bytes(), 60u);
+  ctl.Release(a.slice_bytes);
+  ctl.Release(b.slice_bytes);
+  EXPECT_EQ(ctl.pool().reserved_bytes(), 0u);
+  EXPECT_EQ(ctl.in_flight_jobs(), 0);
+}
+
+TEST(AdmissionControllerTest, BudgetGateIsTyped) {
+  AdmissionController ctl(SmallConfig());
+  auto a = ctl.Admit("t", 50, 0.0);
+  auto b = ctl.Admit("t", 50, 0.0);
+  EXPECT_EQ(a.error, WireError::kNone);
+  EXPECT_EQ(b.error, WireError::kNone);
+  auto c = ctl.Admit("t", 10, 0.0);
+  EXPECT_EQ(c.error, WireError::kBudgetExhausted);
+  EXPECT_EQ(ctl.in_flight_jobs(), 2);  // rejection holds no seat
+  ctl.Release(a.slice_bytes);
+  auto d = ctl.Admit("t", 10, 0.0);
+  EXPECT_EQ(d.error, WireError::kNone);
+  ctl.Release(b.slice_bytes);
+  ctl.Release(d.slice_bytes);
+}
+
+TEST(AdmissionControllerTest, LoadGateIsTyped) {
+  AdmissionConfig config = SmallConfig();
+  config.max_in_flight_jobs = 2;
+  config.default_slice_bytes = 1;  // budget gate stays out of the way
+  AdmissionController ctl(config);
+  auto a = ctl.Admit("t", 0, 0.0);
+  auto b = ctl.Admit("t", 0, 0.0);
+  EXPECT_EQ(a.error, WireError::kNone);
+  EXPECT_EQ(b.error, WireError::kNone);
+  auto c = ctl.Admit("t", 0, 0.0);
+  EXPECT_EQ(c.error, WireError::kSaturated);
+  ctl.Release(a.slice_bytes);
+  EXPECT_EQ(ctl.Admit("t", 0, 0.0).error, WireError::kNone);
+  ctl.Release(b.slice_bytes);
+  ctl.Release(1);
+}
+
+TEST(AdmissionControllerTest, RateGateIsPerTenant) {
+  AdmissionConfig config = SmallConfig();
+  config.tenant_rate_per_second = 1.0;
+  config.tenant_burst = 2.0;
+  config.default_slice_bytes = 1;
+  config.max_in_flight_jobs = 100;
+  AdmissionController ctl(config);
+  // Tenant a burns its burst; tenant b is unaffected.
+  EXPECT_EQ(ctl.Admit("a", 0, 0.0).error, WireError::kNone);
+  EXPECT_EQ(ctl.Admit("a", 0, 0.0).error, WireError::kNone);
+  EXPECT_EQ(ctl.Admit("a", 0, 0.0).error, WireError::kRateLimited);
+  EXPECT_EQ(ctl.Admit("b", 0, 0.0).error, WireError::kNone);
+  // One second refills one token for tenant a.
+  EXPECT_EQ(ctl.Admit("a", 0, 1.0).error, WireError::kNone);
+  EXPECT_EQ(ctl.Admit("a", 0, 1.0).error, WireError::kRateLimited);
+}
+
+TEST(AdmissionControllerTest, ConcurrentAdmitNeverExceedsPool) {
+  AdmissionConfig config;
+  config.global_budget_bytes = 40;
+  config.default_slice_bytes = 10;
+  config.max_slice_bytes = 10;
+  config.max_in_flight_jobs = 1000;
+  AdmissionController ctl(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        auto a = ctl.Admit("t", 0, 0.0);
+        if (a.error == WireError::kNone) ctl.Release(a.slice_bytes);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ctl.pool().reserved_bytes(), 0u);
+  EXPECT_LE(ctl.pool().peak_reserved_bytes(), 40u);
+  EXPECT_EQ(ctl.in_flight_jobs(), 0);
+}
+
+}  // namespace
+}  // namespace fastqre

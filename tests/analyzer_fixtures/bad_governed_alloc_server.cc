@@ -1,0 +1,16 @@
+// Must-flag: governed-alloc, the server-side aliases. A JobTable and an
+// AnswerBuffer both grow with client traffic (jobs admitted, answers
+// streamed), so declarations without a `// gov:` classification are
+// findings exactly like an unmarked TupleSet.
+#include "fixture_stubs.h"
+
+struct JobRegistry {
+  JobTable jobs_;
+  int next_id_ = 1;
+};
+
+unsigned long BufferAnswers() {
+  AnswerBuffer answers;
+  JobTable jobs;
+  return answers.size() + jobs.size();
+}

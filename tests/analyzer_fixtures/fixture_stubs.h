@@ -77,6 +77,30 @@ class unordered_map {
   unsigned long size() const;
 };
 
+template <class K>
+struct less {
+  bool operator()(const K&, const K&) const;
+};
+
+template <class K, class V, class Cmp = less<K>, class A = allocator<K>>
+class map {
+ public:
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    const value_type& operator*() const;
+    iterator& operator++();
+    bool operator!=(const iterator&) const;
+  };
+  iterator begin() const;
+  iterator end() const;
+  V& operator[](const K&);
+  unsigned long count(const K&) const;
+  unsigned long size() const;
+};
+
 template <class C>
 class basic_string {
  public:
@@ -108,6 +132,17 @@ struct IdTupleHash {
 };
 using TupleSet = std::unordered_set<std::vector<ValueId>, IdTupleHash>;
 using ReachMap = std::unordered_map<ValueId, std::vector<ValueId>>;
+
+// Server-shaped aliases (see src/server/job_manager.h). The alias name is
+// the classification evidence — the analyzer flags any JobTable /
+// AnswerBuffer declaration missing a `// gov:` marker.
+struct WireAnswer {
+  int index;
+  bool found;
+};
+struct ServerJob {};
+using AnswerBuffer = std::vector<WireAnswer>;
+using JobTable = std::map<unsigned long, ServerJob*>;
 
 class Mutex {
  public:

@@ -1,0 +1,18 @@
+// Must-pass: governed-alloc for the server-side aliases. Every JobTable /
+// AnswerBuffer declaration carries a `// gov:` classification, and
+// references are exempt (they alias storage classified at its owner).
+#include "fixture_stubs.h"
+
+struct JobRegistry {
+  // gov: bounded - one entry per admitted job; admission caps in-flight
+  JobTable jobs_;
+  int next_id_ = 1;
+};
+
+unsigned long BufferAnswers(const AnswerBuffer& streamed) {
+  // gov: bounded - at most `limit` entries, validated at submit time
+  AnswerBuffer answers;
+  // gov: bounded - max_in_flight_jobs caps the table size
+  JobTable jobs;
+  return answers.size() + jobs.size() + streamed.size();
+}

@@ -1,0 +1,218 @@
+// Multi-engine governor sharing (DESIGN.md §11 + §15): N FastQre engines —
+// the service's per-job configuration — over ONE Database, concurrently.
+// Asserts charge/release balance on a shared governor, monotone ladder
+// escalation under contention, and the Attach/DetachGovernor last-attach-
+// wins protocol under racing engines. Built to run under TSan (the tsan CI
+// job lists this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/resource_governor.h"
+#include "common/rng.h"
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+
+namespace fastqre {
+namespace {
+
+TEST(GovernorSharingTest, ConcurrentChargeReleaseBalances) {
+  ResourceGovernor governor(/*budget_bytes=*/0);  // unlimited: pure ledger
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&governor, t] {
+      const uint64_t quantum = 64 + static_cast<uint64_t>(t) * 8;
+      for (int i = 0; i < kOps; ++i) {
+        governor.Charge(quantum, "index-build");
+        if (governor.TryCharge(quantum, "walk-cache-build")) {
+          governor.Release(quantum);
+        }
+        governor.Release(quantum);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(governor.tracked_bytes(), 0u);
+  EXPECT_GT(governor.peak_tracked_bytes(), 0u);
+  EXPECT_EQ(governor.degradation_level(), 0);  // unlimited never escalates
+}
+
+TEST(GovernorSharingTest, LadderEscalatesMonotonicallyUnderContention) {
+  ResourceGovernor governor(/*budget_bytes=*/1 << 16);
+  constexpr int kThreads = 8;
+  std::atomic<bool> regression{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int last_seen = 0;
+      for (int i = 0; i < 2000; ++i) {
+        governor.Charge(256, "mapping-frontier");  // required: escalates
+        const int level = governor.degradation_level();
+        // Each thread must observe a non-decreasing ladder (levels never
+        // step down), the fairness half of the escalation contract.
+        if (level < last_seen) regression.store(true, std::memory_order_relaxed);
+        last_seen = level;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(regression.load(std::memory_order_relaxed));
+  // 8 threads * 2000 * 256B = 4MB charged against 64KB: must exhaust.
+  EXPECT_TRUE(governor.memory_exhausted());
+  EXPECT_GT(governor.degradation_events(), 0u);
+}
+
+TEST(GovernorSharingTest, AttachDetachRacesAreSafe) {
+  const Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db] {
+      for (int i = 0; i < 500; ++i) {
+        auto governor = std::make_shared<ResourceGovernor>(0);
+        db.AttachGovernor(governor);
+        // Last-attach-wins: a racing attach may have displaced ours;
+        // compare-and-clear detach must only clear our own attachment.
+        db.DetachGovernor(governor.get());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // A fresh attach still works after the storm (no stuck attachment).
+  auto governor = std::make_shared<ResourceGovernor>(0);
+  db.AttachGovernor(governor);
+  db.DetachGovernor(governor.get());
+}
+
+TEST(GovernorSharingTest, NEnginesOneDatabaseStayDeterministic) {
+  // The service's exact sharing shape: each job builds its own engine (own
+  // governor, own slice) over the shared pre-attached Database. Engines
+  // racing through the lazy caches and the attach/detach protocol must not
+  // perturb each other's answers.
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  const std::vector<WorkloadQuery> workload =
+      StandardTpchWorkload(db).ValueOrDie();
+
+  // Serial references first.
+  std::vector<std::string> reference;
+  for (const auto& wq : workload) {
+    QreOptions opts;
+    opts.memory_budget_bytes = 64ull << 20;
+    FastQre engine(&db, opts);
+    reference.push_back(engine.Reverse(wq.rout).ValueOrDie().sql);
+  }
+
+  constexpr int kRounds = 3;
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (size_t q = 0; q < workload.size(); ++q) {
+    threads.emplace_back([&db, &workload, &reference, &mismatch, q] {
+      for (int r = 0; r < kRounds; ++r) {
+        QreOptions opts;
+        opts.memory_budget_bytes = 64ull << 20;
+        opts.validation_threads = 1 + static_cast<int>(q % 3);
+        FastQre engine(&db, opts);
+        const QreAnswer answer =
+            engine.Reverse(workload[q].rout).ValueOrDie();
+        if (answer.sql != reference[q]) {
+          mismatch.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(mismatch.load(std::memory_order_relaxed));
+}
+
+TEST(GovernorSharingTest, EnginesWithSlicedBudgetsExhaustIndependently) {
+  // Two engines on one Database: a starved slice must exhaust its own
+  // governor without affecting a comfortable sibling running concurrently —
+  // the isolation property the admission controller's carve-out relies on.
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  const std::vector<WorkloadQuery> workload =
+      StandardTpchWorkload(db).ValueOrDie();
+  const Table& rout = workload.back().rout;  // hardest ladder query
+
+  QreOptions starved;
+  starved.memory_budget_bytes = 1;  // unfundable
+  QreOptions comfortable;
+  comfortable.memory_budget_bytes = 256ull << 20;
+
+  QreAnswer starved_answer, comfortable_answer;
+  std::thread a([&] {
+    FastQre engine(&db, starved);
+    starved_answer = engine.Reverse(rout).ValueOrDie();
+  });
+  std::thread b([&] {
+    FastQre engine(&db, comfortable);
+    comfortable_answer = engine.Reverse(rout).ValueOrDie();
+  });
+  a.join();
+  b.join();
+
+  EXPECT_FALSE(starved_answer.found);
+  EXPECT_EQ(starved_answer.failure_reason, "memory budget exceeded");
+  EXPECT_TRUE(comfortable_answer.found) << comfortable_answer.failure_reason;
+}
+
+TEST(GovernorSharingTest, StarvedSiblingNeverDismissesAnotherEnginesCandidates) {
+  // Regression: candidate-local block-execution charges must go to the
+  // engine's OWN governor (ExecPolicy::governor), not the Database's
+  // last-attach-wins attachment. Before the fix, a concurrently
+  // constructed starved engine displaced the attachment, its exhausted
+  // ladder refused the normal engine's intermediate charges, and the
+  // normal engine silently dismissed valid candidates — deeper ranks of
+  // its answer stream changed. Byte-compare ReverseAll against a solo run
+  // while starved engines churn.
+  Database db = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+  const std::vector<WorkloadQuery> workload =
+      StandardTpchWorkload(db).ValueOrDie();
+  const Table& rout = workload[3].rout;  // deep enough to have rank-2+ answers
+
+  QreOptions opts;
+  opts.memory_budget_bytes = 64ull << 20;
+  std::vector<std::string> reference;
+  {
+    FastQre engine(&db, opts);
+    for (const auto& a : engine.ReverseAll(rout, 3).ValueOrDie()) {
+      reference.push_back(a.found ? a.sql : ("!" + a.failure_reason));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&db, &workload, &stop, t] {
+      Rng rng(static_cast<uint64_t>(t) + 7);
+      while (!stop.load(std::memory_order_acquire)) {
+        QreOptions starved;
+        starved.memory_budget_bytes = 1;  // ladder exhausted from charge one
+        FastQre engine(&db, starved);
+        (void)engine.ReverseAll(workload[rng.Uniform(4)].rout, 2);
+      }
+    });
+  }
+
+  bool identical = true;
+  for (int i = 0; i < 8 && identical; ++i) {
+    FastQre engine(&db, opts);
+    std::vector<std::string> got;
+    for (const auto& a : engine.ReverseAll(rout, 3).ValueOrDie()) {
+      got.push_back(a.found ? a.sql : ("!" + a.failure_reason));
+    }
+    identical = got == reference;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : churners) t.join();
+  EXPECT_TRUE(identical);
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -1,0 +1,268 @@
+// Tests for the JobManager (DESIGN.md §15.2): submit / stream / status /
+// cancel semantics, the typed admission rejections, slice accounting
+// against the global pool, the job-admit fault site and shutdown draining —
+// all in-process (the TCP layer has its own test).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "server/job_manager.h"
+#include "storage/csv.h"
+
+namespace fastqre {
+namespace {
+
+class JobManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+    workload_ = StandardTpchWorkload(db_).ValueOrDie();
+  }
+
+  JobManagerConfig SmallConfig() const {
+    JobManagerConfig config;
+    config.worker_threads = 2;
+    config.admission.global_budget_bytes = 1ull << 30;
+    config.admission.default_slice_bytes = 64ull << 20;
+    config.admission.max_in_flight_jobs = 16;
+    return config;
+  }
+
+  Request SubmitRequest(const std::string& workload_name, int limit = 1) const {
+    const WorkloadQuery* wq = nullptr;
+    for (const auto& q : workload_) {
+      if (q.name == workload_name) wq = &q;
+    }
+    EXPECT_NE(wq, nullptr) << workload_name;
+    Request req;
+    req.verb = Verb::kSubmit;
+    req.tenant = "test";
+    req.db = "tpch";
+    req.rout_csv = TableToCsv(wq->rout);
+    req.options.limit = limit;
+    return req;
+  }
+
+  /// Pulls the whole answer stream (blocking) and returns the final state.
+  JobState Drain(JobManager* manager, uint64_t job_id,
+                 std::vector<WireAnswer>* answers) {
+    size_t cursor = 0;
+    for (;;) {
+      auto pull = manager->WaitAnswers(job_id, cursor, 5.0).ValueOrDie();
+      for (const WireAnswer& a : pull.answers) answers->push_back(a);
+      cursor += pull.answers.size();
+      if (pull.complete) return pull.state;
+    }
+  }
+
+  Database db_;
+  std::vector<WorkloadQuery> workload_;
+};
+
+TEST_F(JobManagerTest, SubmitRunsToDoneAndMatchesDirectEngine) {
+  JobManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+
+  const Request req = SubmitRequest("L02", /*limit=*/2);
+  const auto outcome = manager.Submit(req);
+  ASSERT_EQ(outcome.error, WireError::kNone) << outcome.message;
+  ASSERT_GT(outcome.job_id, 0u);
+
+  std::vector<WireAnswer> streamed;
+  EXPECT_EQ(Drain(&manager, outcome.job_id, &streamed), JobState::kDone);
+
+  // The service must return exactly what a direct engine run returns.
+  QreOptions opts;
+  opts.memory_budget_bytes = manager.admission().config().default_slice_bytes;
+  FastQre direct(&db_, opts);
+  Table rout = LoadCsvString(req.rout_csv, "rout", db_.dictionary())
+                   .ValueOrDie();
+  std::vector<QreAnswer> batch = direct.ReverseAll(rout, 2).ValueOrDie();
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].index, static_cast<int>(i));
+    EXPECT_EQ(streamed[i].found, batch[i].found);
+    EXPECT_EQ(streamed[i].sql, batch[i].sql);
+    EXPECT_EQ(streamed[i].failure_reason, batch[i].failure_reason);
+  }
+
+  const WireJobStatus status =
+      manager.GetStatus(outcome.job_id).ValueOrDie();
+  EXPECT_EQ(status.state, JobState::kDone);
+  EXPECT_EQ(status.tenant, "test");
+  EXPECT_EQ(status.db, "tpch");
+  EXPECT_EQ(status.answers_streamed, streamed.size());
+  EXPECT_TRUE(status.found_any);
+  EXPECT_GT(status.slice_bytes, 0u);
+}
+
+TEST_F(JobManagerTest, SliceReturnsToPoolAfterCompletion) {
+  JobManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+  for (int i = 0; i < 3; ++i) {
+    const auto outcome = manager.Submit(SubmitRequest("L01"));
+    ASSERT_EQ(outcome.error, WireError::kNone) << outcome.message;
+    std::vector<WireAnswer> answers;
+    Drain(&manager, outcome.job_id, &answers);
+  }
+  EXPECT_EQ(manager.admission().pool().reserved_bytes(), 0u);
+  EXPECT_EQ(manager.admission().in_flight_jobs(), 0);
+  // Peak proves slices were actually reserved while jobs ran.
+  EXPECT_GE(manager.admission().pool().peak_reserved_bytes(),
+            manager.admission().config().default_slice_bytes);
+}
+
+TEST_F(JobManagerTest, TypedRejections) {
+  JobManagerConfig config = SmallConfig();
+  config.admission.global_budget_bytes = 1;  // nothing can be funded
+  JobManager manager(config);
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+
+  Request req = SubmitRequest("L01");
+  EXPECT_EQ(manager.Submit(req).error, WireError::kBudgetExhausted);
+
+  req.db = "nope";
+  EXPECT_EQ(manager.Submit(req).error, WireError::kNotFound);
+
+  req = SubmitRequest("L01");
+  req.rout_csv = "not,a,valid\ncsv";  // ragged row
+  EXPECT_EQ(manager.Submit(req).error, WireError::kInvalidArgument);
+}
+
+TEST_F(JobManagerTest, RateLimitRejectsWithTypedError) {
+  JobManagerConfig config = SmallConfig();
+  config.admission.tenant_rate_per_second = 0.001;  // effectively no refill
+  config.admission.tenant_burst = 1.0;
+  JobManager manager(config);
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+
+  const auto first = manager.Submit(SubmitRequest("L01"));
+  ASSERT_EQ(first.error, WireError::kNone);
+  const auto second = manager.Submit(SubmitRequest("L01"));
+  EXPECT_EQ(second.error, WireError::kRateLimited);
+  std::vector<WireAnswer> answers;
+  Drain(&manager, first.job_id, &answers);
+}
+
+TEST_F(JobManagerTest, CancelledJobKeepsProvedPrefix) {
+  // job-admit=cancel marks the job cancelled the moment it is admitted, so
+  // the worker observes the flag deterministically — the streamed prefix is
+  // empty and the terminal state is kCancelled with the honest reason.
+  JobManagerConfig config = SmallConfig();
+  config.fault_spec = "job-admit=cancel";
+  JobManager manager(config);
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+
+  const auto outcome = manager.Submit(SubmitRequest("L02"));
+  ASSERT_EQ(outcome.error, WireError::kNone) << outcome.message;
+  std::vector<WireAnswer> answers;
+  EXPECT_EQ(Drain(&manager, outcome.job_id, &answers),
+            JobState::kCancelled);
+  const WireJobStatus status =
+      manager.GetStatus(outcome.job_id).ValueOrDie();
+  EXPECT_EQ(status.failure_reason, "cancelled");
+  EXPECT_EQ(manager.admission().pool().reserved_bytes(), 0u);
+}
+
+TEST_F(JobManagerTest, ExplicitCancelOfRunningJob) {
+  JobManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+  // The hardest ladder query, enumerating far beyond its real answer count,
+  // so the job is still searching when the cancel lands.
+  const auto outcome = manager.Submit(SubmitRequest("L10", /*limit=*/50));
+  ASSERT_EQ(outcome.error, WireError::kNone) << outcome.message;
+  ASSERT_TRUE(manager.Cancel(outcome.job_id).ok());
+
+  std::vector<WireAnswer> answers;
+  const JobState state = Drain(&manager, outcome.job_id, &answers);
+  // The cancel may land before the job even starts (empty stream), mid-
+  // search (proved prefix + truncation tail), or after completion (kDone).
+  if (state == JobState::kCancelled) {
+    if (!answers.empty()) {
+      EXPECT_FALSE(answers.back().found);
+      EXPECT_EQ(answers.back().failure_reason, "cancelled");
+    }
+    EXPECT_EQ(manager.GetStatus(outcome.job_id).ValueOrDie().failure_reason,
+              "cancelled");
+  } else {
+    EXPECT_EQ(state, JobState::kDone);  // search beat the cancel: also fine
+  }
+  // Cancel is idempotent and NotFound is typed.
+  EXPECT_TRUE(manager.Cancel(outcome.job_id).ok());
+  EXPECT_FALSE(manager.Cancel(999999).ok());
+}
+
+TEST_F(JobManagerTest, JobAdmitAllocFailInjectsSaturation) {
+  JobManagerConfig config = SmallConfig();
+  config.fault_spec = "job-admit=alloc-fail@2";  // second submit fails
+  JobManager manager(config);
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+
+  const auto first = manager.Submit(SubmitRequest("L01"));
+  EXPECT_EQ(first.error, WireError::kNone);
+  const auto second = manager.Submit(SubmitRequest("L01"));
+  EXPECT_EQ(second.error, WireError::kSaturated);
+  EXPECT_NE(second.message.find("job-admit"), std::string::npos);
+  const auto third = manager.Submit(SubmitRequest("L01"));
+  EXPECT_EQ(third.error, WireError::kSaturated);  // @2 fires onward
+  std::vector<WireAnswer> answers;
+  Drain(&manager, first.job_id, &answers);
+  // Injected rejections held no admission state.
+  EXPECT_EQ(manager.admission().pool().reserved_bytes(), 0u);
+}
+
+TEST_F(JobManagerTest, ListDbsIsDeterministic) {
+  JobManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AttachDatabase("zeta", &db_).ok());
+  ASSERT_TRUE(manager.AttachDatabase("alpha", &db_).ok());
+  EXPECT_FALSE(manager.AttachDatabase("alpha", &db_).ok());  // duplicate
+  const std::vector<WireDbInfo> dbs = manager.ListDbs();
+  ASSERT_EQ(dbs.size(), 2u);
+  EXPECT_EQ(dbs[0].name, "alpha");  // sorted, not insertion order
+  EXPECT_EQ(dbs[1].name, "zeta");
+  EXPECT_EQ(dbs[0].tables, db_.num_tables());
+  EXPECT_GT(dbs[0].rows, 0u);
+}
+
+TEST_F(JobManagerTest, WaitAnswersTimeoutAndNotFound) {
+  JobManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+  EXPECT_FALSE(manager.WaitAnswers(42, 0, 0.01).ok());
+
+  const auto outcome = manager.Submit(SubmitRequest("L02"));
+  ASSERT_EQ(outcome.error, WireError::kNone);
+  // A cursor past the stream on a live job times out without blocking
+  // forever and reports complete == false until the job is terminal.
+  auto pull = manager.WaitAnswers(outcome.job_id, 100, 0.01).ValueOrDie();
+  EXPECT_TRUE(pull.answers.empty());
+  std::vector<WireAnswer> answers;
+  Drain(&manager, outcome.job_id, &answers);
+}
+
+TEST_F(JobManagerTest, ShutdownDrainsAndRejects) {
+  JobManager manager(SmallConfig());
+  ASSERT_TRUE(manager.AttachDatabase("tpch", &db_).ok());
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto outcome = manager.Submit(SubmitRequest("L10", /*limit=*/50));
+    ASSERT_EQ(outcome.error, WireError::kNone);
+    ids.push_back(outcome.job_id);
+  }
+  manager.Shutdown();
+  for (uint64_t id : ids) {
+    const WireJobStatus status = manager.GetStatus(id).ValueOrDie();
+    EXPECT_TRUE(status.state == JobState::kDone ||
+                status.state == JobState::kCancelled)
+        << JobStateToString(status.state);
+  }
+  EXPECT_EQ(manager.Submit(SubmitRequest("L01")).error,
+            WireError::kShuttingDown);
+  EXPECT_EQ(manager.admission().pool().reserved_bytes(), 0u);
+  EXPECT_EQ(manager.admission().in_flight_jobs(), 0);
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -1,0 +1,129 @@
+// Regression tests for the ReverseAll answer-callback hook: the streamed
+// sequence must be exactly the returned batch — same entries, same order,
+// byte-identical SQL — at every validation thread count, because answers
+// are published under the rank barrier (DESIGN.md §8). This is the
+// contract the service's live streaming is built on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/tpch.h"
+#include "datagen/workload.h"
+#include "qre/fastqre.h"
+
+namespace fastqre {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildTpch({.scale_factor = 0.001, .seed = 3}).ValueOrDie();
+    workload_ = StandardTpchWorkload(db_).ValueOrDie();
+  }
+
+  /// Runs ReverseAll twice — batch, then streamed — and asserts the stream
+  /// observed the batch exactly.
+  void ExpectStreamEqualsBatch(const Table& rout, QreOptions opts, int limit,
+                               const std::string& context) {
+    FastQre batch_engine(&db_, opts);
+    const std::vector<QreAnswer> batch =
+        batch_engine.ReverseAll(rout, limit).ValueOrDie();
+
+    std::vector<QreAnswer> streamed;
+    FastQre stream_engine(&db_, opts);
+    const std::vector<QreAnswer> returned =
+        stream_engine
+            .ReverseAll(rout, limit,
+                        [&streamed](const QreAnswer& a) {
+                          streamed.push_back(a);
+                        })
+            .ValueOrDie();
+
+    SCOPED_TRACE(context);
+    // The callback saw every entry of the returned vector, in order.
+    ASSERT_EQ(streamed.size(), returned.size());
+    for (size_t i = 0; i < returned.size(); ++i) {
+      EXPECT_EQ(streamed[i].found, returned[i].found);
+      EXPECT_EQ(streamed[i].sql, returned[i].sql);
+      EXPECT_EQ(streamed[i].failure_reason, returned[i].failure_reason);
+    }
+    // And the streamed run is byte-identical to the independent batch run.
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(streamed[i].found, batch[i].found);
+      EXPECT_EQ(streamed[i].sql, batch[i].sql);
+      EXPECT_EQ(streamed[i].failure_reason, batch[i].failure_reason);
+    }
+  }
+
+  Database db_;
+  std::vector<WorkloadQuery> workload_;
+};
+
+TEST_F(StreamingTest, StreamedEqualsBatchAcrossThreadCounts) {
+  for (const auto& wq : workload_) {
+    for (int threads : {1, 8}) {
+      QreOptions opts;
+      opts.validation_threads = threads;
+      ExpectStreamEqualsBatch(wq.rout, opts, /*limit=*/3,
+                              wq.name + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_F(StreamingTest, EmptyCallbackIsEquivalentToNone) {
+  // The 2-arg overload and a default-constructed callback take the same
+  // path; no crash, same answers.
+  const Table& rout = workload_.front().rout;
+  FastQre engine(&db_);
+  const auto with_null =
+      engine.ReverseAll(rout, 1, FastQre::AnswerCallback()).ValueOrDie();
+  const auto without = engine.ReverseAll(rout, 1).ValueOrDie();
+  ASSERT_EQ(with_null.size(), without.size());
+  EXPECT_EQ(with_null[0].sql, without[0].sql);
+}
+
+TEST_F(StreamingTest, CallbackSeesTruncationTailOnCancel) {
+  // Cancel after the first accepted answer (deterministic fault): the
+  // stream must deliver the proved answer and then the unfound tail whose
+  // failure_reason records the cancellation — exactly what a service
+  // client observes for a cancelled job.
+  QreOptions opts;
+  opts.fault_spec = "answer-found=cancel@1";
+  FastQre engine(&db_, opts);
+  std::vector<QreAnswer> streamed;
+  const std::vector<QreAnswer> returned =
+      engine
+          .ReverseAll(workload_.front().rout, 10,
+                      [&streamed](const QreAnswer& a) {
+                        streamed.push_back(a);
+                      })
+          .ValueOrDie();
+  ASSERT_EQ(streamed.size(), returned.size());
+  ASSERT_GE(streamed.size(), 2u);
+  EXPECT_TRUE(streamed.front().found);
+  EXPECT_FALSE(streamed.back().found);
+  EXPECT_EQ(streamed.back().failure_reason, "cancelled");
+}
+
+TEST_F(StreamingTest, StreamedStatsSnapshotsAreMonotone) {
+  // Each published answer carries the job-scoped stats at publish time:
+  // validated counts must be non-decreasing along the stream.
+  QreOptions opts;
+  opts.validation_threads = 8;
+  FastQre engine(&db_, opts);
+  std::vector<uint64_t> validated;
+  (void)engine
+      .ReverseAll(workload_.back().rout, 3,
+                  [&validated](const QreAnswer& a) {
+                    validated.push_back(a.stats.candidates_validated.value());
+                  })
+      .ValueOrDie();
+  for (size_t i = 1; i < validated.size(); ++i) {
+    EXPECT_GE(validated[i], validated[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace fastqre

@@ -268,7 +268,8 @@ class Collector : public RecursiveASTVisitor<Collector> {
     for (int i = 0; i < 32 && ty != nullptr; ++i) {
       if (const auto* td = llvm::dyn_cast<TypedefType>(ty)) {
         llvm::StringRef n = td->getDecl()->getName();
-        if (n == "TupleSet" || n == "ReachMap") {
+        if (n == "TupleSet" || n == "ReachMap" || n == "JobTable" ||
+            n == "AnswerBuffer") {
           *which = n.str();
           return true;
         }

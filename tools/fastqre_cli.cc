@@ -74,7 +74,14 @@ int Usage() {
       "                  [--cancel-after S] [--stats] [--stats-json]\n"
       "                  [--verify] [--trace]\n"
       "  fastqre run --db DIR --sql QUERY [--limit N]\n"
-      "  fastqre tune --db DIR\n");
+      "  fastqre tune --db DIR\n"
+      "\n"
+      "reverse exit codes:\n"
+      "  0  a generating query was found (run completed)\n"
+      "  1  search space exhausted without an answer\n"
+      "  2  usage error\n"
+      "  3  stopped early (deadline / cancel / memory budget); any answers\n"
+      "     proved before the stop were still printed\n");
   return 2;
 }
 
@@ -342,6 +349,20 @@ int CmdReverse(const Flags& flags) {
     }
     if (flags.Has("trace")) {
       std::printf("%s", a.trace.ToString().c_str());
+    }
+  }
+  // Partial-result contract: a run that STOPPED (deadline / cancel /
+  // memory) exits 3 whether or not answers were proved first, so scripts
+  // can tell a truncated enumeration from a completed one (0 = found,
+  // 1 = search space exhausted without an answer). The stopped run's
+  // proved answers were still printed above, and with --stats-json every
+  // entry — including the truncation tail with its failure_reason — was
+  // emitted as valid JSON.
+  if (!answers->empty() && !answers->back().found) {
+    const std::string& reason = answers->back().failure_reason;
+    if (reason == "time budget exceeded" || reason == "cancelled" ||
+        reason == "memory budget exceeded") {
+      rc = 3;
     }
   }
   return rc;

@@ -1,0 +1,296 @@
+// fastqre_client — command-line client for fastqre_serverd.
+//
+//   fastqre_client --port P submit --db NAME --rout FILE.csv [--tenant T]
+//                  [--superset] [--all K] [--budget S] [--threads N]
+//                  [--alpha A] [--slice-mb MB] [--json]
+//       Submit a job and stream its answers until done. Exit codes mirror
+//       `fastqre reverse`: 0 = found, 1 = exhausted without an answer,
+//       2 = usage, 3 = stopped early (deadline / cancel / memory; proved
+//       answers, if any, were still streamed), 4 = typed server rejection.
+//   fastqre_client --port P status --job ID [--json]
+//   fastqre_client --port P cancel --job ID [--json]
+//   fastqre_client --port P list-dbs [--json]
+//
+// --json prints each raw response payload as one JSON line instead of the
+// human rendering (what the CI integration job asserts on). The server is
+// always 127.0.0.1: the daemon binds loopback only.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "server/protocol.h"
+
+using namespace fastqre;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fastqre_client --port P submit --db NAME --rout FILE.csv\n"
+      "                 [--tenant T] [--superset] [--all K] [--budget S]\n"
+      "                 [--threads N] [--alpha A] [--slice-mb MB] [--json]\n"
+      "  fastqre_client --port P status --job ID [--json]\n"
+      "  fastqre_client --port P cancel --job ID [--json]\n"
+      "  fastqre_client --port P list-dbs [--json]\n");
+  return 2;
+}
+
+int FailErrno(const char* what) {
+  std::fprintf(stderr, "error: %s: %s\n", what, std::strerror(errno));
+  return 4;
+}
+
+int Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t rc =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+/// Blocks until one whole response frame arrives. Returns false on EOF or
+/// a framing error.
+bool ReadFrame(int fd, FrameReader* reader, std::string* payload) {
+  char buf[4096];
+  for (;;) {
+    Result<bool> next = reader->Next(payload);
+    if (!next.ok()) {
+      std::fprintf(stderr, "error: %s\n", next.status().ToString().c_str());
+      return false;
+    }
+    if (*next) return true;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    reader->Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+void PrintAnswer(const WireAnswer& a) {
+  if (a.found) {
+    std::printf("answer[%d]: %s\n", a.index, a.sql.c_str());
+  } else {
+    std::printf("answer[%d]: <none> (%s)\n", a.index,
+                a.failure_reason.c_str());
+  }
+}
+
+int RunRequest(uint16_t port, const Request& req, bool json) {
+  const int fd = Connect(port);
+  if (fd < 0) return FailErrno("connect");
+  if (!SendAll(fd, EncodeFrame(SerializeRequest(req)))) {
+    ::close(fd);
+    return FailErrno("send");
+  }
+
+  FrameReader reader;
+  std::string payload;
+  int rc = 4;
+  bool found_any = false;
+  while (ReadFrame(fd, &reader, &payload)) {
+    if (json) {
+      std::printf("%s\n", payload.c_str());
+      std::fflush(stdout);
+    }
+    Result<Response> parsed = ParseResponse(payload);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      rc = 4;
+      break;
+    }
+    const Response& resp = *parsed;
+    if (resp.kind == Response::Kind::kError) {
+      if (!json) {
+        std::fprintf(stderr, "error: %s: %s\n",
+                     WireErrorToString(resp.error), resp.message.c_str());
+      }
+      rc = 4;
+      break;
+    }
+    switch (resp.kind) {
+      case Response::Kind::kAccepted:
+        if (!json) std::printf("job %llu accepted\n",
+                               static_cast<unsigned long long>(resp.job_id));
+        continue;  // keep streaming
+      case Response::Kind::kAnswer:
+        if (resp.answer.found) found_any = true;
+        if (!json) PrintAnswer(resp.answer);
+        continue;  // keep streaming
+      case Response::Kind::kDone:
+        if (!json) {
+          std::printf("done: state=%s answers=%llu%s%s\n",
+                      JobStateToString(resp.state),
+                      static_cast<unsigned long long>(resp.answers),
+                      resp.failure_reason.empty() ? "" : " reason=",
+                      resp.failure_reason.c_str());
+        }
+        // Same contract as `fastqre reverse`: an early stop is exit 3
+        // whether or not answers were proved first.
+        rc = !resp.failure_reason.empty() ? 3 : (found_any ? 0 : 1);
+        break;
+      case Response::Kind::kStatus:
+        if (!json) {
+          const WireJobStatus& s = resp.status;
+          std::printf(
+              "job %llu: state=%s tenant=%s db=%s answers=%llu found=%s "
+              "slice=%llu peak=%llu run=%.3fs%s%s\n",
+              static_cast<unsigned long long>(s.job_id),
+              JobStateToString(s.state), s.tenant.c_str(), s.db.c_str(),
+              static_cast<unsigned long long>(s.answers_streamed),
+              s.found_any ? "yes" : "no",
+              static_cast<unsigned long long>(s.slice_bytes),
+              static_cast<unsigned long long>(s.peak_tracked_bytes),
+              s.run_seconds,
+              s.failure_reason.empty() ? "" : " reason=",
+              s.failure_reason.c_str());
+        }
+        rc = 0;
+        break;
+      case Response::Kind::kDbList:
+        if (!json) {
+          for (const WireDbInfo& db : resp.dbs) {
+            std::printf("%s: %llu tables, %llu rows\n", db.name.c_str(),
+                        static_cast<unsigned long long>(db.tables),
+                        static_cast<unsigned long long>(db.rows));
+          }
+        }
+        rc = 0;
+        break;
+      default:
+        rc = 4;
+        break;
+    }
+    break;  // single-response verbs (and done) end the exchange
+  }
+  ::close(fd);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  bool json = false;
+  std::string verb;
+  Request req;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    int64_t n = 0;
+    double d = 0;
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1 || n > 65535) {
+        return Usage();
+      }
+      port = static_cast<uint16_t>(n);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "submit" || arg == "status" || arg == "cancel" ||
+               arg == "list-dbs") {
+      verb = arg;
+    } else if (arg == "--db") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      req.db = v;
+    } else if (arg == "--rout") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::ifstream in(v, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n", v);
+        return 2;
+      }
+      std::ostringstream csv;
+      csv << in.rdbuf();
+      req.rout_csv = csv.str();
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      req.tenant = v;
+    } else if (arg == "--superset") {
+      req.options.superset = true;
+    } else if (arg == "--all") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return Usage();
+      req.options.limit = static_cast<int>(n);
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (v == nullptr || !ParseDouble(v, &d) || d < 0) return Usage();
+      req.options.time_budget_seconds = d;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return Usage();
+      req.options.validation_threads = static_cast<int>(n);
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (v == nullptr || !ParseDouble(v, &d)) return Usage();
+      req.options.alpha = d;
+    } else if (arg == "--slice-mb") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return Usage();
+      req.options.memory_budget_bytes = static_cast<uint64_t>(n) << 20;
+    } else if (arg == "--job") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return Usage();
+      req.job_id = static_cast<uint64_t>(n);
+    } else {
+      std::fprintf(stderr, "error: unknown flag \"%s\"\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (port == 0 || verb.empty()) return Usage();
+  if (verb == "submit") {
+    req.verb = Verb::kSubmit;
+    if (req.db.empty() || req.rout_csv.empty()) return Usage();
+  } else if (verb == "status") {
+    req.verb = Verb::kStatus;
+    if (req.job_id == 0) return Usage();
+  } else if (verb == "cancel") {
+    req.verb = Verb::kCancel;
+    if (req.job_id == 0) return Usage();
+  } else {
+    req.verb = Verb::kListDbs;
+  }
+  return RunRequest(port, req, json);
+}

@@ -1,0 +1,167 @@
+// fastqre_serverd — the QRE service daemon (DESIGN.md §15).
+//
+//   fastqre_serverd --db NAME=DIR [--db NAME=DIR ...] [--port P]
+//                   [--workers N] [--max-jobs N] [--pool-mb MB]
+//                   [--default-slice-mb MB] [--max-slice-mb MB]
+//                   [--rate R] [--burst B] [--max-threads N]
+//                   [--default-budget S] [--max-budget S]
+//                   [--port-file PATH]
+//
+// Attaches each NAME=DIR database (a SaveDatabase directory), starts the
+// TCP server on --port (0 = ephemeral; the chosen port is printed to
+// stdout as "listening on PORT" and, with --port-file, written there too —
+// that is how the CI integration job finds it), then serves until SIGINT /
+// SIGTERM, draining jobs before exit.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "server/job_manager.h"
+#include "server/server.h"
+#include "storage/catalog_io.h"
+
+using namespace fastqre;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fastqre_serverd --db NAME=DIR [--db NAME=DIR ...] [--port P]\n"
+      "                  [--workers N] [--max-jobs N] [--pool-mb MB]\n"
+      "                  [--default-slice-mb MB] [--max-slice-mb MB]\n"
+      "                  [--rate R] [--burst B] [--max-threads N]\n"
+      "                  [--default-budget S] [--max-budget S]\n"
+      "                  [--port-file PATH]\n");
+  return 2;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+// Signal-flag handshake: the handler only sets a flag the main loop polls
+// (fprintf / condition variables are not async-signal-safe).
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> db_specs;
+  JobManagerConfig config;
+  ServerConfig server_config;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--db") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      const std::string spec = v;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "error: --db expects NAME=DIR, got \"%s\"\n",
+                     spec.c_str());
+        return 2;
+      }
+      db_specs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--port") {
+      const char* v = next();
+      int64_t port = 0;
+      if (v == nullptr || !ParseInt64(v, &port) || port < 0 || port > 65535) {
+        return Usage();
+      }
+      server_config.port = static_cast<uint16_t>(port);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      port_file = v;
+    } else {
+      int64_t n = 0;
+      double d = 0;
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      if (arg == "--workers" && ParseInt64(v, &n) && n > 0) {
+        config.worker_threads = static_cast<int>(n);
+      } else if (arg == "--max-jobs" && ParseInt64(v, &n) && n > 0) {
+        config.admission.max_in_flight_jobs = static_cast<int>(n);
+      } else if (arg == "--pool-mb" && ParseInt64(v, &n) && n >= 0) {
+        config.admission.global_budget_bytes =
+            static_cast<uint64_t>(n) << 20;
+      } else if (arg == "--default-slice-mb" && ParseInt64(v, &n) && n > 0) {
+        config.admission.default_slice_bytes =
+            static_cast<uint64_t>(n) << 20;
+      } else if (arg == "--max-slice-mb" && ParseInt64(v, &n) && n > 0) {
+        config.admission.max_slice_bytes = static_cast<uint64_t>(n) << 20;
+      } else if (arg == "--rate" && ParseDouble(v, &d) && d >= 0) {
+        config.admission.tenant_rate_per_second = d;
+      } else if (arg == "--burst" && ParseDouble(v, &d) && d >= 1) {
+        config.admission.tenant_burst = d;
+      } else if (arg == "--max-threads" && ParseInt64(v, &n) && n > 0) {
+        config.max_validation_threads = static_cast<int>(n);
+      } else if (arg == "--default-budget" && ParseDouble(v, &d) && d >= 0) {
+        config.default_time_budget_seconds = d;
+      } else if (arg == "--max-budget" && ParseDouble(v, &d) && d >= 0) {
+        config.max_time_budget_seconds = d;
+      } else {
+        std::fprintf(stderr, "error: bad flag/value \"%s\"\n", arg.c_str());
+        return 2;
+      }
+    }
+  }
+  if (db_specs.empty()) return Usage();
+
+  // Load every database first: the manager holds raw pointers, so the
+  // owning vector must outlive it (declared before, destroyed after).
+  std::vector<Database> databases;
+  databases.reserve(db_specs.size());
+  for (const auto& [name, dir] : db_specs) {
+    Result<Database> db = LoadDatabase(dir);
+    if (!db.ok()) return Fail(db.status());
+    databases.push_back(std::move(*db));
+    std::fprintf(stderr, "attached \"%s\" from %s (%zu tables)\n",
+                 name.c_str(), dir.c_str(), databases.back().num_tables());
+  }
+
+  JobManager manager(config);
+  for (size_t i = 0; i < db_specs.size(); ++i) {
+    const Status st = manager.AttachDatabase(db_specs[i].first, &databases[i]);
+    if (!st.ok()) return Fail(st);
+  }
+
+  Server server(&manager, server_config);
+  if (const Status st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("listening on %u\n", server.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::IOError("cannot write port file " + port_file));
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    timespec ts{0, 100 * 1000 * 1000};  // 100ms poll of the stop flag
+    nanosleep(&ts, nullptr);
+  }
+
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();        // no new connections / frames
+  manager.Shutdown();   // cancel + drain jobs
+  return 0;
+}
