@@ -14,7 +14,23 @@
 // Reported: per-flavour completion counts, p50/p99 submit-to-terminal
 // latency, end-to-end throughput, and typed-rejection (retry) counts from
 // the closed loop. Overrides: FASTQRE_BENCH_SCALE, FASTQRE_BENCH_JOBS.
+//
+// E17 — wire-level misbehaving-client mix: the same JobManager is then
+// fronted by a real TCP Server and a well-behaved tenant fleet measures
+// its goodput twice — once alone, once sharing the daemon with droppers
+// (vanish right after `accepted`), slow-readers (drain the stream one byte
+// per millisecond) and retriers (drop mid-stream, resubmit under the same
+// idempotency key, resume via `attach`). Pass requires well-behaved
+// goodput to degrade < 10% and every retrier stream to reassemble with no
+// answer lost or duplicated across reconnects (EXPERIMENTS.md E17).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -31,6 +47,7 @@
 #include "datagen/workload.h"
 #include "qre/fastqre.h"
 #include "server/job_manager.h"
+#include "server/server.h"
 #include "storage/csv.h"
 
 using namespace fastqre;
@@ -70,6 +87,158 @@ double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
   return sorted[idx];
+}
+
+// ---- E17: minimal blocking wire client -----------------------------------
+// Just enough socket plumbing to speak the framed protocol from a bench
+// thread; deliberately naive (blocking recv, no deadlines) because the
+// *server* is the thing under test.
+class WireClient {
+ public:
+  ~WireClient() { Close(); }
+
+  bool Connect(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    reader_ = FrameReader();
+    return true;
+  }
+
+  bool Send(const Request& req) {
+    const std::string frame = EncodeFrame(SerializeRequest(req));
+    size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocking read of the next response frame. False on EOF, a socket
+  /// error, or a malformed frame.
+  bool Read(Response* resp) { return ReadChunked(resp, 64 << 10, 0); }
+
+  /// The slow-reader's drain: one byte per recv with a sleep in between,
+  /// exercising the server's write-buffering rather than its fast path.
+  bool ReadSlow(Response* resp) { return ReadChunked(resp, 1, 1); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool ReadChunked(Response* resp, size_t chunk, int sleep_ms) {
+    std::string payload;
+    for (;;) {
+      auto next = reader_.Next(&payload);
+      if (!next.ok()) return false;
+      if (*next) break;
+      char buf[64 << 10];
+      const ssize_t n =
+          ::recv(fd_, buf, std::min(chunk, sizeof(buf)), 0);
+      if (n <= 0) return false;
+      reader_.Feed(buf, static_cast<size_t>(n));
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+    }
+    auto parsed = ParseResponse(payload);
+    if (!parsed.ok()) return false;
+    *resp = std::move(*parsed);
+    return true;
+  }
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+Request MakeWireSubmit(const std::string& tenant, const std::string& rout_csv,
+                       int limit) {
+  Request req;
+  req.verb = Verb::kSubmit;
+  req.db = "tpch";
+  req.tenant = tenant;
+  req.rout_csv = rout_csv;
+  req.options.limit = limit;
+  return req;
+}
+
+/// One well-behaved wire job: submit on an (already connected) client,
+/// consume the sequence-numbered stream to `done`, and audit it against the
+/// batch reference. Returns false on a transport failure (caller
+/// reconnects); typed retryable rejections are absorbed here.
+bool RunWireJob(WireClient* client, const Request& req,
+                const std::vector<ReferenceAnswer>& ref, uint64_t* retries,
+                ClientStats* my) {
+  for (;;) {
+    if (!client->Send(req)) return false;
+    Response resp;
+    if (!client->Read(&resp)) return false;
+    if (resp.kind == Response::Kind::kError) {
+      if (!IsRetryableWireError(resp.error)) {
+        my->Violate("unexpected wire rejection: " +
+                    std::string(WireErrorToString(resp.error)));
+        return true;  // connection is fine; the request is what failed
+      }
+      ++*retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (resp.kind != Response::Kind::kAccepted) {
+      my->Violate("submit answered with unexpected frame kind");
+      return true;
+    }
+    std::vector<WireAnswer> streamed;
+    for (;;) {
+      if (!client->Read(&resp)) return false;
+      if (resp.kind == Response::Kind::kAnswer) {
+        if (resp.seq != streamed.size()) {
+          my->Violate("wire stream gap or duplicate at seq " +
+                      std::to_string(resp.seq));
+          return true;
+        }
+        streamed.push_back(resp.answer);
+        continue;
+      }
+      if (resp.kind != Response::Kind::kDone) {
+        my->Violate("stream interrupted by unexpected frame kind");
+        return true;
+      }
+      if (resp.answers != streamed.size()) {
+        my->Violate("done.answers disagrees with streamed count");
+        return true;
+      }
+      break;
+    }
+    bool identical = streamed.size() == ref.size();
+    for (size_t k = 0; identical && k < ref.size(); ++k) {
+      identical = streamed[k].found == ref[k].found &&
+                  streamed[k].sql == ref[k].sql &&
+                  streamed[k].failure_reason == ref[k].failure_reason;
+    }
+    if (!identical) {
+      my->Violate("wire stream differs from batch reference");
+    }
+    ++my->done;
+    return true;
+  }
 }
 
 }  // namespace
@@ -377,11 +546,295 @@ int main() {
     std::printf("FAIL: %s\n", v.c_str());
   }
 
+  // ===== E17: wire-level misbehaving-client mix ==========================
+  // Front the same JobManager with a real TCP server and measure the
+  // well-behaved fleet's goodput with and without hostile neighbours.
+  // Half the worker count: the degradation claim is about *interference*
+  // under realistic headroom, not about contending for a saturated worker
+  // pool (E16 above already measures the saturated regime).
+  const int kWireThreads = 4;
+  const int kWireJobsPerThread = 100;
+  const int kRetrierLimit = 3;
+  const size_t pre_wire_violations = violations.size();
+  // Warm every reference the wire phases read (the map is read-only once
+  // the fleet starts).
+  for (size_t qi = 0; qi < kEasyQueries; ++qi) {
+    (void)reference_for(qi, 1, config.admission.default_slice_bytes);
+    (void)reference_for(qi, 2, config.admission.default_slice_bytes);
+  }
+  (void)reference_for(0, kRetrierLimit, config.admission.default_slice_bytes);
+
+  Server server(&manager, ServerConfig{});
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("FAIL: server start: %s\n", started.message().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+
+  // One goodput phase: a fleet of per-tenant client threads pushes
+  // kWireJobsPerThread easy jobs each over real sockets, auditing every
+  // stream. Returns jobs/s; merges violations into the shared list.
+  // Each phase gets fresh tenant identities so both start with full rate
+  // buckets — the per-tenant pacing is the isolation mechanism under
+  // test, not a warm-up artifact to inherit across phases.
+  auto run_phase = [&](const char* tenant_prefix,
+                       uint64_t* phase_retries) -> double {
+    std::vector<ClientStats> wire_stats(kWireThreads);
+    std::vector<uint64_t> wire_retries(
+        static_cast<size_t>(kWireThreads), 0);
+    Timer phase_wall;
+    std::vector<std::thread> fleet;
+    for (int c = 0; c < kWireThreads; ++c) {
+      fleet.emplace_back([&, c] {
+        WireClient client;
+        const std::string tenant = tenant_prefix + std::to_string(c);
+        for (int i = 0; i < kWireJobsPerThread; ++i) {
+          const size_t qi = static_cast<size_t>(i) % kEasyQueries;
+          const Request req = MakeWireSubmit(tenant, rout_csv[qi], 1);
+          const auto& ref =
+              reference_for(qi, 1, config.admission.default_slice_bytes);
+          int reconnects = 0;
+          for (;;) {
+            if (!client.connected() && !client.Connect(port)) {
+              wire_stats[static_cast<size_t>(c)].Violate("connect failed");
+              return;
+            }
+            if (RunWireJob(&client, req, ref,
+                           &wire_retries[static_cast<size_t>(c)],
+                           &wire_stats[static_cast<size_t>(c)])) {
+              break;
+            }
+            client.Close();  // transport hiccup: reconnect, resubmit
+            if (++reconnects > 8) {
+              wire_stats[static_cast<size_t>(c)].Violate(
+                  "wire job kept failing across reconnects");
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : fleet) t.join();
+    const double phase_s = phase_wall.ElapsedSeconds();
+    uint64_t phase_done = 0;
+    for (int c = 0; c < kWireThreads; ++c) {
+      const ClientStats& s = wire_stats[static_cast<size_t>(c)];
+      phase_done += s.done;
+      *phase_retries += wire_retries[static_cast<size_t>(c)];
+      for (const std::string& v : s.violations) {
+        if (violations.size() < 32) violations.push_back("wire: " + v);
+      }
+    }
+    if (phase_done !=
+        static_cast<uint64_t>(kWireThreads) * kWireJobsPerThread) {
+      violations.push_back("wire phase lost jobs (" +
+                           std::to_string(phase_done) + " completed)");
+    }
+    return static_cast<double>(phase_done) / phase_s;
+  };
+
+  // ---- Phase A: baseline, the daemon all to ourselves. ------------------
+  uint64_t base_retries = 0;
+  const double base_goodput = run_phase("wire-alone-", &base_retries);
+
+  // ---- Phase B: same fleet, hostile neighbours. -------------------------
+  std::atomic<bool> stop_misbehaving{false};
+  std::atomic<uint64_t> dropped_conns{0};
+  std::atomic<uint64_t> slow_streams{0};
+  std::atomic<uint64_t> retrier_cycles{0};
+  std::atomic<uint64_t> retrier_answers{0};
+  Mutex misbehave_mu;
+  std::vector<std::string> misbehave_violations;
+  auto misbehave_violate = [&](std::string message) {
+    MutexLock lock(&misbehave_mu);
+    if (misbehave_violations.size() < 8) {
+      misbehave_violations.push_back(std::move(message));
+    }
+  };
+
+  std::vector<std::thread> misbehaving;
+  // Droppers: submit, take the accepted frame, vanish. The orphaned job
+  // still runs; the server must reclaim the streaming thread every time.
+  for (int d = 0; d < 2; ++d) {
+    misbehaving.emplace_back([&, d] {
+      while (!stop_misbehaving.load(std::memory_order_relaxed)) {
+        WireClient c;
+        if (!c.Connect(port)) break;
+        const size_t qi = static_cast<size_t>(d) % kEasyQueries;
+        if (c.Send(MakeWireSubmit("mallory-drop", rout_csv[qi], 1))) {
+          Response r;
+          if (c.Read(&r) && r.kind == Response::Kind::kAccepted) {
+            dropped_conns.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        c.Close();
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+  // Slow-readers: drain a full stream one byte per millisecond, keeping a
+  // connection thread pinned without ever tripping a deadline.
+  for (int s = 0; s < 2; ++s) {
+    misbehaving.emplace_back([&, s] {
+      while (!stop_misbehaving.load(std::memory_order_relaxed)) {
+        WireClient c;
+        if (!c.Connect(port)) break;
+        const size_t qi = static_cast<size_t>(s) % kEasyQueries;
+        if (c.Send(MakeWireSubmit("mallory-slow", rout_csv[qi], 2))) {
+          Response r;
+          while (c.ReadSlow(&r)) {
+            if (r.kind == Response::Kind::kDone) {
+              slow_streams.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (r.kind == Response::Kind::kError) break;
+          }
+        }
+        c.Close();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+  // Retriers: keyed submit, drop mid-stream, resubmit under the same key
+  // (must map to the SAME job), resume via attach, and audit the
+  // reassembled stream — the "no answer lost or duplicated across
+  // reconnects" half of the E17 claim.
+  const std::vector<ReferenceAnswer>& retry_ref =
+      reference_for(0, kRetrierLimit, config.admission.default_slice_bytes);
+  for (int r = 0; r < 2; ++r) {
+    misbehaving.emplace_back([&, r] {
+      int cycle = 0;
+      while (!stop_misbehaving.load(std::memory_order_relaxed)) {
+        ++cycle;
+        Request req = MakeWireSubmit("mallory-retry", rout_csv[0],
+                                     kRetrierLimit);
+        req.idempotency_key = "bench-retry-" + std::to_string(r) + "-" +
+                              std::to_string(cycle);
+        WireClient c;
+        Response resp;
+        if (!c.Connect(port)) break;
+        if (!c.Send(req) || !c.Read(&resp)) continue;
+        if (resp.kind == Response::Kind::kError) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;  // rate-limited; next cycle uses a fresh key
+        }
+        if (resp.kind != Response::Kind::kAccepted) continue;
+        const uint64_t job = resp.job_id;
+        std::vector<WireAnswer> stream;
+        bool done_early = false;
+        while (stream.empty()) {  // ack a prefix, then vanish mid-stream
+          if (!c.Read(&resp)) break;
+          if (resp.kind == Response::Kind::kAnswer &&
+              resp.seq == stream.size()) {
+            stream.push_back(resp.answer);
+          } else if (resp.kind == Response::Kind::kDone) {
+            done_early = true;
+            break;
+          }
+        }
+        c.Close();  // the ambiguous failure
+        if (!done_early) {
+          // Retry the submit verbatim: same key, so it must be the same job.
+          WireClient c2;
+          if (c2.Connect(port) && c2.Send(req) && c2.Read(&resp) &&
+              resp.kind == Response::Kind::kAccepted && resp.job_id != job) {
+            misbehave_violate("idempotent resubmit admitted a second job");
+          }
+          c2.Close();
+          // Resume the stream where the acked prefix ends.
+          Request att;
+          att.verb = Verb::kAttach;
+          att.job_id = job;
+          att.cursor = stream.size();
+          WireClient c3;
+          if (!c3.Connect(port) || !c3.Send(att) || !c3.Read(&resp) ||
+              resp.kind != Response::Kind::kAccepted) {
+            continue;
+          }
+          bool complete = false;
+          while (c3.Read(&resp)) {
+            if (resp.kind == Response::Kind::kAnswer) {
+              if (resp.seq != stream.size()) {
+                misbehave_violate("attach replay gap or duplicate at seq " +
+                                  std::to_string(resp.seq));
+                break;
+              }
+              stream.push_back(resp.answer);
+              continue;
+            }
+            if (resp.kind == Response::Kind::kDone) {
+              complete = resp.answers == stream.size();
+              if (!complete) {
+                misbehave_violate("reassembled stream length disagrees "
+                                  "with done.answers");
+              }
+            }
+            break;
+          }
+          c3.Close();
+          if (!complete) continue;
+        }
+        bool identical = stream.size() == retry_ref.size();
+        for (size_t k = 0; identical && k < retry_ref.size(); ++k) {
+          identical = stream[k].found == retry_ref[k].found &&
+                      stream[k].sql == retry_ref[k].sql &&
+                      stream[k].failure_reason == retry_ref[k].failure_reason;
+        }
+        if (!identical) {
+          misbehave_violate("reassembled stream differs from batch run");
+        }
+        retrier_cycles.fetch_add(1, std::memory_order_relaxed);
+        retrier_answers.fetch_add(stream.size(), std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
+  uint64_t mixed_retries = 0;
+  const double mixed_goodput = run_phase("wire-mixed-", &mixed_retries);
+  stop_misbehaving.store(true, std::memory_order_relaxed);
+  for (auto& t : misbehaving) t.join();
+  server.Stop();
+  for (const std::string& v : misbehave_violations) {
+    if (violations.size() < 32) violations.push_back(v);
+  }
+
+  const double degradation =
+      base_goodput > 0 ? 1.0 - mixed_goodput / base_goodput : 1.0;
+  TablePrinter e17("E17: wire goodput under a misbehaving-client mix",
+                   {"metric", "value"});
+  e17.AddRow({"well-behaved goodput (alone)",
+              StringFormat("%.0f jobs/s", base_goodput)});
+  e17.AddRow({"well-behaved goodput (mixed)",
+              StringFormat("%.0f jobs/s", mixed_goodput)});
+  e17.AddRow({"goodput degradation",
+              StringFormat("%.1f%%", degradation * 100)});
+  e17.AddRow({"typed rejections retried (alone/mixed)",
+              FormatCount(base_retries) + " / " + FormatCount(mixed_retries)});
+  e17.AddRow({"dropper connections abandoned", FormatCount(dropped_conns)});
+  e17.AddRow({"slow-reader streams drained", FormatCount(slow_streams)});
+  e17.AddRow({"retrier reconnect cycles", FormatCount(retrier_cycles)});
+  e17.AddRow({"answers reassembled across reconnects",
+              FormatCount(retrier_answers)});
+  e17.Print();
+
+  if (degradation >= 0.10) {
+    ok = false;
+    std::printf("FAIL: goodput degraded %.1f%% (budget < 10%%)\n",
+                degradation * 100);
+  }
+  for (size_t v = pre_wire_violations; v < violations.size(); ++v) {
+    ok = false;
+    std::printf("FAIL: %s\n", violations[v].c_str());
+  }
+
   std::printf(
       "\nIntegrity: %s — every completed stream matched its batch run, "
-      "truncated\nstreams were exact prefixes, and the admission pool's "
-      "high-water mark\n(%llu MB) stayed within its %llu MB capacity with "
-      "everything released.\n",
+      "truncated\nstreams were exact prefixes, the admission pool's "
+      "high-water mark\n(%llu MB) stayed within its %llu MB capacity, and "
+      "well-behaved wire\ngoodput survived the misbehaving mix with every "
+      "reconnected stream\nreassembled gap-free.\n",
       ok ? "PASS" : "FAIL",
       static_cast<unsigned long long>(pool_peak >> 20),
       static_cast<unsigned long long>(pool_total >> 20));

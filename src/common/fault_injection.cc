@@ -13,6 +13,11 @@ namespace {
 // runs stays fast.
 constexpr std::chrono::microseconds kDelaySleep{500};
 
+// Sleep applied by a `stall` rule: sized like a network hiccup — long enough
+// to trip a tight io-deadline in the chaos integration runs, short enough
+// that a matrix of stalled runs stays fast.
+constexpr std::chrono::milliseconds kStallSleep{50};
+
 }  // namespace
 
 Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
@@ -30,13 +35,29 @@ Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
     std::string kind = part.substr(eq + 1);
     size_t at = kind.find('@');
     if (at != std::string::npos) {
+      std::string range = kind.substr(at + 1);
+      kind = kind.substr(0, at);
+      std::string first = range;
+      const size_t dots = range.find("..");
+      if (dots != std::string::npos) {
+        first = range.substr(0, dots);
+        int64_t m = 0;
+        if (!ParseInt64(range.substr(dots + 2), &m) || m < 1) {
+          return Status::InvalidArgument(
+              "fault rule '" + part + "' has a bad window end (want >= 1)");
+        }
+        rule.until = static_cast<uint64_t>(m);
+      }
       int64_t n = 0;
-      if (!ParseInt64(kind.substr(at + 1), &n) || n < 1) {
+      if (!ParseInt64(first, &n) || n < 1) {
         return Status::InvalidArgument("fault rule '" + part +
                                        "' has a bad hit count (want >= 1)");
       }
       rule.after = static_cast<uint64_t>(n);
-      kind = kind.substr(0, at);
+      if (rule.until != 0 && rule.until < rule.after) {
+        return Status::InvalidArgument(
+            "fault rule '" + part + "' has an empty window (m < n)");
+      }
     }
     if (kind == "alloc-fail") {
       rule.kind = Kind::kAllocFail;
@@ -44,11 +65,20 @@ Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
       rule.kind = Kind::kCancel;
     } else if (kind == "delay") {
       rule.kind = Kind::kDelay;
+    } else if (kind == "short-write") {
+      rule.kind = Kind::kShortWrite;
+    } else if (kind == "reset") {
+      rule.kind = Kind::kReset;
+    } else if (kind == "stall") {
+      rule.kind = Kind::kStall;
+    } else if (kind == "garbage") {
+      rule.kind = Kind::kGarbage;
     } else {
       return Status::InvalidArgument(
           "fault rule '" + part +
           "' has unknown kind '" + kind +
-          "' (want alloc-fail, cancel or delay)");
+          "' (want alloc-fail, cancel, delay, short-write, reset, stall or "
+          "garbage)");
     }
     injector->rules_.push_back(std::move(rule));
   }
@@ -61,6 +91,7 @@ FaultActions FaultInjector::Hit(const char* site) {
     if (rule.site != site) continue;
     uint64_t hit = ++rule.hits;
     if (hit < rule.after) continue;
+    if (rule.until != 0 && hit > rule.until) continue;
     switch (rule.kind) {
       case Kind::kAllocFail:
         actions.alloc_fail = true;
@@ -70,6 +101,18 @@ FaultActions FaultInjector::Hit(const char* site) {
         break;
       case Kind::kDelay:
         std::this_thread::sleep_for(kDelaySleep);
+        break;
+      case Kind::kShortWrite:
+        actions.short_write = true;
+        break;
+      case Kind::kReset:
+        actions.reset = true;
+        break;
+      case Kind::kStall:
+        std::this_thread::sleep_for(kStallSleep);
+        break;
+      case Kind::kGarbage:
+        actions.garbage = true;
         break;
     }
   }

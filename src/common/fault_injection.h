@@ -5,13 +5,17 @@
 // that is empty, the FASTQRE_FAULTS environment variable):
 //
 //     spec  := rule ("," rule)*
-//     rule  := <site> "=" <kind> [ "@" <n> ]
+//     rule  := <site> "=" <kind> [ "@" <n> [ ".." <m> ] ]
 //     kind  := "alloc-fail" | "cancel" | "delay"
+//            | "short-write" | "reset" | "stall" | "garbage"
 //
 // `site` names an injection point from the fault-site registry (DESIGN.md
 // §11 lists them; e.g. index-build, walk-cache-build, mapping-frontier,
 // parallel-worker). A rule fires from the <n>-th hit of its site onward
-// (default 1), counted per rule with a relaxed atomic, so a given spec
+// (default 1), or only on hits <n>..<m> inclusive when a window is given —
+// windows are what make destructive wire kinds recoverable: "reset@7..7"
+// kills exactly one frame write and lets the retried stream through.
+// Hits are counted per rule with a relaxed atomic, so a given spec
 // produces the same injection schedule on every run — faults are part of
 // the reproducible input, not a source of nondeterminism.
 //
@@ -23,6 +27,19 @@
 //               FastQre::Cancel() had been called at that moment.
 //   delay       The hitting thread sleeps briefly (handled inside Hit()),
 //               widening race windows for the sanitizer jobs.
+//
+// Wire kinds (DESIGN.md §15.5) — interpreted by the server's socket layer
+// at its wire-accept / wire-read / wire-write sites, so hostile-network
+// failure modes replay deterministically in ctest:
+//   short-write The frame is written in 1-byte send() calls, exercising
+//               peer-side reassembly and the server's partial-write loop.
+//   reset       The connection is aborted with a TCP RST (SO_LINGER 0) at
+//               the site, exactly as a dying peer or middlebox would.
+//   stall       The hitting thread sleeps ~50 ms (handled inside Hit()),
+//               simulating a network stall long enough to trip the
+//               io-deadline paths when they are configured tight.
+//   garbage     A few non-protocol bytes are injected into the stream at
+//               the site, exercising the framing-error paths.
 //
 // Disabled-path cost is a single null-pointer check at each site: engines
 // without a spec never construct an injector.
@@ -42,6 +59,10 @@ namespace fastqre {
 struct FaultActions {
   bool alloc_fail = false;
   bool cancel = false;
+  // Wire kinds (sleep-free flags; `stall` and `delay` sleep inside Hit()).
+  bool short_write = false;
+  bool reset = false;
+  bool garbage = false;
 };
 
 /// \brief Deterministic fault scheduler. Thread-safe: Hit() may be called
@@ -59,11 +80,20 @@ class FaultInjector {
   size_t num_rules() const { return rules_.size(); }
 
  private:
-  enum class Kind { kAllocFail, kCancel, kDelay };
+  enum class Kind {
+    kAllocFail,
+    kCancel,
+    kDelay,
+    kShortWrite,
+    kReset,
+    kStall,
+    kGarbage
+  };
   struct Rule {
     std::string site;
     Kind kind = Kind::kAllocFail;
     uint64_t after = 1;        // fire from this hit (1-based) onward
+    uint64_t until = 0;        // last firing hit (inclusive); 0 = open-ended
     RelaxedCounter hits = 0;   // per-rule hit tally (relaxed: monotone count)
   };
 

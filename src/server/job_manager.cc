@@ -13,6 +13,14 @@ bool IsTerminal(JobState s) {
          s == JobState::kFailed;
 }
 
+// Idempotency map key. Length-prefixing the tenant keeps distinct
+// (tenant, key) pairs distinct even when either string contains the other's
+// separator — both are caller-chosen bytes.
+std::string IdempotencyMapKey(const std::string& tenant,
+                              const std::string& key) {
+  return std::to_string(tenant.size()) + ':' + tenant + key;
+}
+
 }  // namespace
 
 JobManager::JobManager(JobManagerConfig config)
@@ -57,6 +65,11 @@ JobManager::SubmitOutcome JobManager::Submit(const Request& req) {
     return out;
   }
 
+  const bool keyed = !req.idempotency_key.empty();
+  const std::string idem_key =
+      keyed ? IdempotencyMapKey(req.tenant, req.idempotency_key)
+            : std::string();
+
   const Database* db = nullptr;
   {
     MutexLock lock(&mu_);
@@ -72,7 +85,30 @@ JobManager::SubmitOutcome JobManager::Submit(const Request& req) {
       return out;
     }
     db = it->second;
+    if (keyed) {
+      // Reserve the key (value 0) before the slow work below, so two racing
+      // retries with the same key cannot both reach admission. The reserver
+      // either publishes its job id or erases the reservation on rejection.
+      auto [slot, inserted] = idempotency_.emplace(idem_key, 0);
+      if (!inserted) {
+        if (slot->second != 0) {
+          out.job_id = slot->second;
+          out.existing = true;
+          return out;
+        }
+        out.error = WireError::kSaturated;
+        out.message = "a submit with this idempotency key is in flight";
+        return out;
+      }
+    }
   }
+  // From here every rejection path must drop the reservation, or retries of
+  // a rejected submit would wedge on the in-flight placeholder forever.
+  auto drop_reservation = [&] {
+    if (!keyed) return;
+    MutexLock lock(&mu_);
+    idempotency_.erase(idem_key);
+  };
 
   // Parse R_out synchronously (outside the manager lock: CSV size is client
   // controlled) so malformed input is a typed submit-time rejection, not a
@@ -80,6 +116,7 @@ JobManager::SubmitOutcome JobManager::Submit(const Request& req) {
   Result<Table> rout =
       LoadCsvString(req.rout_csv, "rout", db->dictionary());
   if (!rout.ok()) {
+    drop_reservation();
     out.error = WireError::kInvalidArgument;
     out.message = "rout_csv: " + rout.status().message();
     return out;
@@ -93,6 +130,7 @@ JobManager::SubmitOutcome JobManager::Submit(const Request& req) {
   if (faults_ != nullptr) {
     const FaultActions actions = faults_->Hit("job-admit");
     if (actions.alloc_fail) {
+      drop_reservation();
       out.error = WireError::kSaturated;
       out.message = "injected admission fault (job-admit=alloc-fail)";
       return out;
@@ -103,6 +141,7 @@ JobManager::SubmitOutcome JobManager::Submit(const Request& req) {
   const AdmissionController::Admission admit = admission_.Admit(
       req.tenant, req.options.memory_budget_bytes, clock_.ElapsedSeconds());
   if (admit.error != WireError::kNone) {
+    drop_reservation();
     out.error = admit.error;
     out.message = admit.message;
     return out;
@@ -125,12 +164,17 @@ JobManager::SubmitOutcome JobManager::Submit(const Request& req) {
       // Lost the race against Shutdown(): undo the admission and reject —
       // nobody would cancel a job inserted after Shutdown's snapshot.
       admission_.Release(job->slice_bytes);
+      if (keyed) idempotency_.erase(idem_key);
       out.error = WireError::kShuttingDown;
       out.message = "server is shutting down";
       return out;
     }
     job->id = next_job_id_++;
     jobs_.emplace(job->id, job);
+    // Publish the id in the same critical section that makes the job
+    // findable: a racing keyed retry sees either "in flight" or this job,
+    // never a gap.
+    if (keyed) idempotency_[idem_key] = job->id;
   }
 
   pool_->Submit([this, job] { RunJob(job); });
@@ -194,6 +238,42 @@ std::vector<WireDbInfo> JobManager::ListDbs() const {
     out.push_back(std::move(info));
   }
   return out;
+}
+
+JobManager::JobStateCounts JobManager::CountJobsByState() const {
+  // Snapshot the table first, then read states lock-by-lock: mu_ is never
+  // held across a job->mu acquisition (same discipline as Shutdown), and a
+  // job transitioning mid-scan is counted in whichever state it held when
+  // its turn came — a health probe wants a coarse load sketch, not a
+  // linearizable census.
+  std::vector<std::shared_ptr<Job>> snapshot;
+  {
+    MutexLock lock(&mu_);
+    snapshot.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) snapshot.push_back(job);
+  }
+  JobStateCounts counts;
+  for (const std::shared_ptr<Job>& job : snapshot) {
+    MutexLock lock(&job->mu);
+    switch (job->state) {
+      case JobState::kQueued:
+        ++counts.queued;
+        break;
+      case JobState::kRunning:
+        ++counts.running;
+        break;
+      case JobState::kDone:
+        ++counts.done;
+        break;
+      case JobState::kCancelled:
+        ++counts.cancelled;
+        break;
+      case JobState::kFailed:
+        ++counts.failed;
+        break;
+    }
+  }
+  return counts;
 }
 
 Result<JobManager::StreamProgress> JobManager::WaitAnswers(

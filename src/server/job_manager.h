@@ -88,11 +88,18 @@ class JobManager {
     WireError error = WireError::kNone;
     std::string message;
     uint64_t job_id = 0;
+    /// True when an idempotency key matched an already-admitted job:
+    /// `job_id` names that job, nothing new was admitted or enqueued.
+    bool existing = false;
   };
 
   /// Validates, admits and enqueues one job. Thread-safe; never blocks on
   /// job execution (admission rejections return immediately with their
-  /// typed error).
+  /// typed error). A request carrying an idempotency key dedupes against
+  /// earlier keyed submits from the same tenant (DESIGN.md §15.5): a key
+  /// that already produced a job returns it with `existing` set; a key
+  /// whose original submit is still mid-admission gets a retryable
+  /// kSaturated so the retry backs off instead of double-admitting.
   SubmitOutcome Submit(const Request& req);
 
   /// Snapshot of a job's externally visible state.
@@ -105,6 +112,19 @@ class JobManager {
   Result<WireJobStatus> Cancel(uint64_t job_id);
 
   std::vector<WireDbInfo> ListDbs() const;
+
+  /// Jobs bucketed by lifecycle state (the `ping` load snapshot).
+  struct JobStateCounts {
+    uint64_t queued = 0;
+    uint64_t running = 0;
+    uint64_t done = 0;
+    uint64_t cancelled = 0;
+    uint64_t failed = 0;
+  };
+
+  /// Counts every known job by its current state. O(jobs); cheap at the
+  /// health-probe cadence this exists for.
+  JobStateCounts CountJobsByState() const;
 
   /// One pull of a job's answer stream.
   struct StreamProgress {
@@ -181,6 +201,12 @@ class JobManager {
   // gov: bounded — one entry per admitted job; in-flight is capped by
   // admission and terminal records are O(limit) answers each.
   JobTable jobs_ GUARDED_BY(mu_);
+  /// (tenant, idempotency key) -> job id, 0 while the original submit is
+  /// still between key reservation and job insertion. Entries are kept for
+  /// the life of the manager, mirroring jobs_ retention, so a late retry
+  /// still finds its job.
+  // gov: bounded — at most one entry per keyed admitted job (see jobs_).
+  std::map<std::string, uint64_t> idempotency_ GUARDED_BY(mu_);
   uint64_t next_job_id_ GUARDED_BY(mu_) = 1;
   bool shutting_down_ GUARDED_BY(mu_) = false;
 

@@ -168,6 +168,10 @@ const char* VerbToString(Verb verb) {
       return "cancel";
     case Verb::kListDbs:
       return "list-dbs";
+    case Verb::kAttach:
+      return "attach";
+    case Verb::kPing:
+      return "ping";
   }
   return "list-dbs";
 }
@@ -188,6 +192,10 @@ const char* WireErrorToString(WireError code) {
       return "saturated";
     case WireError::kBudgetExhausted:
       return "budget-exhausted";
+    case WireError::kOverloaded:
+      return "overloaded";
+    case WireError::kTimeout:
+      return "timeout";
     case WireError::kShuttingDown:
       return "shutting-down";
     case WireError::kInternal:
@@ -204,8 +212,23 @@ WireError WireErrorFromString(const std::string& s) {
   if (s == "rate-limited") return WireError::kRateLimited;
   if (s == "saturated") return WireError::kSaturated;
   if (s == "budget-exhausted") return WireError::kBudgetExhausted;
+  if (s == "overloaded") return WireError::kOverloaded;
+  if (s == "timeout") return WireError::kTimeout;
   if (s == "shutting-down") return WireError::kShuttingDown;
   return WireError::kInternal;
+}
+
+bool IsRetryableWireError(WireError code) {
+  switch (code) {
+    case WireError::kRateLimited:
+    case WireError::kSaturated:
+    case WireError::kBudgetExhausted:
+    case WireError::kOverloaded:
+    case WireError::kTimeout:
+      return true;
+    default:
+      return false;
+  }
 }
 
 const char* JobStateToString(JobState s) {
@@ -244,12 +267,20 @@ std::string SerializeRequest(const Request& req) {
       v.Set("db", JsonValue::Str(req.db));
       v.Set("rout_csv", JsonValue::Str(req.rout_csv));
       v.Set("options", OptionsToJson(req.options));
+      if (!req.idempotency_key.empty()) {
+        v.Set("idempotency_key", JsonValue::Str(req.idempotency_key));
+      }
       break;
     case Verb::kStatus:
     case Verb::kCancel:
       v.Set("job", JsonValue::Int(static_cast<int64_t>(req.job_id)));
       break;
+    case Verb::kAttach:
+      v.Set("job", JsonValue::Int(static_cast<int64_t>(req.job_id)));
+      v.Set("cursor", JsonValue::Int(static_cast<int64_t>(req.cursor)));
+      break;
     case Verb::kListDbs:
+    case Verb::kPing:
       break;
   }
   return v.Serialize();
@@ -300,15 +331,27 @@ Result<Request> ParseRequest(const std::string& payload) {
       return Status::InvalidArgument(
           "options.time_budget_seconds must be >= 0");
     }
-  } else if (verb == "status" || verb == "cancel") {
-    req.verb = verb == "status" ? Verb::kStatus : Verb::kCancel;
+    req.idempotency_key = v.GetString("idempotency_key");
+  } else if (verb == "status" || verb == "cancel" || verb == "attach") {
+    req.verb = verb == "status"   ? Verb::kStatus
+               : verb == "cancel" ? Verb::kCancel
+                                  : Verb::kAttach;
     const JsonValue* job = v.Get("job");
     if (job == nullptr || !job->is_number()) {
       return Status::InvalidArgument(verb + " request is missing \"job\"");
     }
     req.job_id = static_cast<uint64_t>(job->AsInt());
+    if (req.verb == Verb::kAttach) {
+      const int64_t cursor = v.GetInt("cursor", 0);
+      if (cursor < 0) {
+        return Status::InvalidArgument("attach cursor must be >= 0");
+      }
+      req.cursor = static_cast<uint64_t>(cursor);
+    }
   } else if (verb == "list-dbs") {
     req.verb = Verb::kListDbs;
+  } else if (verb == "ping") {
+    req.verb = Verb::kPing;
   } else {
     return Status::InvalidArgument("unknown verb \"" + verb + "\"");
   }
@@ -341,6 +384,7 @@ std::string SerializeResponse(const Response& resp) {
     case Response::Kind::kAnswer:
       v.Set(kFieldKind, JsonValue::Str("answer"));
       v.Set("job", JsonValue::Int(static_cast<int64_t>(resp.job_id)));
+      v.Set("seq", JsonValue::Int(static_cast<int64_t>(resp.seq)));
       v.Set("answer", AnswerToJson(resp.answer));
       break;
     case Response::Kind::kDone:
@@ -365,6 +409,30 @@ std::string SerializeResponse(const Response& resp) {
         dbs.Append(std::move(d));
       }
       v.Set("dbs", std::move(dbs));
+      break;
+    }
+    case Response::Kind::kPong: {
+      v.Set(kFieldKind, JsonValue::Str("pong"));
+      JsonValue p = JsonValue::Object();
+      p.Set("uptime_seconds", JsonValue::Double(resp.pong.uptime_seconds));
+      p.Set("active_connections",
+            JsonValue::Int(static_cast<int64_t>(
+                resp.pong.active_connections)));
+      p.Set("shed_connections",
+            JsonValue::Int(static_cast<int64_t>(resp.pong.shed_connections)));
+      JsonValue jobs = JsonValue::Object();
+      jobs.Set("queued",
+               JsonValue::Int(static_cast<int64_t>(resp.pong.jobs_queued)));
+      jobs.Set("running",
+               JsonValue::Int(static_cast<int64_t>(resp.pong.jobs_running)));
+      jobs.Set("done",
+               JsonValue::Int(static_cast<int64_t>(resp.pong.jobs_done)));
+      jobs.Set("cancelled",
+               JsonValue::Int(static_cast<int64_t>(resp.pong.jobs_cancelled)));
+      jobs.Set("failed",
+               JsonValue::Int(static_cast<int64_t>(resp.pong.jobs_failed)));
+      p.Set("jobs", std::move(jobs));
+      v.Set("pong", std::move(p));
       break;
     }
     case Response::Kind::kError:
@@ -397,6 +465,7 @@ Result<Response> ParseResponse(const std::string& payload) {
   } else if (kind == "answer") {
     resp.kind = Response::Kind::kAnswer;
     resp.job_id = static_cast<uint64_t>(v.GetInt("job", 0));
+    resp.seq = static_cast<uint64_t>(v.GetInt("seq", 0));
     const JsonValue* answer = v.Get("answer");
     if (answer == nullptr || !answer->is_object()) {
       return Status::InvalidArgument("answer response is missing \"answer\"");
@@ -427,6 +496,28 @@ Result<Response> ParseResponse(const std::string& payload) {
         info.rows = static_cast<uint64_t>(d.GetInt("rows", 0));
         resp.dbs.push_back(std::move(info));
       }
+    }
+  } else if (kind == "pong") {
+    resp.kind = Response::Kind::kPong;
+    const JsonValue* p = v.Get("pong");
+    if (p == nullptr || !p->is_object()) {
+      return Status::InvalidArgument("pong response is missing \"pong\"");
+    }
+    resp.pong.uptime_seconds = p->GetDouble("uptime_seconds", 0);
+    resp.pong.active_connections =
+        static_cast<uint64_t>(p->GetInt("active_connections", 0));
+    resp.pong.shed_connections =
+        static_cast<uint64_t>(p->GetInt("shed_connections", 0));
+    if (const JsonValue* jobs = p->Get("jobs"); jobs && jobs->is_object()) {
+      resp.pong.jobs_queued =
+          static_cast<uint64_t>(jobs->GetInt("queued", 0));
+      resp.pong.jobs_running =
+          static_cast<uint64_t>(jobs->GetInt("running", 0));
+      resp.pong.jobs_done = static_cast<uint64_t>(jobs->GetInt("done", 0));
+      resp.pong.jobs_cancelled =
+          static_cast<uint64_t>(jobs->GetInt("cancelled", 0));
+      resp.pong.jobs_failed =
+          static_cast<uint64_t>(jobs->GetInt("failed", 0));
     }
   } else if (kind == "error") {
     resp.kind = Response::Kind::kError;

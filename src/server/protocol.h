@@ -12,12 +12,20 @@
 // not speak the requested version answers a typed "version-mismatch" error
 // instead of guessing. Verbs:
 //
-//   submit    {"v","verb","tenant","db","rout_csv","options":{...}}
+//   submit    {"v","verb","tenant","db","rout_csv","options":{...},
+//              "idempotency_key"?}
 //             -> accepted, then a stream of answer events (rank order, as
-//                proved), then done.
+//                proved, each carrying a monotonic per-job "seq"), then
+//                done. A repeated submit with the same idempotency key
+//                returns the existing job instead of admitting a second.
+//   attach    {"v","verb","job","cursor"?} -> accepted, then the job's
+//             answer stream re-played from `cursor` (live or finished) —
+//             the resume path after a dropped connection.
 //   status    {"v","verb","job"}       -> one status event.
 //   cancel    {"v","verb","job"}       -> one status event (post-cancel).
 //   list-dbs  {"v","verb"}             -> one db-list event.
+//   ping      {"v","verb"}             -> one pong event (uptime, active
+//             connections, jobs by state) for health checks.
 //
 // This header is the *pure* serialization layer: structs in, JSON frames
 // out, and back — no sockets, no threads — so protocol_test exercises every
@@ -66,7 +74,7 @@ class FrameReader {
 
 // ---- Requests --------------------------------------------------------------
 
-enum class Verb { kSubmit, kStatus, kCancel, kListDbs };
+enum class Verb { kSubmit, kStatus, kCancel, kListDbs, kAttach, kPing };
 
 const char* VerbToString(Verb verb);
 
@@ -90,7 +98,12 @@ struct Request {
   std::string db;       // submit: named pre-attached database
   std::string rout_csv; // submit: the R_out table, CSV with header
   WireOptions options;  // submit
-  uint64_t job_id = 0;  // status / cancel
+  /// Client-chosen idempotency key (submit, optional). A retry after an
+  /// ambiguous failure that carries the same (tenant, key) returns the
+  /// already-admitted job instead of creating a second one.
+  std::string idempotency_key;
+  uint64_t job_id = 0;  // status / cancel / attach
+  uint64_t cursor = 0;  // attach: first sequence number to (re-)stream
 };
 
 std::string SerializeRequest(const Request& req);
@@ -111,9 +124,16 @@ enum class WireError {
   kRateLimited,       // tenant token bucket empty
   kSaturated,         // job table / queue full (or injected admission fault)
   kBudgetExhausted,   // global memory pool cannot fund the slice
+  kOverloaded,        // connection cap reached (wire-layer load shedding)
+  kTimeout,           // read-idle deadline expired on this connection
   kShuttingDown,      // server is draining
   kInternal,
 };
+
+/// True for errors a client may retry (with backoff) without changing the
+/// request: transient load / pacing conditions. The retry matrix lives in
+/// DESIGN.md §15.5.
+bool IsRetryableWireError(WireError code);
 
 const char* WireErrorToString(WireError code);
 WireError WireErrorFromString(const std::string& s);
@@ -148,6 +168,20 @@ struct WireDbInfo {
   uint64_t rows = 0;
 };
 
+/// \brief The `pong` event: liveness plus a coarse load snapshot, enough
+/// for a load balancer's health probe without a privileged verb.
+struct WirePong {
+  double uptime_seconds = 0;
+  uint64_t active_connections = 0;
+  /// Connections refused at the wire-layer cap since start.
+  uint64_t shed_connections = 0;
+  uint64_t jobs_queued = 0;
+  uint64_t jobs_running = 0;
+  uint64_t jobs_done = 0;
+  uint64_t jobs_cancelled = 0;
+  uint64_t jobs_failed = 0;
+};
+
 struct WireJobStatus {
   uint64_t job_id = 0;
   JobState state = JobState::kQueued;
@@ -165,16 +199,29 @@ struct WireJobStatus {
 /// a tagged record rather than a class hierarchy, so serialization stays a
 /// single pure function.
 struct Response {
-  enum class Kind { kAccepted, kAnswer, kDone, kStatus, kDbList, kError };
+  enum class Kind {
+    kAccepted,
+    kAnswer,
+    kDone,
+    kStatus,
+    kDbList,
+    kError,
+    kPong
+  };
 
   Kind kind = Kind::kError;
   uint64_t job_id = 0;        // accepted / answer / done
   WireAnswer answer;          // answer
+  /// answer: monotonic per-job sequence number (the stream cursor). A
+  /// client resumes a broken stream with attach{job, cursor = last seq
+  /// acknowledged + 1} and asserts the replayed stream is gap-free.
+  uint64_t seq = 0;
   JobState state = JobState::kQueued;  // done / status
   std::string failure_reason; // done (empty = search ran to completion)
   uint64_t answers = 0;       // done: total entries streamed
   WireJobStatus status;       // status
   std::vector<WireDbInfo> dbs;  // db-list
+  WirePong pong;              // pong
   WireError error = WireError::kNone;  // error
   std::string message;        // error
 };

@@ -1,4 +1,4 @@
-// TCP front end of the QRE service (DESIGN.md §15.4).
+// TCP front end of the QRE service (DESIGN.md §15.4, §15.5).
 //
 // A thin, dependency-free adapter from POSIX sockets to the JobManager:
 // one acceptor thread, one thread per connection, length-prefixed JSON
@@ -7,23 +7,35 @@
 // frames and maps verbs to calls.
 //
 // Connection model: a connection is a request pipeline. status / cancel /
-// list-dbs get one response frame each. submit gets an `accepted` frame and
-// then *blocks the connection* streaming `answer` frames as the job proves
-// them, ending with a `done` frame — so a client runs N concurrent jobs by
-// opening N connections (which is also what makes the admission gates
-// observable per connection). The job keeps running server-side if the
-// client disconnects mid-stream; cancel it from another connection if the
-// answers are no longer wanted.
+// list-dbs / ping get one response frame each. submit gets an `accepted`
+// frame and then *blocks the connection* streaming sequence-numbered
+// `answer` frames as the job proves them, ending with a `done` frame — so a
+// client runs N concurrent jobs by opening N connections (which is also
+// what makes the admission gates observable per connection). The job keeps
+// running server-side if the client disconnects mid-stream; `attach`
+// resumes its stream from any cursor on a fresh connection, `cancel` stops
+// it if the answers are no longer wanted.
+//
+// The wire layer does not trust the network (DESIGN.md §15.5): reads are
+// poll-sliced against a read-idle deadline, writes against a write-stall
+// deadline (both observe Stop() within one ~100 ms slice), the acceptor
+// sheds connections over the cap with a typed kOverloaded refusal, a client
+// that vanished mid-stream is detected and its thread reclaimed, and every
+// connection self-reaps its registry entry when it ends. The fault sites
+// wire-accept / wire-read / wire-write replay hostile-network behavior
+// (resets, stalls, short writes, garbage bytes) deterministically in ctest.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_annotations.h"
+#include "common/timer.h"
 #include "server/job_manager.h"
 
 namespace fastqre {
@@ -34,6 +46,22 @@ struct ServerConfig {
   uint16_t port = 0;
   /// Listen backlog.
   int backlog = 64;
+  /// Wire-layer load shedding: connections accepted beyond this many live
+  /// ones get a best-effort typed kOverloaded frame and an immediate close.
+  /// 0 disables the cap.
+  int max_connections = 64;
+  /// Write-stall deadline: a frame write making no progress for this long
+  /// (peer not draining its receive window) aborts the connection. The job
+  /// itself survives; the client re-attaches. 0 disables the deadline.
+  int io_deadline_ms = 10'000;
+  /// Read-idle deadline: a connection with no inbound bytes and no active
+  /// stream for this long gets a typed kTimeout frame and is closed. 0
+  /// disables the deadline.
+  int idle_timeout_ms = 60'000;
+  /// Wire fault spec (grammar in common/fault_injection.h) for the sites
+  /// wire-accept, wire-read and wire-write. Empty = no injection; parsed in
+  /// Start(), which fails on a malformed spec.
+  std::string fault_spec;
 };
 
 class Server {
@@ -46,34 +74,77 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Binds, listens and starts the acceptor thread. Fails (IOError) if the
-  /// port is taken.
+  /// port is taken, (InvalidArgument) on a malformed fault_spec.
   Status Start();
 
   /// The bound port (useful with ServerConfig::port == 0). 0 before Start().
   uint16_t port() const { return port_; }
 
-  /// Closes the listener, shuts down live connections, joins all threads.
-  /// Does NOT shut down the JobManager — jobs outlive their connections by
-  /// design; the owner decides when to drain them.
+  /// Live connections right now (the ping snapshot; tests assert this
+  /// returns to baseline after chaos).
+  uint64_t active_connections() const;
+
+  /// Connections refused at the max_connections cap since Start().
+  uint64_t shed_connections() const {
+    return shed_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Closes the listener, shuts down live connections, joins all
+  /// connection threads (self-reaped tombstones included). Does NOT shut
+  /// down the JobManager — jobs outlive their connections by design; the
+  /// owner decides when to drain them.
   void Stop();
 
  private:
+  /// One live connection's registry record. The serving thread's handle
+  /// lives here until the connection self-reaps it into reaped_.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t conn_id, int fd);
   /// Dispatches one parsed request, writing one or more response frames.
-  /// Returns false when the connection should close (write failure).
+  /// Returns false when the connection should close (write failure, stream
+  /// abort, or an injected reset).
   bool Dispatch(int fd, const Request& req);
+  /// Streams a job's answers from `cursor` (each frame tagged with its
+  /// sequence number), ending with `done`. Shared by submit and attach.
+  bool StreamJob(int fd, uint64_t job_id, uint64_t cursor);
   bool WriteResponse(int fd, const Response& resp);
+  /// Deadline-bounded full write: MSG_DONTWAIT sends with POLLOUT waits in
+  /// ~100 ms slices, aborting when the peer stalls past io_deadline_ms or
+  /// the server stops. `short_write` degrades to 1-byte sends (chaos).
+  bool SendWithDeadline(int fd, const char* data, size_t n, bool short_write);
+  /// True when the peer has gone away (orderly EOF or a hard error) — the
+  /// dropper check that reclaims streaming threads.
+  static bool PeerClosed(int fd);
+  /// Marks `fd` for abortive close: the eventual ::close() emits a TCP RST
+  /// instead of a FIN (SO_LINGER with zero timeout).
+  static void ArmReset(int fd);
+  /// Joins tombstoned threads collected from self-reaped connections.
+  void JoinReaped();
 
   JobManager* const manager_;
   const ServerConfig config_;
+  std::unique_ptr<FaultInjector> faults_;  // null: no wire rules
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> shed_connections_{0};
+  Timer uptime_;  // reset in Start(); read by ping
 
-  Mutex mu_;
-  std::vector<int> conn_fds_ GUARDED_BY(mu_);
-  std::vector<std::thread> conn_threads_ GUARDED_BY(mu_);
+  mutable Mutex mu_;
+  /// Signalled whenever a connection self-reaps; Stop() waits on it for
+  /// conns_ to drain.
+  CondVar conns_cv_;
+  // gov: bounded — at most max_connections entries (the shed gate above).
+  std::map<uint64_t, Conn> conns_ GUARDED_BY(mu_);
+  /// Threads of ended connections, parked until AcceptLoop or Stop()
+  /// joins them (a thread cannot join itself).
+  std::vector<std::thread> reaped_ GUARDED_BY(mu_);
+  uint64_t next_conn_id_ GUARDED_BY(mu_) = 1;
   std::thread acceptor_;
 };
 

@@ -217,6 +217,50 @@ TEST(RequestTest, StatusCancelListRoundTrip) {
   EXPECT_EQ(back.verb, Verb::kListDbs);
 }
 
+TEST(RequestTest, SubmitIdempotencyKeyRoundTrip) {
+  Request req;
+  req.verb = Verb::kSubmit;
+  req.db = "tpch";
+  req.rout_csv = "a\n1\n";
+  req.idempotency_key = "retry-7f";
+  Request back = ParseRequest(SerializeRequest(req)).ValueOrDie();
+  EXPECT_EQ(back.idempotency_key, "retry-7f");
+
+  // Absent key parses as empty (unkeyed submit), not an error.
+  req.idempotency_key.clear();
+  back = ParseRequest(SerializeRequest(req)).ValueOrDie();
+  EXPECT_TRUE(back.idempotency_key.empty());
+}
+
+TEST(RequestTest, AttachRoundTrip) {
+  Request req;
+  req.verb = Verb::kAttach;
+  req.job_id = 31;
+  req.cursor = 4;
+  Request back = ParseRequest(SerializeRequest(req)).ValueOrDie();
+  EXPECT_EQ(back.verb, Verb::kAttach);
+  EXPECT_EQ(back.job_id, 31u);
+  EXPECT_EQ(back.cursor, 4u);
+
+  // Cursor defaults to 0 (stream from the beginning).
+  EXPECT_EQ(ParseRequest("{\"v\":1,\"verb\":\"attach\",\"job\":31}")
+                .ValueOrDie()
+                .cursor,
+            0u);
+  // attach needs a job id, and a negative cursor is a typed rejection.
+  EXPECT_FALSE(ParseRequest("{\"v\":1,\"verb\":\"attach\"}").ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"v\":1,\"verb\":\"attach\",\"job\":31,\"cursor\":-1}")
+          .ok());
+}
+
+TEST(RequestTest, PingRoundTrip) {
+  Request req;
+  req.verb = Verb::kPing;
+  Request back = ParseRequest(SerializeRequest(req)).ValueOrDie();
+  EXPECT_EQ(back.verb, Verb::kPing);
+}
+
 TEST(RequestTest, EmptyTenantDefaults) {
   Request req;
   req.verb = Verb::kSubmit;
@@ -278,9 +322,12 @@ TEST(ResponseTest, AnswerRoundTrip) {
   resp.answer.candidates_validated = 9;
   resp.answer.peak_tracked_bytes = 4096;
 
+  resp.seq = 2;
+
   Response back = ParseResponse(SerializeResponse(resp)).ValueOrDie();
   EXPECT_EQ(back.kind, Response::Kind::kAnswer);
   EXPECT_EQ(back.job_id, 5u);
+  EXPECT_EQ(back.seq, 2u);
   EXPECT_EQ(back.answer.index, 2);
   EXPECT_TRUE(back.answer.found);
   EXPECT_EQ(back.answer.sql, "SELECT a.x FROM t a");
@@ -353,8 +400,8 @@ TEST(ResponseTest, ErrorRoundTripAllCodes) {
   for (WireError code :
        {WireError::kInvalidArgument, WireError::kVersionMismatch,
         WireError::kNotFound, WireError::kRateLimited, WireError::kSaturated,
-        WireError::kBudgetExhausted, WireError::kShuttingDown,
-        WireError::kInternal}) {
+        WireError::kBudgetExhausted, WireError::kOverloaded,
+        WireError::kTimeout, WireError::kShuttingDown, WireError::kInternal}) {
     Response back =
         ParseResponse(SerializeResponse(MakeErrorResponse(code, "m")))
             .ValueOrDie();
@@ -362,6 +409,45 @@ TEST(ResponseTest, ErrorRoundTripAllCodes) {
     EXPECT_EQ(back.error, code) << WireErrorToString(code);
     EXPECT_EQ(back.message, "m");
   }
+}
+
+TEST(ResponseTest, RetryMatrix) {
+  // Transient load / pacing conditions are retryable; everything the client
+  // caused (or that a retry cannot fix) is not. Mirrors DESIGN.md §15.5.
+  EXPECT_TRUE(IsRetryableWireError(WireError::kRateLimited));
+  EXPECT_TRUE(IsRetryableWireError(WireError::kSaturated));
+  EXPECT_TRUE(IsRetryableWireError(WireError::kBudgetExhausted));
+  EXPECT_TRUE(IsRetryableWireError(WireError::kOverloaded));
+  EXPECT_TRUE(IsRetryableWireError(WireError::kTimeout));
+  EXPECT_FALSE(IsRetryableWireError(WireError::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableWireError(WireError::kVersionMismatch));
+  EXPECT_FALSE(IsRetryableWireError(WireError::kNotFound));
+  EXPECT_FALSE(IsRetryableWireError(WireError::kShuttingDown));
+  EXPECT_FALSE(IsRetryableWireError(WireError::kInternal));
+  EXPECT_FALSE(IsRetryableWireError(WireError::kNone));
+}
+
+TEST(ResponseTest, PongRoundTrip) {
+  Response resp;
+  resp.kind = Response::Kind::kPong;
+  resp.pong.uptime_seconds = 12.5;
+  resp.pong.active_connections = 3;
+  resp.pong.shed_connections = 7;
+  resp.pong.jobs_queued = 1;
+  resp.pong.jobs_running = 2;
+  resp.pong.jobs_done = 40;
+  resp.pong.jobs_cancelled = 4;
+  resp.pong.jobs_failed = 5;
+  Response back = ParseResponse(SerializeResponse(resp)).ValueOrDie();
+  EXPECT_EQ(back.kind, Response::Kind::kPong);
+  EXPECT_DOUBLE_EQ(back.pong.uptime_seconds, 12.5);
+  EXPECT_EQ(back.pong.active_connections, 3u);
+  EXPECT_EQ(back.pong.shed_connections, 7u);
+  EXPECT_EQ(back.pong.jobs_queued, 1u);
+  EXPECT_EQ(back.pong.jobs_running, 2u);
+  EXPECT_EQ(back.pong.jobs_done, 40u);
+  EXPECT_EQ(back.pong.jobs_cancelled, 4u);
+  EXPECT_EQ(back.pong.jobs_failed, 5u);
 }
 
 TEST(ResponseTest, JobStateStringsRoundTrip) {

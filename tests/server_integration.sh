@@ -4,14 +4,25 @@
 # clean SIGTERM shutdown. CI runs this under ASan+UBSan and TSan; it is
 # also runnable locally:
 #
-#   tests/server_integration.sh build
+#   tests/server_integration.sh build            # normal traffic
+#   tests/server_integration.sh build --chaos    # deterministic wire chaos
+#
+# --chaos starts the daemon with fixed-seed socket fault sites (a reset
+# mid-stream, read stalls, short writes — DESIGN.md §15.5) and drives a
+# retrying idempotent client through them: the run passes only if the
+# client reassembles a complete, gap-free, duplicate-free sequence-numbered
+# answer stream across the forced reconnect, the repeated submit never
+# creates a second job, and the daemon still shuts down cleanly (a wedged
+# connection thread would hang the SIGTERM wait and trip the ctest
+# timeout). CI runs this mode under ASan+UBSan and TSan.
 #
 # Everything asserts on the documented exit-code contract (0 found,
 # 1 exhausted, 3 stopped early, 4 typed rejection / transport error) and
 # on --json payload fields, never on human-rendered text.
 set -u
 
-BUILD=${1:?usage: server_integration.sh BUILD_DIR}
+BUILD=${1:?usage: server_integration.sh BUILD_DIR [--chaos]}
+MODE=${2:-}
 CLI=$BUILD/tools/fastqre
 SERVERD=$BUILD/tools/fastqre_serverd
 CLIENT=$BUILD/tools/fastqre_client
@@ -49,11 +60,22 @@ trap cleanup EXIT
 
 # ---- server --------------------------------------------------------------
 # Ephemeral port + port-file handshake; generous limits so only the cases
-# below that WANT a rejection see one.
+# below that WANT a rejection see one. Chaos mode adds the fixed-seed wire
+# fault schedule (sequential traffic keeps the per-rule hit counters on the
+# same frames every run: write 1 = pong, 2 = accepted, 3 = first answer —
+# reset fires there — and everything from write 4 on goes out in 1-byte
+# sends) plus tight-but-serveable deadlines.
+if [ "$MODE" = "--chaos" ]; then
+  FAULTS="wire-accept=stall@1..1,wire-read=stall@2..3"
+  FAULTS="$FAULTS,wire-write=reset@3..3,wire-write=short-write@4..999"
+  set -- --io-deadline-ms 5000 --idle-timeout-ms 5000 --fault-spec "$FAULTS"
+else
+  set --
+fi
 "$SERVERD" --db tpch="$WORK/db" --port 0 --port-file "$WORK/port" \
   --workers 4 --max-jobs 8 --pool-mb 512 \
   --default-slice-mb 64 --max-slice-mb 128 \
-  --rate 200 --burst 100 >"$WORK/serverd.log" 2>&1 &
+  --rate 200 --burst 100 "$@" >"$WORK/serverd.log" 2>&1 &
 SERVER_PID=$!
 
 i=0
@@ -68,6 +90,79 @@ if [ ! -s "$WORK/port" ]; then
 fi
 PORT=$(cat "$WORK/port")
 
+# ---- chaos mode ----------------------------------------------------------
+if [ "$MODE" = "--chaos" ]; then
+  # C1. ping through the (stalling) accept path still answers.
+  out=$("$CLIENT" --port "$PORT" ping --json)
+  rc=$?
+  [ "$rc" -eq 0 ] || fail "chaos ping exit $rc"
+  case "$out" in
+    *'"kind":"pong"'*) ;;
+    *) fail "chaos ping payload malformed: $out" ;;
+  esac
+
+  # C2. A keyed submit rides out the injected mid-stream reset: the client
+  # reconnects, resumes via attach, and must end with a complete, gap-free,
+  # duplicate-free sequence-numbered stream (a gap or divergence is exit 4).
+  "$CLIENT" --port "$PORT" submit --db tpch --rout "$WORK/easy.csv" \
+    --tenant chaos --idempotency-key chaos-k1 --all 2 \
+    --retries 8 --backoff-ms 50 --json \
+    >"$WORK/chaos1.json" 2>"$WORK/chaos1.err"
+  rc=$?
+  [ "$rc" -eq 0 ] || fail "chaos submit exit $rc (want 0)"
+  grep -q '"kind":"done"' "$WORK/chaos1.json" ||
+    fail "chaos stream has no done frame"
+  grep -q '"seq":0' "$WORK/chaos1.json" ||
+    fail "chaos stream answers carry no sequence numbers"
+  dups=$(sed -n 's/.*"seq":\([0-9]*\).*/\1/p' "$WORK/chaos1.json" |
+    sort | uniq -d)
+  [ -z "$dups" ] || fail "duplicate sequence numbers in chaos stream: $dups"
+  grep -q 'retrying in' "$WORK/chaos1.err" ||
+    fail "injected reset never forced a reconnect (chaos schedule drifted?)"
+  JOB1=$(sed -n 's/.*"kind":"accepted".*"job":\([0-9]*\).*/\1/p' \
+    "$WORK/chaos1.json" | head -n 1)
+  [ -n "$JOB1" ] || fail "chaos submit has no accepted frame"
+
+  # C3. Repeating the submit under the same idempotency key returns the
+  # SAME job (byte-identical replayed stream), never a second admission.
+  "$CLIENT" --port "$PORT" submit --db tpch --rout "$WORK/easy.csv" \
+    --tenant chaos --idempotency-key chaos-k1 --all 2 \
+    --retries 8 --backoff-ms 50 --json >"$WORK/chaos2.json" 2>&1
+  rc=$?
+  [ "$rc" -eq 0 ] || fail "chaos resubmit exit $rc (want 0)"
+  JOB2=$(sed -n 's/.*"kind":"accepted".*"job":\([0-9]*\).*/\1/p' \
+    "$WORK/chaos2.json" | head -n 1)
+  [ "$JOB1" = "$JOB2" ] ||
+    fail "idempotency key admitted a second job ($JOB1 vs $JOB2)"
+
+  # C4. The pong load snapshot agrees: exactly one job exists, done, none
+  # failed — and nothing is still running (no wedged stream threads).
+  out=$("$CLIENT" --port "$PORT" ping --json)
+  rc=$?
+  [ "$rc" -eq 0 ] || fail "post-chaos ping exit $rc"
+  case "$out" in
+    *'"queued":0,"running":0,"done":1,"cancelled":0,"failed":0'*) ;;
+    *) fail "post-chaos pong job counts wrong: $out" ;;
+  esac
+
+  # C5. Clean SIGTERM shutdown with the chaos schedule spent: Stop() joins
+  # every connection thread or hangs here (ctest timeout catches it).
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID"
+  rc=$?
+  SERVER_PID=
+  [ "$rc" -eq 0 ] || fail "chaos serverd SIGTERM exit $rc (want 0)"
+  grep -q 'shutting down' "$WORK/serverd.log" ||
+    fail "chaos serverd log missing shutdown marker"
+
+  if [ "$FAILURES" -ne 0 ]; then
+    echo "$FAILURES failure(s)" >&2
+    exit 1
+  fi
+  echo "server integration (chaos): PASS"
+  exit 0
+fi
+
 # ---- 1. list-dbs shows the attached database -----------------------------
 out=$("$CLIENT" --port "$PORT" list-dbs --json)
 rc=$?
@@ -75,6 +170,15 @@ rc=$?
 case "$out" in
   *'"tpch"'*) ;;
   *) fail "list-dbs payload missing tpch: $out" ;;
+esac
+
+# ---- 1b. ping answers with the load snapshot -----------------------------
+out=$("$CLIENT" --port "$PORT" ping --json)
+rc=$?
+[ "$rc" -eq 0 ] || fail "ping exit $rc"
+case "$out" in
+  *'"kind":"pong"'*) ;;
+  *) fail "ping payload malformed: $out" ;;
 esac
 
 # ---- 2. plain submit finds an answer (exit 0, SELECT streamed) -----------

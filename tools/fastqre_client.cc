@@ -2,14 +2,32 @@
 //
 //   fastqre_client --port P submit --db NAME --rout FILE.csv [--tenant T]
 //                  [--superset] [--all K] [--budget S] [--threads N]
-//                  [--alpha A] [--slice-mb MB] [--json]
+//                  [--alpha A] [--slice-mb MB] [--idempotency-key K]
+//                  [--json]
 //       Submit a job and stream its answers until done. Exit codes mirror
 //       `fastqre reverse`: 0 = found, 1 = exhausted without an answer,
 //       2 = usage, 3 = stopped early (deadline / cancel / memory; proved
-//       answers, if any, were still streamed), 4 = typed server rejection.
+//       answers, if any, were still streamed), 4 = typed server rejection
+//       or an unrecoverable transport / stream-integrity failure.
+//   fastqre_client --port P attach --job ID [--cursor N] [--json]
+//       Re-stream a live-or-finished job from sequence N (default 0); same
+//       exit codes as submit.
 //   fastqre_client --port P status --job ID [--json]
 //   fastqre_client --port P cancel --job ID [--json]
 //   fastqre_client --port P list-dbs [--json]
+//   fastqre_client --port P ping [--json]
+//
+// Every mode accepts [--retries N] [--backoff-ms MS] (defaults 0 / 100):
+// on a lost connection or a typed retryable error the client sleeps an
+// exponentially growing backoff and reconnects. A streaming client that
+// already knows its job id resumes with `attach` from the first sequence
+// number it has not acknowledged — resubmitting only when the submit
+// itself never got through, under the same idempotency key so the server
+// never admits a duplicate job. The resumed stream is verified gap-free:
+// an out-of-order sequence or a replayed frame whose bytes differ from the
+// original is a hard integrity failure (exit 4), and replayed duplicates
+// are suppressed from the output (so --json consumers see each answer
+// exactly once, however many reconnects it took).
 //
 // --json prints each raw response payload as one JSON line instead of the
 // human rendering (what the CI integration job asserts on). The server is
@@ -22,9 +40,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "server/protocol.h"
@@ -39,16 +59,27 @@ int Usage() {
       "usage:\n"
       "  fastqre_client --port P submit --db NAME --rout FILE.csv\n"
       "                 [--tenant T] [--superset] [--all K] [--budget S]\n"
-      "                 [--threads N] [--alpha A] [--slice-mb MB] [--json]\n"
+      "                 [--threads N] [--alpha A] [--slice-mb MB]\n"
+      "                 [--idempotency-key K] [--json]\n"
+      "  fastqre_client --port P attach --job ID [--cursor N] [--json]\n"
       "  fastqre_client --port P status --job ID [--json]\n"
       "  fastqre_client --port P cancel --job ID [--json]\n"
-      "  fastqre_client --port P list-dbs [--json]\n");
+      "  fastqre_client --port P list-dbs [--json]\n"
+      "  fastqre_client --port P ping [--json]\n"
+      "  any mode:      [--retries N] [--backoff-ms MS]\n");
   return 2;
 }
 
 int FailErrno(const char* what) {
   std::fprintf(stderr, "error: %s: %s\n", what, std::strerror(errno));
   return 4;
+}
+
+void SleepMs(int ms) {
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000L;
+  nanosleep(&ts, nullptr);
 }
 
 int Connect(uint16_t port) {
@@ -81,7 +112,8 @@ bool SendAll(int fd, const std::string& bytes) {
 }
 
 /// Blocks until one whole response frame arrives. Returns false on EOF or
-/// a framing error.
+/// a framing error (garbage on the wire) — both are transport failures the
+/// retry loop may recover from.
 bool ReadFrame(int fd, FrameReader* reader, std::string* payload) {
   char buf[4096];
   for (;;) {
@@ -110,49 +142,125 @@ void PrintAnswer(const WireAnswer& a) {
   }
 }
 
-int RunRequest(uint16_t port, const Request& req, bool json) {
+/// Progress of a resumable answer stream across connection attempts.
+struct StreamState {
+  uint64_t job_id = 0;    // learned from the first accepted frame
+  bool announced = false; // accepted already printed once
+  bool found_any = false;
+  /// Raw payload bytes per acknowledged sequence number. A replayed frame
+  /// (idempotent resubmit, or attach below our cursor) must match its
+  /// original byte-for-byte — the stream is append-only and deterministic.
+  std::vector<std::string> acked;
+
+  uint64_t next_seq() const { return acked.size(); }
+};
+
+/// One connection attempt. Returns the final exit code; sets *retry when
+/// the failure is recoverable (lost transport or a typed retryable error)
+/// and the caller still has retries budgeted.
+int RunAttempt(uint16_t port, const Request& req, bool json,
+               StreamState* stream, bool* retry) {
   const int fd = Connect(port);
-  if (fd < 0) return FailErrno("connect");
+  if (fd < 0) {
+    *retry = true;
+    return FailErrno("connect");
+  }
   if (!SendAll(fd, EncodeFrame(SerializeRequest(req)))) {
     ::close(fd);
+    *retry = true;
     return FailErrno("send");
   }
 
   FrameReader reader;
   std::string payload;
   int rc = 4;
-  bool found_any = false;
+  bool saw_terminal = false;
   while (ReadFrame(fd, &reader, &payload)) {
-    if (json) {
-      std::printf("%s\n", payload.c_str());
-      std::fflush(stdout);
-    }
     Result<Response> parsed = ParseResponse(payload);
     if (!parsed.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    parsed.status().ToString().c_str());
-      rc = 4;
       break;
     }
     const Response& resp = *parsed;
+
     if (resp.kind == Response::Kind::kError) {
-      if (!json) {
-        std::fprintf(stderr, "error: %s: %s\n",
-                     WireErrorToString(resp.error), resp.message.c_str());
-      }
-      rc = 4;
+      if (json) std::printf("%s\n", payload.c_str());
+      std::fprintf(stderr, "error: %s: %s\n", WireErrorToString(resp.error),
+                   resp.message.c_str());
+      if (IsRetryableWireError(resp.error)) *retry = true;
+      saw_terminal = !*retry;
       break;
     }
+
+    if (resp.kind == Response::Kind::kAccepted && stream != nullptr) {
+      stream->job_id = resp.job_id;
+      if (!stream->announced) {
+        stream->announced = true;
+        if (json) {
+          std::printf("%s\n", payload.c_str());
+          std::fflush(stdout);
+        } else {
+          std::printf("job %llu accepted\n",
+                      static_cast<unsigned long long>(resp.job_id));
+        }
+      }
+      continue;  // keep streaming
+    }
+
+    if (resp.kind == Response::Kind::kAnswer && stream != nullptr) {
+      if (resp.seq < stream->next_seq()) {
+        // Replay overlap (attach below our cursor, or an idempotent
+        // resubmit re-streaming from 0): verify, suppress, move on. An
+        // empty slot is a pre-acknowledged frame from an earlier process
+        // (explicit --cursor) — nothing to compare against.
+        if (!stream->acked[resp.seq].empty() &&
+            payload != stream->acked[resp.seq]) {
+          std::fprintf(stderr,
+                       "error: stream diverged at seq %llu: replayed frame "
+                       "differs from the acknowledged one\n",
+                       static_cast<unsigned long long>(resp.seq));
+          ::close(fd);
+          return 4;
+        }
+        continue;
+      }
+      if (resp.seq > stream->next_seq()) {
+        std::fprintf(stderr,
+                     "error: gap in answer stream: expected seq %llu, got "
+                     "%llu\n",
+                     static_cast<unsigned long long>(stream->next_seq()),
+                     static_cast<unsigned long long>(resp.seq));
+        ::close(fd);
+        return 4;
+      }
+      stream->acked.push_back(payload);
+      if (resp.answer.found) stream->found_any = true;
+      if (json) {
+        std::printf("%s\n", payload.c_str());
+        std::fflush(stdout);
+      } else {
+        PrintAnswer(resp.answer);
+      }
+      continue;  // keep streaming
+    }
+
+    // Single-frame payloads (and `done`) print as-is in json mode.
+    if (json) {
+      std::printf("%s\n", payload.c_str());
+      std::fflush(stdout);
+    }
     switch (resp.kind) {
-      case Response::Kind::kAccepted:
-        if (!json) std::printf("job %llu accepted\n",
-                               static_cast<unsigned long long>(resp.job_id));
-        continue;  // keep streaming
-      case Response::Kind::kAnswer:
-        if (resp.answer.found) found_any = true;
-        if (!json) PrintAnswer(resp.answer);
-        continue;  // keep streaming
-      case Response::Kind::kDone:
+      case Response::Kind::kDone: {
+        if (stream != nullptr && resp.answers != stream->next_seq()) {
+          std::fprintf(
+              stderr,
+              "error: done claims %llu answers but %llu were streamed\n",
+              static_cast<unsigned long long>(resp.answers),
+              static_cast<unsigned long long>(stream->next_seq()));
+          ::close(fd);
+          return 4;
+        }
         if (!json) {
           std::printf("done: state=%s answers=%llu%s%s\n",
                       JobStateToString(resp.state),
@@ -162,8 +270,11 @@ int RunRequest(uint16_t port, const Request& req, bool json) {
         }
         // Same contract as `fastqre reverse`: an early stop is exit 3
         // whether or not answers were proved first.
-        rc = !resp.failure_reason.empty() ? 3 : (found_any ? 0 : 1);
+        const bool found = stream != nullptr && stream->found_any;
+        rc = !resp.failure_reason.empty() ? 3 : (found ? 0 : 1);
+        saw_terminal = true;
         break;
+      }
       case Response::Kind::kStatus:
         if (!json) {
           const WireJobStatus& s = resp.status;
@@ -181,6 +292,7 @@ int RunRequest(uint16_t port, const Request& req, bool json) {
               s.failure_reason.c_str());
         }
         rc = 0;
+        saw_terminal = true;
         break;
       case Response::Kind::kDbList:
         if (!json) {
@@ -191,15 +303,84 @@ int RunRequest(uint16_t port, const Request& req, bool json) {
           }
         }
         rc = 0;
+        saw_terminal = true;
         break;
+      case Response::Kind::kPong: {
+        if (!json) {
+          const WirePong& p = resp.pong;
+          std::printf(
+              "pong: uptime=%.1fs connections=%llu shed=%llu "
+              "jobs queued=%llu running=%llu done=%llu cancelled=%llu "
+              "failed=%llu\n",
+              p.uptime_seconds,
+              static_cast<unsigned long long>(p.active_connections),
+              static_cast<unsigned long long>(p.shed_connections),
+              static_cast<unsigned long long>(p.jobs_queued),
+              static_cast<unsigned long long>(p.jobs_running),
+              static_cast<unsigned long long>(p.jobs_done),
+              static_cast<unsigned long long>(p.jobs_cancelled),
+              static_cast<unsigned long long>(p.jobs_failed));
+        }
+        rc = 0;
+        saw_terminal = true;
+        break;
+      }
       default:
         rc = 4;
+        saw_terminal = true;
         break;
     }
     break;  // single-response verbs (and done) end the exchange
   }
   ::close(fd);
+  // The stream died before its terminal frame: transport failure, let the
+  // retry loop reconnect and resume.
+  if (!saw_terminal && !*retry) *retry = true;
+  if (saw_terminal) *retry = false;
   return rc;
+}
+
+int RunRequest(uint16_t port, Request req, bool json, int retries,
+               int backoff_ms) {
+  StreamState stream;
+  const bool streaming =
+      req.verb == Verb::kSubmit || req.verb == Verb::kAttach;
+  if (req.verb == Verb::kAttach) {
+    stream.job_id = req.job_id;
+    // Resuming from --cursor N means sequences [0, N) are pre-acknowledged
+    // (the caller has them from an earlier run); replay-verify is only
+    // possible for frames this process saw, so mark them opaque.
+    stream.acked.assign(req.cursor, std::string());
+    stream.announced = true;  // no first-accepted banner on explicit attach
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    bool retry = false;
+    const int rc = RunAttempt(port, req, json,
+                              streaming ? &stream : nullptr, &retry);
+    if (!retry) return rc;
+    if (attempt >= retries) {
+      if (retries > 0) {
+        std::fprintf(stderr, "error: giving up after %d retries\n", retries);
+      }
+      return rc;
+    }
+    // Exponential backoff, deterministic (no jitter): reproducibility in
+    // the chaos harness beats herd-avoidance on loopback.
+    const int shift = attempt < 10 ? attempt : 10;
+    const int delay = backoff_ms << shift;
+    std::fprintf(stderr, "retrying in %d ms (attempt %d of %d)\n", delay,
+                 attempt + 1, retries);
+    SleepMs(delay);
+    if (streaming && stream.job_id != 0) {
+      // The job exists server-side: resume its stream instead of
+      // resubmitting. (A submit that never got an accepted frame falls
+      // through and is retried verbatim — safe under its idempotency key.)
+      req.verb = Verb::kAttach;
+      req.job_id = stream.job_id;
+      req.cursor = stream.next_seq();
+    }
+  }
 }
 
 }  // namespace
@@ -207,6 +388,8 @@ int RunRequest(uint16_t port, const Request& req, bool json) {
 int main(int argc, char** argv) {
   uint16_t port = 0;
   bool json = false;
+  int retries = 0;
+  int backoff_ms = 100;
   std::string verb;
   Request req;
 
@@ -226,7 +409,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "submit" || arg == "status" || arg == "cancel" ||
-               arg == "list-dbs") {
+               arg == "list-dbs" || arg == "attach" || arg == "ping") {
       verb = arg;
     } else if (arg == "--db") {
       const char* v = next();
@@ -247,6 +430,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       req.tenant = v;
+    } else if (arg == "--idempotency-key") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      req.idempotency_key = v;
     } else if (arg == "--superset") {
       req.options.superset = true;
     } else if (arg == "--all") {
@@ -273,6 +460,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || !ParseInt64(v, &n) || n < 1) return Usage();
       req.job_id = static_cast<uint64_t>(n);
+    } else if (arg == "--cursor") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0) return Usage();
+      req.cursor = static_cast<uint64_t>(n);
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0) return Usage();
+      retries = static_cast<int>(n);
+    } else if (arg == "--backoff-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return Usage();
+      backoff_ms = static_cast<int>(n);
     } else {
       std::fprintf(stderr, "error: unknown flag \"%s\"\n", arg.c_str());
       return 2;
@@ -283,14 +482,19 @@ int main(int argc, char** argv) {
   if (verb == "submit") {
     req.verb = Verb::kSubmit;
     if (req.db.empty() || req.rout_csv.empty()) return Usage();
+  } else if (verb == "attach") {
+    req.verb = Verb::kAttach;
+    if (req.job_id == 0) return Usage();
   } else if (verb == "status") {
     req.verb = Verb::kStatus;
     if (req.job_id == 0) return Usage();
   } else if (verb == "cancel") {
     req.verb = Verb::kCancel;
     if (req.job_id == 0) return Usage();
+  } else if (verb == "ping") {
+    req.verb = Verb::kPing;
   } else {
     req.verb = Verb::kListDbs;
   }
-  return RunRequest(port, req, json);
+  return RunRequest(port, req, json, retries, backoff_ms);
 }

@@ -5,6 +5,8 @@
 //                   [--default-slice-mb MB] [--max-slice-mb MB]
 //                   [--rate R] [--burst B] [--max-threads N]
 //                   [--default-budget S] [--max-budget S]
+//                   [--max-connections N] [--io-deadline-ms MS]
+//                   [--idle-timeout-ms MS] [--fault-spec SPEC]
 //                   [--port-file PATH]
 //
 // Attaches each NAME=DIR database (a SaveDatabase directory), starts the
@@ -12,6 +14,15 @@
 // stdout as "listening on PORT" and, with --port-file, written there too —
 // that is how the CI integration job finds it), then serves until SIGINT /
 // SIGTERM, draining jobs before exit.
+//
+// Wire hardening knobs (DESIGN.md §15.5): --max-connections caps live
+// connections (excess get a typed `overloaded` refusal; 0 = uncapped),
+// --io-deadline-ms bounds how long a write may stall on a non-draining
+// peer, --idle-timeout-ms bounds inbound silence (0 disables either).
+// --fault-spec enables the deterministic wire chaos sites (wire-accept /
+// wire-read / wire-write; grammar in common/fault_injection.h) — the chaos
+// integration job runs the daemon under e.g.
+// "wire-write=reset@4,wire-read=garbage@6".
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +49,8 @@ int Usage() {
       "                  [--default-slice-mb MB] [--max-slice-mb MB]\n"
       "                  [--rate R] [--burst B] [--max-threads N]\n"
       "                  [--default-budget S] [--max-budget S]\n"
+      "                  [--max-connections N] [--io-deadline-ms MS]\n"
+      "                  [--idle-timeout-ms MS] [--fault-spec SPEC]\n"
       "                  [--port-file PATH]\n");
   return 2;
 }
@@ -114,6 +127,14 @@ int main(int argc, char** argv) {
         config.default_time_budget_seconds = d;
       } else if (arg == "--max-budget" && ParseDouble(v, &d) && d >= 0) {
         config.max_time_budget_seconds = d;
+      } else if (arg == "--max-connections" && ParseInt64(v, &n) && n >= 0) {
+        server_config.max_connections = static_cast<int>(n);
+      } else if (arg == "--io-deadline-ms" && ParseInt64(v, &n) && n >= 0) {
+        server_config.io_deadline_ms = static_cast<int>(n);
+      } else if (arg == "--idle-timeout-ms" && ParseInt64(v, &n) && n >= 0) {
+        server_config.idle_timeout_ms = static_cast<int>(n);
+      } else if (arg == "--fault-spec") {
+        server_config.fault_spec = v;
       } else {
         std::fprintf(stderr, "error: bad flag/value \"%s\"\n", arg.c_str());
         return 2;
